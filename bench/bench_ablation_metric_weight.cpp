@@ -1,0 +1,45 @@
+// Ablation A: relocation as a metrics (Sec. V) — sweep the q4 weight and
+// report how many requested free-compatible areas are identified vs the
+// other cost terms (Eq. 13/14 trade-off).
+#include <cstdio>
+
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "search/solver.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace rfp;
+  const device::Device dev = device::virtex5FX70T();
+
+  std::printf("ABLATION A: relocation-as-metrics weight sweep (Sec. V)\n");
+  std::printf("3 soft FC areas requested per relocatable region (9 slots total)\n\n");
+  std::printf("%6s %9s %14s %12s %10s %9s\n", "q4", "fc/9", "wasted frames", "wire length",
+              "RLcost", "time[s]");
+
+  for (const double q4 : {0.0, 0.05, 0.2, 1.0, 5.0}) {
+    model::FloorplanProblem p = model::makeSdrProblem(dev);
+    model::addSdrRelocations(p, 3, /*hard=*/false, /*weight=*/1.0);
+    p.setWeights(model::ObjectiveWeights{/*q1*/ 0.05, /*q2*/ 0.0, /*q3*/ 1.0, q4});
+    p.setLexicographic(false);
+
+    search::SearchOptions opt;
+    opt.mode = search::ObjectiveMode::kWeighted;
+    opt.num_threads = 8;
+    opt.time_limit_seconds = 30;
+    opt.waste_budget = 1500;  // search-size cap, far above any optimum here
+    Stopwatch watch;
+    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(p);
+    if (!res.hasSolution()) {
+      std::printf("%6.2f (no solution: %s)\n", q4, search::toString(res.status));
+      continue;
+    }
+    std::printf("%6.2f %6d/9 %14ld %12.1f %10.2f %9.3f\n", q4, res.plan.placedFcCount(),
+                res.costs.wasted_frames, res.costs.wire_length, res.costs.relocation,
+                watch.seconds());
+  }
+  std::printf("\nexpected shape: at q4=0 regions optimize WL/waste alone and FC areas\n");
+  std::printf("are placed only where they happen to fit; growing q4 shifts regions\n");
+  std::printf("toward placements that enable all 9 areas, trading wire length.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Figure 4: the SDR2 floorplan with 6 free-compatible areas.
+// Prints the ASCII rendering and writes fig4_sdr2.svg next to the binary.
+#include <cstdio>
+#include <fstream>
+
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "render/render.hpp"
+#include "search/solver.hpp"
+
+int main() {
+  using namespace rfp;
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+
+  search::SearchOptions opt;
+  opt.num_threads = 8;
+  opt.time_limit_seconds = 120;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(sdr2);
+  if (!res.hasSolution()) {
+    std::printf("FIG 4: no solution (%s)\n", search::toString(res.status));
+    return 1;
+  }
+
+  std::printf("FIG 4: SDR2 floorplan (%d free-compatible areas, paper: 6)\n",
+              res.plan.placedFcCount());
+  std::printf("status=%s wasted_frames=%ld wire_length=%.1f\n\n",
+              search::toString(res.status), res.costs.wasted_frames, res.costs.wire_length);
+  std::printf("%s", render::ascii(sdr2, res.plan).c_str());
+
+  std::ofstream svg("fig4_sdr2.svg");
+  svg << render::svg(sdr2, res.plan);
+  std::printf("\nSVG written to fig4_sdr2.svg\n");
+  const std::string err = model::check(sdr2, res.plan);
+  std::printf("checker: %s\n", err.empty() ? "OK" : err.c_str());
+  return res.plan.placedFcCount() == 6 && err.empty() ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// Ablation D: parallel scaling of the exact search solver on SDR2/SDR3
+// (google-benchmark over thread counts; root-level work decomposition).
+#include <benchmark/benchmark.h>
+
+#include "device/builders.hpp"
+#include "model/problem.hpp"
+#include "search/solver.hpp"
+
+namespace {
+
+using namespace rfp;
+
+void runScaling(benchmark::State& state, int fc_per_region) {
+  const device::Device dev = device::virtex5FX70T();
+  search::SearchOptions opt;
+  opt.num_threads = static_cast<int>(state.range(0));
+  const search::ColumnarSearchSolver solver(opt);
+  long waste = -1;
+  for (auto _ : state) {
+    model::FloorplanProblem p = model::makeSdrProblem(dev);
+    if (fc_per_region > 0) model::addSdrRelocations(p, fc_per_region);
+    const search::SearchResult r = solver.solve(p);
+    waste = r.costs.wasted_frames;
+    benchmark::DoNotOptimize(waste);
+  }
+  state.SetLabel("waste=" + std::to_string(waste) +
+                 " threads=" + std::to_string(state.range(0)));
+}
+
+void BM_Sdr2Scaling(benchmark::State& state) { runScaling(state, 2); }
+BENCHMARK(BM_Sdr2Scaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_Sdr3Scaling(benchmark::State& state) { runScaling(state, 3); }
+BENCHMARK(BM_Sdr3Scaling)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

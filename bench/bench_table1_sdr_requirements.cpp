@@ -1,0 +1,44 @@
+// Regenerates Table I: resource requirements for the SDR design, in tiles
+// per type plus the minimum configuration-frame footprint of each region.
+//
+// Paper values (IPDPSW'15, Table I):
+//   matched filter   25 CLB  0 BRAM  5 DSP  1040 frames
+//   carrier recovery  7 CLB  0 BRAM  1 DSP   280 frames
+//   demodulator       5 CLB  2 BRAM  0 DSP   240 frames
+//   signal decoder   12 CLB  1 BRAM  0 DSP   462 frames
+//   video decoder    55 CLB  2 BRAM  5 DSP  2180 frames
+//   total           104 CLB  5 BRAM 11 DSP  4202 frames
+#include <cstdio>
+
+#include "device/builders.hpp"
+#include "model/problem.hpp"
+
+int main() {
+  using namespace rfp;
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+
+  std::printf("TABLE I: Resource requirements for the SDR design (%s)\n", dev.name().c_str());
+  std::printf("frames per tile: CLB=%d BRAM=%d DSP=%d\n\n",
+              dev.tileType(dev.tileTypeId("CLB")).frames,
+              dev.tileType(dev.tileTypeId("BRAM")).frames,
+              dev.tileType(dev.tileTypeId("DSP")).frames);
+  std::printf("%-18s %9s %10s %9s %9s\n", "Region", "CLB tiles", "BRAM tiles", "DSP tiles",
+              "# Frames");
+
+  int total[3] = {0, 0, 0};
+  long total_frames = 0;
+  for (int n = 0; n < sdr.numRegions(); ++n) {
+    const model::RegionSpec& r = sdr.region(n);
+    std::printf("%-18s %9d %10d %9d %9ld\n", r.name.c_str(), r.required(0), r.required(1),
+                r.required(2), sdr.minFrames(n));
+    for (int t = 0; t < 3; ++t) total[t] += r.required(t);
+    total_frames += sdr.minFrames(n);
+  }
+  std::printf("%-18s %9d %10d %9d %9ld\n", "Total", total[0], total[1], total[2], total_frames);
+
+  const bool match = total[0] == 104 && total[1] == 5 && total[2] == 11 && total_frames == 4202;
+  std::printf("\npaper Table I totals (104/5/11, 4202 frames): %s\n",
+              match ? "REPRODUCED" : "MISMATCH");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Regenerates Table II: comparison of floorplan solutions.
+//
+// Paper values (wasted frames / free-compatible areas):
+//   [8]  SDR   466 / 0      (Vipin–Fahmy heuristic, relocation-unaware)
+//   [10] SDR   306 / 0      (exact MILP, no relocation constraints)
+//   PA   SDR2  306 / 6      (proposed approach, 2 FC per relocatable region)
+//   PA   SDR3  346 / 9      (proposed approach, 3 FC per relocatable region)
+//
+// Absolute numbers depend on the authors' exact device data; the shape to
+// reproduce (DESIGN.md §2) is: [8] > optimum; SDR2 == the no-relocation
+// optimum; SDR3 >= SDR2 with all 9 areas placed.
+#include <cstdio>
+
+#include "baseline/vipin_fahmy.hpp"
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "search/solver.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace rfp;
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+
+  std::printf("TABLE II: Comparison of different floorplan solutions\n\n");
+  std::printf("%-10s %-6s %-22s %-14s %-12s %9s\n", "Algorithm", "Design", "Free-compat. areas",
+              "Wasted frames", "Wire length", "time[s]");
+
+  search::SearchOptions opt;
+  opt.num_threads = 8;
+  opt.time_limit_seconds = 120;
+  const search::ColumnarSearchSolver solver(opt);
+
+  // [8]: relocation-unaware reconstruction.
+  long vf_waste = -1;
+  {
+    Stopwatch watch;
+    const auto vf = baseline::vipinFahmyFloorplan(sdr);
+    if (vf) {
+      const model::FloorplanCosts costs = model::evaluate(sdr, *vf);
+      vf_waste = costs.wasted_frames;
+      std::printf("%-10s %-6s %-22d %-14ld %-12.1f %9.3f\n", "[8]", "SDR", 0,
+                  costs.wasted_frames, costs.wire_length, watch.seconds());
+    }
+  }
+
+  const auto run = [&](const char* algo, const char* design, int fc) {
+    Stopwatch watch;
+    model::FloorplanProblem p = model::makeSdrProblem(dev);
+    if (fc > 0) model::addSdrRelocations(p, fc);
+    const search::SearchResult res = solver.solve(p);
+    if (res.hasSolution())
+      std::printf("%-10s %-6s %-22d %-14ld %-12.1f %9.3f\n", algo, design,
+                  res.plan.placedFcCount(), res.costs.wasted_frames, res.costs.wire_length,
+                  watch.seconds());
+    else
+      std::printf("%-10s %-6s (no solution: %s)\n", algo, design, search::toString(res.status));
+    return res;
+  };
+
+  const search::SearchResult base = run("[10]", "SDR", 0);
+  const search::SearchResult sdr2 = run("PA", "SDR2", 2);
+  const search::SearchResult sdr3 = run("PA", "SDR3", 3);
+
+  std::printf("\npaper: [8]=466/0  [10]=306/0  PA SDR2=306/6  PA SDR3=346/9\n");
+  const bool shape =
+      vf_waste > base.costs.wasted_frames &&
+      sdr2.hasSolution() && sdr2.costs.wasted_frames == base.costs.wasted_frames &&
+      sdr2.plan.placedFcCount() == 6 && sdr3.hasSolution() &&
+      sdr3.costs.wasted_frames >= sdr2.costs.wasted_frames && sdr3.plan.placedFcCount() == 9;
+  std::printf("shape ([8] > optimum; SDR2 == optimum with 6 areas; SDR3 >= SDR2 with 9): %s\n",
+              shape ? "REPRODUCED" : "MISMATCH");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Relocation as a *metrics* (Sec. V): instead of hard constraints, each
+// requested free-compatible area carries a weight cw_c; unsatisfied requests
+// cost q4·cw_c/RLmax in the Eq. 14 objective. This example sweeps q4 and
+// shows the solver trading wasted frames against relocation opportunities.
+#include <cstdio>
+
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "search/solver.hpp"
+
+int main() {
+  using namespace rfp;
+  const device::Device dev = device::virtex5FX70T();
+
+  std::printf("Relocation as a metrics on the SDR design (Sec. V, Eq. 13-14)\n");
+  std::printf("Requesting 3 soft FC areas for every region (including the\n");
+  std::printf("non-relocatable matched filter and video decoder).\n\n");
+  std::printf("%6s | %8s | %12s | %10s\n", "q4", "fc areas", "wasted", "RLcost");
+  std::printf("-------+----------+--------------+-----------\n");
+
+  for (const double q4 : {0.0, 0.1, 0.5, 1.0, 4.0}) {
+    model::FloorplanProblem p = model::makeSdrProblem(dev);
+    for (int n = 0; n < p.numRegions(); ++n)
+      p.addRelocation(model::RelocationRequest{n, 3, /*hard=*/false, 1.0});
+    p.setWeights(model::ObjectiveWeights{/*q1 WL*/ 0.05, /*q2 P*/ 0.0,
+                                         /*q3 R*/ 1.0, /*q4 RL*/ q4});
+    p.setLexicographic(false);
+
+    search::SearchOptions opt;
+    opt.mode = search::ObjectiveMode::kWeighted;
+    opt.num_threads = 8;
+    opt.time_limit_seconds = 20;
+    // Bound the per-region waste explored: q3 dominates well before this,
+    // so the restriction does not change the optimum, only the search size.
+    opt.waste_budget = 1500;
+    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(p);
+    if (!res.hasSolution()) {
+      std::printf("%6.2f | (no solution: %s)\n", q4, search::toString(res.status));
+      continue;
+    }
+    std::printf("%6.2f | %4d /15 | %12ld | %10.2f\n", q4, res.plan.placedFcCount(),
+                res.costs.wasted_frames, res.costs.relocation);
+  }
+  std::printf("\nHigher q4 buys more relocation opportunities; the matched filter\n");
+  std::printf("and video decoder requests stay unmet at any weight (their areas\n");
+  std::printf("are geometrically impossible — the Sec. VI feasibility result).\n");
+  return 0;
+}

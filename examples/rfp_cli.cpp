@@ -1,0 +1,225 @@
+// rfp_cli — command-line floorplanner driver.
+//
+// Lets downstream users run the relocation-aware floorplanner on their own
+// device and problem descriptions (text formats of device/parser.hpp and
+// io/problem_text.hpp) without writing C++.
+//
+//   rfp_cli devices
+//       List the built-in device catalog.
+//   rfp_cli show <device>
+//       Print a device (catalog name or description file) and its columnar
+//       partitioning.
+//   rfp_cli solve <device> <problem-file> [options]
+//       Floorplan the problem. Options:
+//         --algo search|o|ho     solver (default: search, the exact solver)
+//         --threads N            search parallelism (default 4)
+//         --time-limit S         wall-clock limit per solve/stage
+//         --svg FILE             write the floorplan as SVG
+//         --json FILE            write the floorplan + costs as JSON
+//   rfp_cli feasibility <device> <problem-file>
+//       Per-region relocatability analysis (Sec. VI of the paper).
+//
+// Example:
+//   ./build/examples/rfp_cli devices
+//   ./build/examples/rfp_cli show xc5vfx70t
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "device/catalog.hpp"
+#include "device/parser.hpp"
+#include "fp/milp_floorplanner.hpp"
+#include "io/problem_text.hpp"
+#include "io/results.hpp"
+#include "model/floorplan.hpp"
+#include "partition/columnar.hpp"
+#include "render/render.hpp"
+#include "search/solver.hpp"
+
+namespace {
+
+using namespace rfp;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  out << content;
+}
+
+/// Catalog name first, description file second.
+device::Device loadDevice(const std::string& spec) {
+  if (const auto dev = device::buildByName(spec)) return *dev;
+  return device::parseDevice(readFile(spec));
+}
+
+int cmdDevices() {
+  std::printf("%-12s %-9s %s\n", "name", "family", "description");
+  for (const device::CatalogEntry& e : device::catalog())
+    std::printf("%-12s %-9s %s\n", e.name.c_str(), e.family.c_str(), e.description.c_str());
+  return 0;
+}
+
+int cmdShow(const std::string& spec) {
+  const device::Device dev = loadDevice(spec);
+  std::printf("%s", render::asciiDevice(dev).c_str());
+  const auto part = partition::columnarPartition(dev);
+  if (!part) {
+    std::printf("\ndevice is NOT columnar-partitionable (Sec. III-B step 4 failed)\n");
+    return 1;
+  }
+  std::printf("\ncolumnar partitioning: |P| = %zu portions, |A| = %zu forbidden areas\n",
+              part->portions.size(), part->forbidden.size());
+  for (const partition::Portion& p : part->portions)
+    std::printf("  portion %2d: columns [%d, %d)  type %s\n", p.id, p.x, p.x2(),
+                dev.tileType(p.type).name.c_str());
+  return 0;
+}
+
+struct SolveArgs {
+  std::string algo = "search";
+  int threads = 4;
+  double time_limit = 0.0;
+  std::string svg_path;
+  std::string json_path;
+};
+
+int cmdSolve(const std::string& device_spec, const std::string& problem_path,
+             const SolveArgs& args) {
+  const device::Device dev = loadDevice(device_spec);
+  const model::FloorplanProblem problem = io::parseProblem(readFile(problem_path), dev);
+
+  model::Floorplan plan;
+  std::string status;
+  if (args.algo == "search") {
+    search::SearchOptions opt;
+    opt.num_threads = args.threads;
+    opt.time_limit_seconds = args.time_limit;
+    if (!problem.lexicographic()) opt.mode = search::ObjectiveMode::kWeighted;
+    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
+    status = search::toString(res.status);
+    if (!res.hasSolution()) {
+      std::printf("no solution: %s\n", status.c_str());
+      return 1;
+    }
+    plan = res.plan;
+    std::printf("solver=search status=%s nodes=%ld time=%.2fs\n", status.c_str(), res.nodes,
+                res.seconds);
+  } else if (args.algo == "o" || args.algo == "ho") {
+    fp::MilpFloorplannerOptions opt;
+    opt.algorithm = args.algo == "o" ? fp::Algorithm::kO : fp::Algorithm::kHO;
+    opt.lexicographic = problem.lexicographic();
+    opt.milp.time_limit_seconds = args.time_limit > 0 ? args.time_limit : 60.0;
+    const fp::FpResult res = fp::MilpFloorplanner(opt).solve(problem);
+    status = fp::toString(res.status);
+    if (!res.hasSolution()) {
+      std::printf("no solution: %s (%s)\n", status.c_str(), res.detail.c_str());
+      return 1;
+    }
+    plan = res.plan;
+    std::printf("solver=%s status=%s nodes=%ld time=%.2fs\n", args.algo.c_str(),
+                status.c_str(), res.nodes, res.seconds);
+  } else {
+    std::fprintf(stderr, "error: unknown --algo '%s'\n", args.algo.c_str());
+    return 2;
+  }
+
+  const std::string check = model::check(problem, plan);
+  if (!check.empty()) {
+    std::fprintf(stderr, "internal error: checker rejected the solution: %s\n", check.c_str());
+    return 3;
+  }
+  const model::FloorplanCosts costs = model::evaluate(problem, plan);
+  std::printf("wasted_frames=%ld wire_length=%.1f fc_areas=%d/%d\n\n", costs.wasted_frames,
+              costs.wire_length, plan.placedFcCount(), problem.totalFcAreas());
+  std::printf("%s", render::ascii(problem, plan).c_str());
+
+  if (!args.svg_path.empty()) writeFile(args.svg_path, render::svg(problem, plan));
+  if (!args.json_path.empty()) writeFile(args.json_path, io::floorplanToJson(problem, plan));
+  return 0;
+}
+
+int cmdFeasibility(const std::string& device_spec, const std::string& problem_path,
+                   int threads) {
+  const device::Device dev = loadDevice(device_spec);
+  const model::FloorplanProblem problem = io::parseProblem(readFile(problem_path), dev);
+  search::SearchOptions opt;
+  opt.num_threads = threads;
+  const std::vector<bool> reloc =
+      search::ColumnarSearchSolver(opt).feasibilityAnalysis(problem);
+  std::printf("%-24s relocatable?\n", "region");
+  for (int n = 0; n < problem.numRegions(); ++n)
+    std::printf("%-24s %s\n", problem.region(n).name.c_str(),
+                reloc[static_cast<std::size_t>(n)] ? "yes" : "no");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rfp_cli devices\n"
+               "  rfp_cli show <device>\n"
+               "  rfp_cli solve <device> <problem-file> [--algo search|o|ho] [--threads N]\n"
+               "                [--time-limit S] [--svg FILE] [--json FILE]\n"
+               "  rfp_cli feasibility <device> <problem-file> [--threads N]\n"
+               "<device> is a catalog name (see 'devices') or a description file.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "devices") return cmdDevices();
+    if (cmd == "show" && argc >= 3) return cmdShow(argv[2]);
+    if ((cmd == "solve" || cmd == "feasibility") && argc >= 4) {
+      SolveArgs args;
+      for (int i = 4; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> std::string {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+            std::exit(2);
+          }
+          return argv[++i];
+        };
+        if (flag == "--algo")
+          args.algo = next();
+        else if (flag == "--threads")
+          args.threads = std::stoi(next());
+        else if (flag == "--time-limit")
+          args.time_limit = std::stod(next());
+        else if (flag == "--svg")
+          args.svg_path = next();
+        else if (flag == "--json")
+          args.json_path = next();
+        else
+          return usage();
+      }
+      return cmd == "solve" ? cmdSolve(argv[2], argv[3], args)
+                            : cmdFeasibility(argv[2], argv[3], args.threads);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

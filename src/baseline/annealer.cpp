@@ -1,0 +1,118 @@
+#include "baseline/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fp/heuristic.hpp"
+#include "search/candidates.hpp"
+#include "search/occupancy.hpp"
+#include "support/rng.hpp"
+
+namespace rfp::baseline {
+
+namespace {
+
+using device::Rect;
+
+/// Re-places all FC areas greedily for the given region rects. Returns false
+/// when a hard request cannot be satisfied.
+bool placeFcAreas(const model::FloorplanProblem& problem, const std::vector<Rect>& regions,
+                  std::vector<model::FcArea>& areas) {
+  const device::Device& dev = problem.dev();
+  search::Occupancy occ(dev.width(), dev.height());
+  for (const Rect& r : regions) occ.fill(r);
+  std::size_t slot = 0;
+  bool ok = true;
+  for (const model::RelocationRequest& req : problem.relocations()) {
+    const Rect& src = regions[static_cast<std::size_t>(req.region)];
+    std::vector<Rect> options;
+    for (const int x : search::matchingColumnSpans(dev, src.x, src.w))
+      for (const int y : search::validRows(dev, x, src.w, src.h))
+        options.push_back(Rect{x, y, src.w, src.h});
+    for (int i = 0; i < req.count; ++i, ++slot) {
+      areas[slot].placed = false;
+      for (const Rect& cand : options) {
+        if (occ.overlaps(cand)) continue;
+        occ.fill(cand);
+        areas[slot].rect = cand;
+        areas[slot].placed = true;
+        break;
+      }
+      if (!areas[slot].placed && req.hard) ok = false;
+    }
+  }
+  return ok;
+}
+
+double costOf(const model::FloorplanProblem& problem, const model::Floorplan& fp,
+              const AnnealerOptions& opt) {
+  const model::FloorplanCosts costs = model::evaluate(problem, fp);
+  const double r_max = std::max<double>(1.0, static_cast<double>(problem.dev().totalFrames()));
+  double wl_max = 0;
+  for (const model::Net& net : problem.nets())
+    wl_max += net.weight * (problem.dev().width() + problem.dev().height());
+  wl_max = std::max(1.0, wl_max);
+  return opt.waste_weight * static_cast<double>(costs.wasted_frames) / r_max +
+         opt.wirelength_weight * costs.wire_length / wl_max;
+}
+
+}  // namespace
+
+std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& problem,
+                                            const AnnealerOptions& options) {
+  fp::HeuristicOptions hopt;
+  hopt.seed = options.seed;
+  auto start = fp::constructiveFloorplan(problem, hopt);
+  if (!start) return std::nullopt;
+
+  std::vector<search::RegionCandidates> cands;
+  for (int n = 0; n < problem.numRegions(); ++n)
+    cands.push_back(search::enumerateCandidates(problem, n));
+
+  Rng rng(options.seed ^ 0x5eedu);
+  model::Floorplan current = *start;
+  double current_cost = costOf(problem, current, options);
+  model::Floorplan best = current;
+  double best_cost = current_cost;
+
+  AnnealResult result;
+  double temperature = options.initial_temperature;
+  for (long it = 0; it < options.iterations; ++it, temperature *= options.cooling) {
+    ++result.iterations;
+    // Move: pick a region and a random alternative candidate placement.
+    const int n = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(problem.numRegions())));
+    const search::RegionCandidates& rc = cands[static_cast<std::size_t>(n)];
+    if (rc.shapes.empty()) continue;
+    const search::Shape& s =
+        rc.shapes[rng.nextBelow(static_cast<std::uint64_t>(rc.shapes.size()))];
+    const int y = s.ys[rng.nextBelow(static_cast<std::uint64_t>(s.ys.size()))];
+    const Rect cand{s.x, y, s.w, s.h};
+
+    model::Floorplan trial = current;
+    trial.regions[static_cast<std::size_t>(n)] = cand;
+    // Reject overlapping region placements outright.
+    bool overlap = false;
+    for (int m = 0; m < problem.numRegions() && !overlap; ++m)
+      overlap = m != n && trial.regions[static_cast<std::size_t>(m)].overlaps(cand);
+    if (overlap) continue;
+    if (!placeFcAreas(problem, trial.regions, trial.fc_areas)) continue;
+
+    const double trial_cost = costOf(problem, trial, options);
+    const double delta = trial_cost - current_cost;
+    if (delta <= 0 || rng.nextDouble() < std::exp(-delta / std::max(1e-9, temperature))) {
+      current = std::move(trial);
+      current_cost = trial_cost;
+      ++result.accepted_moves;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+  }
+
+  result.plan = std::move(best);
+  result.costs = model::evaluate(problem, result.plan);
+  return result;
+}
+
+}  // namespace rfp::baseline

@@ -1,0 +1,38 @@
+// Simulated-annealing floorplanner in the style of Bolchini et al. FPL'11
+// ([9] in the paper): wire-length-driven stochastic local search over
+// candidate placements. Used by the ablation benches as a second baseline
+// and as an alternative first-solution generator for HO.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::baseline {
+
+struct AnnealerOptions {
+  std::uint64_t seed = 1;
+  long iterations = 200000;
+  double initial_temperature = 1.0;
+  double cooling = 0.9995;        ///< geometric cooling per iteration
+  double waste_weight = 1.0;      ///< cost = waste_weight·waste/Rmax +
+  double wirelength_weight = 1.0; ///<        wirelength_weight·WL/WLmax
+};
+
+struct AnnealResult {
+  model::Floorplan plan;
+  model::FloorplanCosts costs;
+  long accepted_moves = 0;
+  long iterations = 0;
+};
+
+/// Runs SA starting from a greedy construction. Returns std::nullopt when no
+/// feasible starting floorplan exists. Relocation requests are honored by
+/// re-placing FC areas greedily after every accepted region move (hard
+/// requests keep moves that break them from being accepted).
+[[nodiscard]] std::optional<AnnealResult> annealFloorplan(
+    const model::FloorplanProblem& problem, const AnnealerOptions& options = {});
+
+}  // namespace rfp::baseline

@@ -1,0 +1,126 @@
+#include "bitstream/bitstream.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "partition/compatibility.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rfp::bitstream {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void crcWord(std::uint32_t& crc, std::uint32_t word) {
+  for (int b = 0; b < 4; ++b) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(word >> (8 * b));
+    crc = crcTable()[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size, std::uint32_t seed) {
+  std::uint32_t crc = seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = crcTable()[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t computeCrc(const PartialBitstream& bs) {
+  std::uint32_t crc = 0xffffffffu;
+  for (const Frame& f : bs.frames) {
+    crcWord(crc, f.address.packed());
+    for (const std::uint32_t w : f.words) crcWord(crc, w);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+PartialBitstream generateBitstream(const device::Device& dev, const device::Rect& area,
+                                   std::uint64_t design_seed) {
+  RFP_CHECK_MSG(dev.bounds().containsRect(area),
+                "bitstream area " << area.toString() << " outside device");
+  PartialBitstream bs;
+  bs.device = dev.name();
+  bs.area = area;
+  for (int x = area.x; x < area.x2(); ++x) {
+    for (int y = area.y; y < area.y2(); ++y) {
+      const int type = dev.typeAt(x, y);
+      const int frames = dev.tileType(type).frames;
+      for (int minor = 0; minor < frames; ++minor) {
+        Frame f;
+        f.address = FrameAddress{x, y, minor};
+        // Payload depends on (design, tile type, relative position within
+        // the area, minor) — *not* on the absolute location, so the same
+        // configuration data works at any compatible placement (Def. .1).
+        Rng rng(design_seed ^ (static_cast<std::uint64_t>(type) << 48) ^
+                (static_cast<std::uint64_t>(x - area.x) << 32) ^
+                (static_cast<std::uint64_t>(y - area.y) << 16) ^
+                static_cast<std::uint64_t>(minor));
+        f.words.reserve(kFrameWords);
+        for (int wi = 0; wi < kFrameWords; ++wi)
+          f.words.push_back(static_cast<std::uint32_t>(rng.nextU64()));
+        bs.frames.push_back(std::move(f));
+      }
+    }
+  }
+  bs.crc = computeCrc(bs);
+  return bs;
+}
+
+std::string verifyBitstream(const device::Device& dev, const PartialBitstream& bs) {
+  std::ostringstream os;
+  if (bs.device != dev.name()) return "bitstream targets device '" + bs.device + "'";
+  if (!dev.bounds().containsRect(bs.area)) return "bitstream area outside device";
+  // Expected frame count per tile.
+  long expected = 0;
+  for (int x = bs.area.x; x < bs.area.x2(); ++x)
+    for (int y = bs.area.y; y < bs.area.y2(); ++y)
+      expected += dev.tileType(dev.typeAt(x, y)).frames;
+  if (static_cast<long>(bs.frames.size()) != expected) {
+    os << "frame count " << bs.frames.size() << " != expected " << expected;
+    return os.str();
+  }
+  for (const Frame& f : bs.frames) {
+    if (!bs.area.contains(f.address.column, f.address.row))
+      return "frame address outside bitstream area";
+    const int type = dev.typeAt(f.address.column, f.address.row);
+    if (f.address.minor < 0 || f.address.minor >= dev.tileType(type).frames)
+      return "minor frame index out of range for tile type";
+    if (static_cast<int>(f.words.size()) != kFrameWords) return "bad frame payload size";
+  }
+  if (computeCrc(bs) != bs.crc) return "CRC mismatch";
+  return "";
+}
+
+PartialBitstream relocateBitstream(const device::Device& dev, const PartialBitstream& bs,
+                                   const device::Rect& target) {
+  RFP_CHECK_MSG(partition::areCompatible(dev, bs.area, target),
+                "relocation target " << target.toString() << " is not compatible with "
+                                     << bs.area.toString());
+  PartialBitstream out = bs;
+  out.area = target;
+  const int dx = target.x - bs.area.x;
+  const int dy = target.y - bs.area.y;
+  for (Frame& f : out.frames) {
+    f.address.column += dx;
+    f.address.row += dy;
+  }
+  out.crc = computeCrc(out);  // the filter's CRC recomputation step (Sec. I)
+  return out;
+}
+
+}  // namespace rfp::bitstream

@@ -1,0 +1,90 @@
+// Synthetic partial-bitstream model and relocation filter.
+//
+// The floorplanner's purpose (Sec. I) is to reserve areas between which
+// partial bitstreams can be *relocated* by rewriting frame addresses and
+// recomputing the CRC, as done by the REPLICA [2][3] and BiRF [4][5]
+// filters. This module implements that flow end-to-end on synthetic
+// bitstreams so the examples can demonstrate actual relocation between
+// free-compatible areas found by the floorplanner (DESIGN.md §3
+// substitution 5):
+//
+//  * a frame address identifies (tile column, clock-region row, minor frame)
+//    — the Virtex-style hierarchical addressing;
+//  * a tile of type t contributes frames(t) minor frames (36/30/28 for
+//    CLB/BRAM/DSP, Sec. VI);
+//  * frame payloads depend only on the tile *type* and minor index, never on
+//    the position — the content of Definition .1's "same configuration
+//    data"; relocation therefore only needs address rewriting;
+//  * a CRC-32 over addresses and payloads seals the bitstream; the filter
+//    recomputes it after rewriting, exactly as described in Sec. I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace rfp::bitstream {
+
+/// Words per configuration frame (Virtex-5 frames are 41 32-bit words).
+inline constexpr int kFrameWords = 41;
+
+struct FrameAddress {
+  int column = 0;  ///< tile column on the device
+  int row = 0;     ///< clock-region row (tile row)
+  int minor = 0;   ///< minor frame index within the tile column segment
+
+  /// Packed 32-bit form (12-bit column, 8-bit row, 12-bit minor).
+  [[nodiscard]] std::uint32_t packed() const noexcept {
+    return (static_cast<std::uint32_t>(column & 0xfff) << 20) |
+           (static_cast<std::uint32_t>(row & 0xff) << 12) |
+           static_cast<std::uint32_t>(minor & 0xfff);
+  }
+  static FrameAddress unpack(std::uint32_t v) noexcept {
+    return FrameAddress{static_cast<int>(v >> 20) & 0xfff, static_cast<int>(v >> 12) & 0xff,
+                        static_cast<int>(v) & 0xfff};
+  }
+  friend bool operator==(const FrameAddress&, const FrameAddress&) = default;
+};
+
+struct Frame {
+  FrameAddress address;
+  std::vector<std::uint32_t> words;  ///< kFrameWords payload words
+};
+
+struct PartialBitstream {
+  std::string device;     ///< device name the bitstream targets
+  device::Rect area;      ///< region the configuration covers
+  std::vector<Frame> frames;
+  std::uint32_t crc = 0;  ///< CRC-32 over addresses + payloads
+};
+
+/// Standard CRC-32 (IEEE 802.3 polynomial, reflected).
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                                  std::uint32_t seed = 0xffffffffu);
+
+/// CRC over the bitstream's frames (addresses then payload words, little
+/// endian), as the configuration engine would accumulate it.
+[[nodiscard]] std::uint32_t computeCrc(const PartialBitstream& bs);
+
+/// Generates the synthetic partial bitstream configuring `area` on `dev`.
+/// `design_seed` distinguishes different module implementations.
+[[nodiscard]] PartialBitstream generateBitstream(const device::Device& dev,
+                                                 const device::Rect& area,
+                                                 std::uint64_t design_seed);
+
+/// Validation: addresses inside `area`, per-tile minor-frame counts matching
+/// the tile types, CRC intact. Returns "" or a violation description.
+[[nodiscard]] std::string verifyBitstream(const device::Device& dev,
+                                          const PartialBitstream& bs);
+
+/// The relocation filter: moves `bs` from its current area to `target`.
+/// Requires the two areas to be compatible (Definition .1) — throws
+/// rfp::CheckError otherwise. Rewrites every frame address by the column/row
+/// delta and recomputes the CRC; payloads are untouched.
+[[nodiscard]] PartialBitstream relocateBitstream(const device::Device& dev,
+                                                 const PartialBitstream& bs,
+                                                 const device::Rect& target);
+
+}  // namespace rfp::bitstream

@@ -1,0 +1,84 @@
+#include "device/builders.hpp"
+
+#include "support/check.hpp"
+
+namespace rfp::device {
+
+std::vector<TileType> virtex5TileTypes() {
+  return {
+      TileType{"CLB", {{"CLB", 20}}, 36},
+      TileType{"BRAM", {{"BRAM36", 4}}, 30},
+      TileType{"DSP", {{"DSP48E", 8}}, 28},
+  };
+}
+
+namespace {
+
+std::vector<int> columnsFromPattern(const std::string& pattern) {
+  std::vector<int> cols;
+  cols.reserve(pattern.size());
+  for (const char c : pattern) {
+    switch (c) {
+      case 'C': cols.push_back(0); break;
+      case 'B': cols.push_back(1); break;
+      case 'D': cols.push_back(2); break;
+      default: RFP_CHECK_MSG(false, "unknown column pattern char '" << c << "'");
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+Device virtex5FX70T() {
+  // Column map (left→right). BRAM columns at {2, 13, 17, 28, 35}, DSP
+  // columns at {7, 22}; everything else CLB. The neighborhoods of the two
+  // DSP columns are congruent (BRAM at offsets −5 and +6 of each), as on the
+  // real part where the DSP48E columns repeat the same local column mix.
+  //           0         1         2         3         4
+  //           01234567890123456789012345678901234567890123
+  const std::string pattern =
+      "CCBCCCCDCCCCCBCCCBCCCCDCCCCCBCCCCCCBCCCCCCCC";
+  RFP_CHECK(pattern.size() == 44);
+  Device dev("xc5vfx70t", 44, 8, virtex5TileTypes(), columnsFromPattern(pattern));
+  // PPC440 hard block: 8 columns × 3 clock regions. Regions and
+  // free-compatible areas must not cross it (Sec. III-A forbidden areas).
+  dev.addForbidden(Rect{30, 3, 8, 3}, "ppc440");
+  return dev;
+}
+
+Device virtex7Style() {
+  // A wider columnar mix in the style of a mid-size Virtex-7 (paper Sec. III:
+  // "most of the commercially available FPGAs, including Xilinx devices of
+  // Virtex-7 family, are compliant with this simplified columnar description").
+  std::string pattern;
+  // 12 repetitions of an 8-column kernel: C C B C C D C C
+  for (int i = 0; i < 12; ++i) pattern += "CCBCCDCC";
+  Device dev("virtex7-style", static_cast<int>(pattern.size()), 14, virtex5TileTypes(),
+             columnsFromPattern(pattern));
+  return dev;
+}
+
+Device uniformDevice(int width, int height, int frames_per_tile) {
+  std::vector<TileType> types{TileType{"CLB", {{"CLB", 20}}, frames_per_tile}};
+  return Device("uniform-" + std::to_string(width) + "x" + std::to_string(height), width,
+                height, std::move(types), std::vector<int>(static_cast<std::size_t>(width), 0));
+}
+
+Device columnarFromPattern(std::string name, const std::string& pattern, int height) {
+  return Device(std::move(name), static_cast<int>(pattern.size()), height,
+                virtex5TileTypes(), columnsFromPattern(pattern));
+}
+
+Device brokenColumnDevice() {
+  // 4×4 grid whose third column mixes CLB and BRAM tiles: not columnar.
+  std::vector<int> grid = {
+      0, 0, 1, 0,  //
+      0, 0, 1, 0,  //
+      0, 0, 0, 0,  //
+      0, 0, 0, 0,  //
+  };
+  return Device("broken-column", 4, 4, virtex5TileTypes(), std::move(grid), true);
+}
+
+}  // namespace rfp::device

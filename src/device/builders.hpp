@@ -1,0 +1,40 @@
+// Prebuilt device models.
+//
+// `virtex5FX70T()` is the paper's target device (Sec. VI), modeled from the
+// public Xilinx DS100/UG190 documentation (DESIGN.md §3 substitution 3):
+//  * 8 clock-region rows; one tile = one column × one clock region,
+//  * CLB tile = 20 CLBs / 36 frames, BRAM tile = 4 BRAM36 / 30 frames,
+//    DSP tile = 8 DSP48E / 28 frames (frame counts stated in Sec. VI and
+//    confirmed by Table I arithmetic),
+//  * 44 columns: 37 CLB, 5 BRAM, 2 DSP — matching the FX70T resource mix
+//    (≈11.8k slices, 160 BRAM36 raw, 128 DSP48E),
+//  * the PPC440 hard block as a forbidden area spanning 3 clock regions.
+#pragma once
+
+#include <string>
+
+#include "device/device.hpp"
+
+namespace rfp::device {
+
+/// Standard Virtex-5 tile-type set (CLB, BRAM, DSP), in this index order.
+std::vector<TileType> virtex5TileTypes();
+
+/// The paper's evaluation device (Virtex-5 FX70T model).
+Device virtex5FX70T();
+
+/// A larger Virtex-7-style columnar device (used in scaling ablations).
+Device virtex7Style();
+
+/// Uniform all-CLB device of the given size (unit tests).
+Device uniformDevice(int width, int height, int frames_per_tile = 36);
+
+/// Columnar device from a pattern string, one char per column:
+/// 'C' = CLB, 'B' = BRAM, 'D' = DSP. Example: "CCBCCDCC".
+Device columnarFromPattern(std::string name, const std::string& pattern, int height);
+
+/// Non-columnar device used to exercise the partitioning failure path:
+/// like `columnarFromPattern` but with one column split between two types.
+Device brokenColumnDevice();
+
+}  // namespace rfp::device

@@ -1,0 +1,157 @@
+#include "device/catalog.hpp"
+
+#include <algorithm>
+
+#include "device/builders.hpp"
+#include "support/check.hpp"
+
+namespace rfp::device {
+
+namespace {
+
+/// Repeats `kernel` until the pattern reaches `columns` characters, then
+/// truncates. Kernels are chosen so the leftmost column of every repetition
+/// has the same local neighborhood — the congruent spans that make
+/// relocation across repetitions possible (Definition .1).
+std::string repeatKernel(const std::string& kernel, int columns) {
+  RFP_CHECK(!kernel.empty() && columns > 0);
+  std::string pattern;
+  pattern.reserve(static_cast<std::size_t>(columns));
+  while (static_cast<int>(pattern.size()) < columns) pattern += kernel;
+  pattern.resize(static_cast<std::size_t>(columns));
+  return pattern;
+}
+
+/// 7-series tile types: same CLB/BRAM/DSP trio as Virtex-5 but with the
+/// 7-series frame geometry (UG470: a CLB column is 36 frames, BRAM content
+/// 128 spread differently — we keep the *configuration* frame counts, which
+/// is what wasted-frame accounting uses: CLB 36, BRAM 28, DSP 28).
+std::vector<TileType> series7TileTypes() {
+  return {
+      TileType{"CLB", {{"CLB", 50}}, 36},
+      TileType{"BRAM", {{"BRAM36", 10}}, 28},
+      TileType{"DSP", {{"DSP48E1", 20}}, 28},
+  };
+}
+
+}  // namespace
+
+// ---- Virtex-5 ---------------------------------------------------------------
+
+Device virtex5LX110T() {
+  // LX110T: ~17k slices, 148 BRAM36, 64 DSP48E over 8 clock regions. A
+  // logic-heavy 64-column map: one DSP column per 16-column kernel. No hard
+  // processor → no forbidden areas.
+  const std::string pattern = repeatKernel("CCCCBCCCCCDCCCCB", 64);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc5vlx110t", 64, 8, virtex5TileTypes(), std::move(cols));
+}
+
+Device virtex5SX95T() {
+  // SX95T: DSP-dense SXT mix (640 DSP48E on the real part — the highest
+  // DSP:slice ratio of the family). Kernel alternates DSP pairs with BRAM.
+  const std::string pattern = repeatKernel("CCDCCBCCDCCB", 48);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc5vsx95t", 48, 8, virtex5TileTypes(), std::move(cols));
+}
+
+Device virtex5FX130T() {
+  // FX130T: FXT part with *two* PPC440 blocks, 10 clock regions. Column mix
+  // close to the FX70T's but wider; the processors sit in the center-right
+  // like on the real die, stacked in different region bands.
+  const std::string pattern = repeatKernel("CCBCCCCDCCCCCBCCCBCCCCDCCCCCB", 56);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  Device dev("xc5vfx130t", 56, 10, virtex5TileTypes(), std::move(cols));
+  dev.addForbidden(Rect{38, 2, 8, 3}, "ppc440_0");
+  dev.addForbidden(Rect{38, 6, 8, 3}, "ppc440_1");
+  return dev;
+}
+
+// ---- Virtex-7 ---------------------------------------------------------------
+
+Device virtex7V585T() {
+  // 585T-class: 9 clock regions, ~91k slices. 80 columns with the 7-series
+  // interleave of BRAM/DSP pairs.
+  const std::string pattern = repeatKernel("CCCCBCCDCC", 80);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc7v585t", 80, 9, series7TileTypes(), std::move(cols));
+}
+
+Device virtex7VX485T() {
+  // VX485T-class: richer BRAM/DSP (memory-oriented VX mix), 7 regions.
+  const std::string pattern = repeatKernel("CCBCCDCCBC", 70);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc7vx485t", 70, 7, series7TileTypes(), std::move(cols));
+}
+
+// ---- 7-series derivatives ----------------------------------------------------
+
+Device kintex7K325T() {
+  const std::string pattern = repeatKernel("CCCBCCDCCC", 50);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc7k325t", 50, 7, series7TileTypes(), std::move(cols));
+}
+
+Device artix7A200T() {
+  const std::string pattern = repeatKernel("CCCBCCDCC", 36);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  return Device("xc7a200t", 36, 5, series7TileTypes(), std::move(cols));
+}
+
+Device zynq7020() {
+  // Zynq-7020: Artix-class fabric with the processing system occupying the
+  // upper-left corner. The PS is not reconfigurable fabric at all, so it is
+  // a forbidden area regions and FC areas must not cross (Sec. III-A).
+  const std::string pattern = repeatKernel("CCCBCCDCC", 30);
+  std::vector<int> cols;
+  for (const char c : pattern) cols.push_back(c == 'C' ? 0 : c == 'B' ? 1 : 2);
+  Device dev("xc7z020", 30, 4, series7TileTypes(), std::move(cols));
+  dev.addForbidden(Rect{0, 0, 10, 2}, "ps7");
+  return dev;
+}
+
+// ---- catalog ----------------------------------------------------------------
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = {
+      {"xc5vfx70t", "virtex5",
+       "paper's evaluation part (Sec. VI): 44x8 tiles, 1 PPC440 forbidden block",
+       &virtex5FX70T},
+      {"xc5vlx110t", "virtex5", "logic-heavy LXT mid-size part, no hard processor",
+       &virtex5LX110T},
+      {"xc5vsx95t", "virtex5", "DSP-dense SXT part (highest DSP ratio of the family)",
+       &virtex5SX95T},
+      {"xc5vfx130t", "virtex5", "FXT part with two PPC440 forbidden blocks, 10 regions",
+       &virtex5FX130T},
+      {"xc7v585t", "virtex7", "mid-size Virtex-7, 9 regions, 7-series frame geometry",
+       &virtex7V585T},
+      {"xc7vx485t", "virtex7", "VX-class part with richer BRAM/DSP mix", &virtex7VX485T},
+      {"xc7k325t", "kintex7", "mid-range Kintex-7", &kintex7K325T},
+      {"xc7a200t", "artix7", "low-end Artix-7 (shallow fabric)", &artix7A200T},
+      {"xc7z020", "zynq7000", "Zynq-7020 with the PS as a forbidden corner block",
+       &zynq7020},
+  };
+  return entries;
+}
+
+std::optional<Device> buildByName(const std::string& name) {
+  for (const CatalogEntry& e : catalog())
+    if (e.name == name) return e.build();
+  return std::nullopt;
+}
+
+std::vector<std::string> catalogNames() {
+  std::vector<std::string> names;
+  names.reserve(catalog().size());
+  for (const CatalogEntry& e : catalog()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace rfp::device

@@ -1,0 +1,76 @@
+// Catalog of prebuilt device models.
+//
+// The paper's evaluation uses a single part (Virtex-5 FX70T, Sec. VI), but a
+// floorplanner a downstream user would adopt must cover the families the
+// paper claims compatibility with: "most of the commercially available
+// FPGAs, including Xilinx devices of Virtex-7 family, are compliant with
+// this simplified columnar description" (Sec. III-B). Every entry here is a
+// columnar model derived from public documentation: column counts and type
+// mixes approximate the real parts' resource ratios (slices / BRAM / DSP),
+// one tile = one column × one clock region, and hard blocks (PowerPC,
+// Zynq PS) appear as forbidden areas. All entries pass columnarPartition().
+//
+// These models are *approximations by construction* — the real column maps
+// are not published at tile granularity — and are documented as such in
+// DESIGN.md §3 (substitution 3). What matters for the floorplanner is that
+// the heterogeneous column structure, the hard-block interruptions, and the
+// per-family frame geometry are representative.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace rfp::device {
+
+/// One catalog entry: a named builder plus provenance notes.
+struct CatalogEntry {
+  std::string name;         ///< canonical part name, e.g. "xc5vfx70t"
+  std::string family;       ///< "virtex5", "virtex7", "zynq7000", ...
+  std::string description;  ///< one-line provenance / modeling note
+  Device (*build)();        ///< constructs a fresh Device
+};
+
+/// All catalog entries, stable order (grouped by family, smallest first).
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
+/// Builds a catalog device by canonical name; std::nullopt when unknown.
+[[nodiscard]] std::optional<Device> buildByName(const std::string& name);
+
+/// The canonical names, in catalog order (CLI listings, tests).
+[[nodiscard]] std::vector<std::string> catalogNames();
+
+// ---- Virtex-5 (DS100/UG190; 20-CLB clock regions) --------------------------
+
+/// LXT mid-size part: logic-heavy mix, no hard processor.
+Device virtex5LX110T();
+
+/// SXT DSP-heavy part: double DSP column density.
+Device virtex5SX95T();
+
+/// FXT part one size up from the paper's FX70T: two PPC440 blocks.
+Device virtex5FX130T();
+
+// ---- Virtex-7 (DS180; 50-CLB clock regions) --------------------------------
+
+/// Mid-size Virtex-7 (585T-class column mix).
+Device virtex7V585T();
+
+/// VX-class part (485T-like), richer BRAM/DSP mix.
+Device virtex7VX485T();
+
+// ---- 7-series derivatives ---------------------------------------------------
+
+/// Kintex-7 325T-class mid-range part.
+Device kintex7K325T();
+
+/// Artix-7 200T-class low-end part (shallower fabric).
+Device artix7A200T();
+
+/// Zynq-7020-class part: processing system as a forbidden block in the
+/// upper-left corner of the fabric.
+Device zynq7020();
+
+}  // namespace rfp::device

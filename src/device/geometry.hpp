@@ -1,0 +1,53 @@
+// Tile-grid geometry primitives shared across the library.
+//
+// Coordinates are in *tiles*: x grows left→right (columns), y grows
+// top→bottom (rows), matching the paper's figures. Rectangles are
+// half-open boxes [x, x+w) × [y, y+h).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace rfp::device {
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] int x2() const noexcept { return x + w; }  ///< exclusive
+  [[nodiscard]] int y2() const noexcept { return y + h; }  ///< exclusive
+  [[nodiscard]] int area() const noexcept { return w * h; }
+  [[nodiscard]] bool empty() const noexcept { return w <= 0 || h <= 0; }
+  [[nodiscard]] double centerX() const noexcept { return x + w / 2.0; }
+  [[nodiscard]] double centerY() const noexcept { return y + h / 2.0; }
+
+  [[nodiscard]] bool contains(int px, int py) const noexcept {
+    return px >= x && px < x2() && py >= y && py < y2();
+  }
+  [[nodiscard]] bool containsRect(const Rect& o) const noexcept {
+    return o.x >= x && o.x2() <= x2() && o.y >= y && o.y2() <= y2();
+  }
+  [[nodiscard]] bool overlaps(const Rect& o) const noexcept {
+    return x < o.x2() && o.x < x2() && y < o.y2() && o.y < y2();
+  }
+  [[nodiscard]] Rect intersect(const Rect& o) const noexcept {
+    const int nx = std::max(x, o.x);
+    const int ny = std::max(y, o.y);
+    const int nx2 = std::min(x2(), o.x2());
+    const int ny2 = std::min(y2(), o.y2());
+    return Rect{nx, ny, std::max(0, nx2 - nx), std::max(0, ny2 - ny)};
+  }
+
+  [[nodiscard]] std::string toString() const {
+    return "[x=" + std::to_string(x) + ",y=" + std::to_string(y) +
+           ",w=" + std::to_string(w) + ",h=" + std::to_string(h) + "]";
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) noexcept {
+    return a.x == b.x && a.y == b.y && a.w == b.w && a.h == b.h;
+  }
+};
+
+}  // namespace rfp::device

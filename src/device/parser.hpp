@@ -1,0 +1,32 @@
+// Text format for device descriptions, so downstream users can model their
+// own parts without recompiling. Grammar (line oriented, '#' comments):
+//
+//   device   <name>
+//   rows     <height>
+//   tiletype <char> <name> frames=<n> [<resource>=<count> ...]
+//   columns  <pattern>            # one tiletype char per column
+//   forbidden <x> <y> <w> <h> [label]
+//
+// Example:
+//   device demo
+//   rows 4
+//   tiletype C CLB frames=36 CLB=20
+//   tiletype B BRAM frames=30 BRAM36=4
+//   columns CCBCC
+//   forbidden 1 1 2 2 hardblock
+#pragma once
+
+#include <string>
+
+#include "device/device.hpp"
+
+namespace rfp::device {
+
+/// Parses a device description; throws rfp::CheckError with a line-numbered
+/// message on malformed input.
+Device parseDevice(const std::string& text);
+
+/// Serializes a columnar device back to the text format (round-trippable).
+std::string formatDevice(const Device& dev);
+
+}  // namespace rfp::device

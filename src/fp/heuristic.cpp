@@ -1,0 +1,125 @@
+#include "fp/heuristic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "search/candidates.hpp"
+#include "search/occupancy.hpp"
+#include "support/rng.hpp"
+
+namespace rfp::fp {
+
+namespace {
+
+using device::Rect;
+
+/// One greedy construction attempt with a fixed region order. `shape_skip`
+/// (per region) offsets the shape choice away from the cheapest candidate:
+/// restarts vary it so that relocation-heavy instances, where the waste-
+/// minimal shape starves the free-compatible areas of room, still find a
+/// first solution (Sec. II-A requires the HO input to place the FC areas).
+std::optional<model::Floorplan> attempt(const model::FloorplanProblem& problem,
+                                        const std::vector<int>& order,
+                                        const std::vector<search::RegionCandidates>& cands,
+                                        bool place_fc,
+                                        const std::vector<std::size_t>& shape_skip) {
+  const device::Device& dev = problem.dev();
+  search::Occupancy occ(dev.width(), dev.height());
+  std::vector<Rect> rects(static_cast<std::size_t>(problem.numRegions()));
+  std::vector<bool> placed(static_cast<std::size_t>(problem.numRegions()), false);
+
+  for (const int n : order) {
+    bool ok = false;
+    const std::vector<search::Shape>& shapes = cands[static_cast<std::size_t>(n)].shapes;
+    const std::size_t skip =
+        shapes.empty() ? 0 : shape_skip[static_cast<std::size_t>(n)] % shapes.size();
+    for (std::size_t si = 0; si < shapes.size() && !ok; ++si) {
+      const search::Shape& s = shapes[(si + skip) % shapes.size()];
+      for (const int y : s.ys) {
+        const Rect r{s.x, y, s.w, s.h};
+        if (occ.overlaps(r)) continue;
+        occ.fill(r);
+        rects[static_cast<std::size_t>(n)] = r;
+        placed[static_cast<std::size_t>(n)] = true;
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return std::nullopt;
+  }
+
+  model::Floorplan fp;
+  fp.regions = rects;
+  fp.fc_areas = model::expandFcRequests(problem);
+  if (!place_fc) {
+    // Hard slots unplaced ⇒ infeasible floorplan; only valid when there are
+    // no hard requests.
+    for (const model::FcArea& a : fp.fc_areas)
+      for (const model::RelocationRequest& req : problem.relocations())
+        if (req.region == a.region && req.hard) return std::nullopt;
+    return fp;
+  }
+
+  // FC areas: enumerate compatible placements of each region footprint.
+  std::size_t slot = 0;
+  for (const model::RelocationRequest& req : problem.relocations()) {
+    const Rect& src = rects[static_cast<std::size_t>(req.region)];
+    std::vector<Rect> options;
+    for (const int x : search::matchingColumnSpans(dev, src.x, src.w))
+      for (const int y : search::validRows(dev, x, src.w, src.h))
+        options.push_back(Rect{x, y, src.w, src.h});
+    for (int i = 0; i < req.count; ++i, ++slot) {
+      bool ok = false;
+      for (const Rect& cand : options) {
+        if (occ.overlaps(cand)) continue;
+        occ.fill(cand);
+        fp.fc_areas[slot].rect = cand;
+        fp.fc_areas[slot].placed = true;
+        ok = true;
+        break;
+      }
+      if (!ok && req.hard) return std::nullopt;
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+std::optional<model::Floorplan> constructiveFloorplan(const model::FloorplanProblem& problem,
+                                                      const HeuristicOptions& options) {
+  std::vector<search::RegionCandidates> cands;
+  cands.reserve(static_cast<std::size_t>(problem.numRegions()));
+  for (int n = 0; n < problem.numRegions(); ++n)
+    cands.push_back(search::enumerateCandidates(problem, n));
+
+  // Deterministic first order: largest minimum-frame demand first (hardest
+  // regions claim space early).
+  std::vector<int> order(static_cast<std::size_t>(problem.numRegions()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return problem.minFrames(a) > problem.minFrames(b);
+  });
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> shape_skip(static_cast<std::size_t>(problem.numRegions()), 0);
+  for (int attempt_index = 0; attempt_index <= options.restarts; ++attempt_index) {
+    if (attempt_index > 0) {
+      // Fisher–Yates shuffle for subsequent restarts, plus random shape
+      // offsets so the same order can still explore different geometries.
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+      for (std::size_t n = 0; n < shape_skip.size(); ++n) {
+        const std::size_t num_shapes =
+            std::max<std::size_t>(1, cands[n].shapes.size());
+        // Bias toward cheap shapes: half the attempts stay at the cheapest.
+        shape_skip[n] = rng.nextBool() ? 0 : rng.nextBelow(std::min<std::size_t>(num_shapes, 32));
+      }
+    }
+    auto fp = attempt(problem, order, cands, options.place_fc_areas, shape_skip);
+    if (fp && model::check(problem, *fp).empty()) return fp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rfp::fp

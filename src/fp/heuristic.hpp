@@ -1,0 +1,30 @@
+// Constructive heuristic floorplanner.
+//
+// Produces the "first feasible solution" that HO (Sec. II-A) constrains the
+// MILP with: regions are placed greedily (largest demand first) on minimal-
+// waste candidate rectangles, then each region's free-compatible areas are
+// placed on matching footprints. Multiple randomized restarts improve the
+// chance of satisfying tight relocation constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::fp {
+
+struct HeuristicOptions {
+  int restarts = 32;          ///< randomized region orders after the greedy one
+  std::uint64_t seed = 1;     ///< RNG seed (deterministic)
+  bool place_fc_areas = true; ///< also place all requested FC areas
+};
+
+/// Returns a fully feasible floorplan (model::check passes) or std::nullopt
+/// when the heuristic fails on every restart. Hard FC requests must all be
+/// satisfied for success; soft requests are placed best-effort.
+[[nodiscard]] std::optional<model::Floorplan> constructiveFloorplan(
+    const model::FloorplanProblem& problem, const HeuristicOptions& options = {});
+
+}  // namespace rfp::fp

@@ -1,0 +1,153 @@
+#include "fp/milp_floorplanner.hpp"
+
+#include <sstream>
+
+#include "fp/seqpair.hpp"
+#include "partition/columnar.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::fp {
+
+const char* toString(FpStatus s) noexcept {
+  switch (s) {
+    case FpStatus::kOptimal: return "optimal";
+    case FpStatus::kFeasible: return "feasible";
+    case FpStatus::kInfeasible: return "infeasible";
+    case FpStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+FpStatus fromMip(milp::MipStatus s) {
+  switch (s) {
+    case milp::MipStatus::kOptimal: return FpStatus::kOptimal;
+    case milp::MipStatus::kFeasible: return FpStatus::kFeasible;
+    case milp::MipStatus::kInfeasible: return FpStatus::kInfeasible;
+    default: return FpStatus::kNoSolution;
+  }
+}
+
+}  // namespace
+
+FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
+  Stopwatch watch;
+  FpResult result;
+  std::ostringstream detail;
+
+  const auto part = partition::columnarPartition(problem.dev());
+  RFP_CHECK_MSG(part.has_value(),
+                "device '" << problem.dev().name() << "' is not columnar-partitionable");
+
+  // First feasible solution from the constructive heuristic. HO requires it
+  // (the sequence pair is extracted from it, Sec. II-A); O merely uses it as
+  // a warm-start incumbent, which prunes the branch & bound early without
+  // restricting the explored space — optimality claims are unaffected.
+  std::optional<model::Floorplan> warm;
+  std::optional<SequencePair> sp;
+  warm = constructiveFloorplan(problem, options_.heuristic);
+  if (options_.algorithm == Algorithm::kHO) {
+    if (!warm) {
+      result.status = FpStatus::kNoSolution;
+      result.detail = "HO: constructive heuristic found no feasible first solution";
+      result.seconds = watch.seconds();
+      return result;
+    }
+    // Sequence pair over regions and *placed* FC areas; the extraction
+    // requires disjoint rects, which model::check guaranteed.
+    std::vector<device::Rect> rects = warm->regions;
+    for (const model::FcArea& a : warm->fc_areas)
+      rects.push_back(a.placed ? a.rect : warm->regions[static_cast<std::size_t>(a.region)]);
+    // Unplaced (soft) areas mirror their region; drop them from the pair by
+    // keeping them but their constraints are relaxed through v_c anyway.
+    // The extended pair (Sec. II-A) covers regions and FC areas; it is only
+    // well-defined when every FC is placed (unplaced soft areas mirror their
+    // region and would overlap). Otherwise no pair constraints are added and
+    // HO degenerates to O with a warm start.
+    bool fc_all_placed = true;
+    for (const model::FcArea& a : warm->fc_areas) fc_all_placed = fc_all_placed && a.placed;
+    if (fc_all_placed) sp = extractSequencePair(rects);
+    detail << "HO: heuristic waste="
+           << model::evaluate(problem, *warm).wasted_frames << "; ";
+  }
+
+  const auto buildAndSolve = [&](ObjectiveKind objective, std::optional<long> waste_cap,
+                                 std::optional<std::vector<double>> start) {
+    FormulationOptions fopt = options_.formulation;
+    fopt.objective = objective;
+    MilpFormulation formulation(problem, *part, fopt);
+    if (waste_cap) formulation.addWasteCap(*waste_cap);
+    if (sp && static_cast<int>(sp->s1.size()) == formulation.numAreas())
+      formulation.addSequencePairConstraints(sp->s1, sp->s2);
+    std::optional<std::vector<double>> encoded;
+    if (start) {
+      encoded = std::move(start);
+    } else if (warm) {
+      encoded = formulation.encode(*warm);
+    }
+    milp::MilpSolver solver(options_.milp);
+    milp::MipResult mip = solver.solve(formulation.model(), std::move(encoded));
+    return std::make_pair(std::move(mip), std::move(formulation));
+  };
+
+  if (!options_.lexicographic) {
+    auto [mip, formulation] = buildAndSolve(ObjectiveKind::kWeighted, std::nullopt, std::nullopt);
+    result.nodes = mip.nodes;
+    result.status = fromMip(mip.status);
+    detail << "weighted: " << milp::toString(mip.status) << " obj=" << mip.objective;
+    if (mip.hasSolution()) {
+      result.plan = formulation.extract(mip.x);
+      result.costs = model::evaluate(problem, result.plan);
+    }
+  } else {
+    // Stage 1: minimize wasted frames.
+    auto [mip1, formulation1] =
+        buildAndSolve(ObjectiveKind::kWastedFrames, std::nullopt, std::nullopt);
+    result.nodes = mip1.nodes;
+    detail << "stage1(waste): " << milp::toString(mip1.status);
+    if (!mip1.hasSolution()) {
+      result.status = fromMip(mip1.status);
+      result.detail = detail.str();
+      result.seconds = watch.seconds();
+      return result;
+    }
+    model::Floorplan stage1_plan = formulation1.extract(mip1.x);
+    const long waste_cap =
+        model::evaluate(problem, stage1_plan).wasted_frames;
+    detail << " waste=" << waste_cap << "; ";
+
+    // Stage 2: minimize wire length among waste-optimal floorplans, warm-
+    // started from stage 1's solution.
+    auto [mip2, formulation2] = buildAndSolve(
+        ObjectiveKind::kWireLength, waste_cap,
+        std::optional<std::vector<double>>(formulation1.encode(stage1_plan)));
+    result.nodes += mip2.nodes;
+    detail << "stage2(wl): " << milp::toString(mip2.status);
+    if (mip2.hasSolution()) {
+      result.plan = formulation2.extract(mip2.x);
+      result.costs = model::evaluate(problem, result.plan);
+      const bool both_optimal =
+          mip1.status == milp::MipStatus::kOptimal && mip2.status == milp::MipStatus::kOptimal;
+      result.status = both_optimal ? FpStatus::kOptimal : FpStatus::kFeasible;
+    } else {
+      // Stage 2 truncated before finding anything: fall back to stage 1.
+      result.plan = std::move(stage1_plan);
+      result.costs = model::evaluate(problem, result.plan);
+      result.status = FpStatus::kFeasible;
+    }
+  }
+
+  // HO explores a restricted space: optimality claims are relative to the
+  // sequence pair, so report kFeasible unless the heuristic space was full.
+  if (options_.algorithm == Algorithm::kHO && result.status == FpStatus::kOptimal)
+    result.status = FpStatus::kFeasible;
+
+  result.detail = detail.str();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace rfp::fp

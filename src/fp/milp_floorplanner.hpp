@@ -1,0 +1,67 @@
+// The O and HO floorplanning algorithms (Sec. I / [10]) with the paper's
+// relocation extension, driven by the from-scratch MILP solver.
+//
+//  O  — Optimal: the full MILP is solved over the whole solution space.
+//  HO — Heuristic Optimal: a first feasible solution (constructive
+//       heuristic) is extracted into a sequence pair, which is added as a
+//       constraint to shrink the search space; the heuristic solution warm-
+//       starts branch & bound. The sequence pair covers the free-compatible
+//       areas too (Sec. II-A).
+//
+// Both algorithms support relocation as a constraint (Sec. IV) and as a
+// metrics (Sec. V), and the Sec. VI lexicographic objective (minimize
+// wasted frames, then wire length) via two-stage solving.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fp/formulation.hpp"
+#include "fp/heuristic.hpp"
+#include "milp/bb.hpp"
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::fp {
+
+enum class Algorithm { kO, kHO };
+
+enum class FpStatus { kOptimal, kFeasible, kInfeasible, kNoSolution };
+
+[[nodiscard]] const char* toString(FpStatus s) noexcept;
+
+struct MilpFloorplannerOptions {
+  Algorithm algorithm = Algorithm::kO;
+  FormulationOptions formulation;
+  milp::MilpSolver::Options milp;
+  bool lexicographic = true;  ///< two-stage (waste, then WL); else Eq. 14
+  HeuristicOptions heuristic; ///< HO first-solution settings
+};
+
+struct FpResult {
+  FpStatus status = FpStatus::kNoSolution;
+  model::Floorplan plan;
+  model::FloorplanCosts costs;
+  double seconds = 0.0;
+  long nodes = 0;
+  std::string detail;  ///< per-stage diagnostics
+
+  [[nodiscard]] bool hasSolution() const noexcept {
+    return status == FpStatus::kOptimal || status == FpStatus::kFeasible;
+  }
+};
+
+class MilpFloorplanner {
+ public:
+  MilpFloorplanner() = default;
+  explicit MilpFloorplanner(MilpFloorplannerOptions options) : options_(std::move(options)) {}
+
+  [[nodiscard]] FpResult solve(const model::FloorplanProblem& problem) const;
+
+  [[nodiscard]] const MilpFloorplannerOptions& options() const noexcept { return options_; }
+
+ private:
+  MilpFloorplannerOptions options_;
+};
+
+}  // namespace rfp::fp

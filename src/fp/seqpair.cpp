@@ -1,0 +1,105 @@
+#include "fp/seqpair.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace rfp::fp {
+
+namespace {
+
+/// Topological order of 0..n-1 under the strict partial order `precedes`.
+/// The relation derived from disjoint rects is acyclic in both projections.
+std::vector<int> topoOrder(int n, const std::vector<std::vector<bool>>& precedes) {
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (precedes[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+        ++indeg[static_cast<std::size_t>(j)];
+  std::vector<int> order;
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  for (int step = 0; step < n; ++step) {
+    int pick = -1;
+    for (int i = 0; i < n; ++i)
+      if (!done[static_cast<std::size_t>(i)] && indeg[static_cast<std::size_t>(i)] == 0) {
+        pick = i;
+        break;
+      }
+    RFP_CHECK_MSG(pick >= 0, "cycle in sequence-pair relation");
+    done[static_cast<std::size_t>(pick)] = true;
+    order.push_back(pick);
+    for (int j = 0; j < n; ++j)
+      if (precedes[static_cast<std::size_t>(pick)][static_cast<std::size_t>(j)])
+        --indeg[static_cast<std::size_t>(j)];
+  }
+  return order;
+}
+
+}  // namespace
+
+SequencePair extractSequencePair(const std::vector<device::Rect>& rects) {
+  const int n = static_cast<int>(rects.size());
+  // For each disjoint pair, the truth set over {left, right, above, below}
+  // determines which sequence-pair orders are *forced*. With patterns
+  // (s1, s2): (<,<) ⇔ left and (<,>) ⇔ above, a pure-left pair forces both
+  // orders, a pure-above pair forces s1 and s2, and a diagonal pair (e.g.
+  // left ∧ below) forces only one order and leaves the other genuinely
+  // free. Adding exactly the forced edges keeps both relations acyclic —
+  // every packing admits a valid sequence pair (gridding theorem) whose
+  // total orders are linear extensions of the forced relations — whereas
+  // resolving the free pairs with a local rule such as "horizontal first"
+  // can create cycles through third rectangles.
+  std::vector<std::vector<bool>> pre1(static_cast<std::size_t>(n),
+                                      std::vector<bool>(static_cast<std::size_t>(n), false));
+  std::vector<std::vector<bool>> pre2 = pre1;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const device::Rect& a = rects[static_cast<std::size_t>(i)];
+      const device::Rect& b = rects[static_cast<std::size_t>(j)];
+      const bool left = a.x2() <= b.x;   // i strictly left of j
+      const bool right = b.x2() <= a.x;  // i strictly right of j
+      const bool above = a.y2() <= b.y;  // i strictly above j
+      const bool below = b.y2() <= a.y;  // i strictly below j
+      RFP_CHECK_MSG(left || right || above || below,
+                    "extractSequencePair requires non-overlapping rectangles: "
+                        << a.toString() << " vs " << b.toString());
+      // s1: i→j forced by (left ∧ ¬below) or (above ∧ ¬right); mirrored j→i.
+      if ((left && !below) || (above && !right))
+        pre1[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+      if ((right && !above) || (below && !left))
+        pre1[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+      // s2: i→j forced by (left ∧ ¬above) or (below ∧ ¬right); mirrored j→i.
+      if ((left && !above) || (below && !right))
+        pre2[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+      if ((right && !below) || (above && !left))
+        pre2[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+    }
+  SequencePair sp;
+  sp.s1 = topoOrder(n, pre1);
+  sp.s2 = topoOrder(n, pre2);
+  return sp;
+}
+
+bool isConsistent(const SequencePair& sp, const std::vector<device::Rect>& rects) {
+  const int n = static_cast<int>(rects.size());
+  if (static_cast<int>(sp.s1.size()) != n || static_cast<int>(sp.s2.size()) != n) return false;
+  std::vector<int> pos1(static_cast<std::size_t>(n)), pos2(static_cast<std::size_t>(n));
+  for (int idx = 0; idx < n; ++idx) {
+    pos1[static_cast<std::size_t>(sp.s1[static_cast<std::size_t>(idx)])] = idx;
+    pos2[static_cast<std::size_t>(sp.s2[static_cast<std::size_t>(idx)])] = idx;
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool b1 = pos1[static_cast<std::size_t>(i)] < pos1[static_cast<std::size_t>(j)];
+      const bool b2 = pos2[static_cast<std::size_t>(i)] < pos2[static_cast<std::size_t>(j)];
+      const device::Rect& ri = rects[static_cast<std::size_t>(i)];
+      const device::Rect& rj = rects[static_cast<std::size_t>(j)];
+      if (b1 && b2 && !(ri.x2() <= rj.x)) return false;
+      if (b1 && !b2 && !(ri.y2() <= rj.y)) return false;
+    }
+  return true;
+}
+
+}  // namespace rfp::fp

@@ -1,0 +1,34 @@
+// Sequence-pair extraction from a placed floorplan (the HO flow, Sec. II-A).
+//
+// HO takes a first feasible solution, extracts its sequence-pair
+// representation and adds it as a constraint so the MILP only explores
+// placements consistent with that relative order — "the sequence-pair is
+// naturally extended to consider also the free-compatible areas, so that
+// the non-overlapping constraints are guaranteed for all the areas".
+//
+// Encoding convention: area i precedes j in both sequences ⇔ i is left of
+// j; i precedes j in s1 but follows in s2 ⇔ i is above j.
+#pragma once
+
+#include <vector>
+
+#include "device/geometry.hpp"
+
+namespace rfp::fp {
+
+struct SequencePair {
+  std::vector<int> s1;
+  std::vector<int> s2;
+};
+
+/// Extracts a sequence pair consistent with the given non-overlapping
+/// rectangles. For every pair at least one of left/right/above/below holds;
+/// ties are resolved preferring the horizontal relation (so the x-order is
+/// preserved exactly).
+[[nodiscard]] SequencePair extractSequencePair(const std::vector<device::Rect>& rects);
+
+/// True when `rects` is consistent with `sp` under the encoding above
+/// (used by property tests: extract → verify must always hold).
+[[nodiscard]] bool isConsistent(const SequencePair& sp, const std::vector<device::Rect>& rects);
+
+}  // namespace rfp::fp

@@ -1,0 +1,113 @@
+#include "io/json.hpp"
+
+namespace rfp::io {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) out_ << ',';
+  first_in_scope_.back() = false;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  comma();
+  out_ << '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  out_ << '}';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  comma();
+  out_ << '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  out_ << ']';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ << '"' << escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    const bool quote = fields[i].find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      out_ << '"';
+      for (const char c : fields[i]) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << fields[i];
+    }
+  }
+  out_ << '\n';
+  return *this;
+}
+
+}  // namespace rfp::io

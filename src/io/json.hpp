@@ -1,0 +1,54 @@
+// Minimal JSON writer (no external dependencies): enough to serialize
+// problems, floorplans and bench results for downstream tooling.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rfp::io {
+
+/// Streaming JSON writer with automatic comma handling. Usage:
+///   JsonWriter w;
+///   w.beginObject();
+///   w.key("name").value("sdr");
+///   w.key("regions").beginArray(); ... w.endArray();
+///   w.endObject();
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  void comma();
+  static std::string escape(const std::string& s);
+
+  std::ostringstream out_;
+  std::vector<bool> first_in_scope_{true};
+  bool after_key_ = false;
+};
+
+/// Minimal CSV writer: quotes fields containing separators.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+  CsvWriter& row(const std::vector<std::string>& fields);
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  char sep_;
+  std::ostringstream out_;
+};
+
+}  // namespace rfp::io

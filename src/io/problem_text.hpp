@@ -1,0 +1,40 @@
+// Text format for floorplanning problems, the counterpart of the device
+// format in device/parser.hpp — together they make the floorplanner usable
+// from the command line without recompiling (see examples/rfp_cli.cpp).
+//
+// Grammar (line oriented, '#' comments, case-sensitive keywords):
+//
+//   problem  <name>                              # optional, first line
+//   region   <name> <TYPE>=<tiles> [...]         # TYPE = tile type name
+//   net      <weight> <region> <region> [...]    # >= 2 region names
+//   relocate <region> count=<k> [soft] [weight=<w>]
+//   objective lexicographic
+//   objective weighted q1=<w> q2=<w> q3=<w> q4=<w>
+//
+// Example:
+//   problem sdr
+//   region matched_filter CLB=25 DSP=5
+//   region carrier_recovery CLB=7 DSP=1
+//   net 64 matched_filter carrier_recovery
+//   relocate carrier_recovery count=2
+//   objective lexicographic
+#pragma once
+
+#include <string>
+
+#include "model/problem.hpp"
+
+namespace rfp::io {
+
+/// Parses a problem description against `dev` (tile types and region names
+/// are resolved immediately). Throws rfp::CheckError with a line-numbered
+/// message on malformed input. The returned problem borrows `dev`, which
+/// must outlive it.
+[[nodiscard]] model::FloorplanProblem parseProblem(const std::string& text,
+                                                   const device::Device& dev);
+
+/// Serializes a problem back to the text format (round-trippable up to
+/// comments and the optional problem name, which is not stored).
+[[nodiscard]] std::string formatProblem(const model::FloorplanProblem& problem);
+
+}  // namespace rfp::io

@@ -1,0 +1,105 @@
+#include "io/results.hpp"
+
+#include "io/json.hpp"
+
+namespace rfp::io {
+
+namespace {
+
+void writeRect(JsonWriter& w, const device::Rect& r) {
+  w.beginObject();
+  w.key("x").value(r.x);
+  w.key("y").value(r.y);
+  w.key("w").value(r.w);
+  w.key("h").value(r.h);
+  w.endObject();
+}
+
+}  // namespace
+
+std::string problemToJson(const model::FloorplanProblem& problem) {
+  const device::Device& dev = problem.dev();
+  JsonWriter w;
+  w.beginObject();
+  w.key("device").beginObject();
+  w.key("name").value(dev.name());
+  w.key("width").value(dev.width());
+  w.key("height").value(dev.height());
+  w.endObject();
+  w.key("regions").beginArray();
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    w.beginObject();
+    w.key("name").value(problem.region(n).name);
+    w.key("tiles").beginObject();
+    for (int t = 0; t < dev.numTileTypes(); ++t)
+      if (problem.region(n).required(t) > 0)
+        w.key(dev.tileType(t).name).value(problem.region(n).required(t));
+    w.endObject();
+    w.key("min_frames").value(problem.minFrames(n));
+    w.endObject();
+  }
+  w.endArray();
+  w.key("nets").beginArray();
+  for (const model::Net& net : problem.nets()) {
+    w.beginObject();
+    w.key("name").value(net.name);
+    w.key("weight").value(net.weight);
+    w.key("regions").beginArray();
+    for (const int r : net.regions) w.value(r);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("relocation_requests").beginArray();
+  for (const model::RelocationRequest& req : problem.relocations()) {
+    w.beginObject();
+    w.key("region").value(req.region);
+    w.key("count").value(req.count);
+    w.key("hard").value(req.hard);
+    w.key("weight").value(req.weight);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+std::string floorplanToJson(const model::FloorplanProblem& problem,
+                            const model::Floorplan& fp) {
+  const model::FloorplanCosts costs = model::evaluate(problem, fp);
+  JsonWriter w;
+  w.beginObject();
+  w.key("regions").beginArray();
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    w.beginObject();
+    w.key("name").value(problem.region(n).name);
+    w.key("rect");
+    writeRect(w, fp.regions[static_cast<std::size_t>(n)]);
+    w.key("wasted_frames").value(model::regionWaste(problem, n, fp.regions[static_cast<std::size_t>(n)]));
+    w.endObject();
+  }
+  w.endArray();
+  w.key("fc_areas").beginArray();
+  for (const model::FcArea& a : fp.fc_areas) {
+    w.beginObject();
+    w.key("region").value(problem.region(a.region).name);
+    w.key("placed").value(a.placed);
+    if (a.placed) {
+      w.key("rect");
+      writeRect(w, a.rect);
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.key("costs").beginObject();
+  w.key("wasted_frames").value(costs.wasted_frames);
+  w.key("wire_length").value(costs.wire_length);
+  w.key("perimeter").value(costs.perimeter);
+  w.key("relocation").value(costs.relocation);
+  w.key("objective").value(costs.objective);
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace rfp::io

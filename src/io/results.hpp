@@ -1,0 +1,20 @@
+// Serialization of problems and floorplans (JSON) for downstream tooling
+// and the bench harness.
+#pragma once
+
+#include <string>
+
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::io {
+
+/// Serializes a floorplan + its evaluated costs as a JSON document.
+[[nodiscard]] std::string floorplanToJson(const model::FloorplanProblem& problem,
+                                          const model::Floorplan& fp);
+
+/// Serializes the problem definition (device summary, regions, nets,
+/// relocation requests).
+[[nodiscard]] std::string problemToJson(const model::FloorplanProblem& problem);
+
+}  // namespace rfp::io

@@ -1,0 +1,77 @@
+// Linear-expression building blocks for the modeling API.
+//
+// `Var` is a lightweight handle into a `Model`; `LinExpr` is an affine
+// expression  constant + Σ coef·var  with natural operator overloads, so
+// formulation code reads like the paper's inequalities:
+//
+//   model.addConstr(x[n] + w[n] <= xa1[a] + q[n][a] * maxW, Sense::kLessEqual, 0);
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rfp::lp {
+
+/// Handle to a model variable (index into the owning Model).
+struct Var {
+  int index = -1;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+  friend bool operator==(Var a, Var b) noexcept { return a.index == b.index; }
+};
+
+/// Affine expression: constant + Σ coef·var. Terms may repeat a variable;
+/// `normalize()` merges duplicates and drops zero coefficients.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { terms_.emplace_back(v.index, 1.0); }
+
+  void addTerm(Var v, double coef) { terms_.emplace_back(v.index, coef); }
+  void addConstant(double c) { constant_ += c; }
+
+  [[nodiscard]] double constant() const noexcept { return constant_; }
+  [[nodiscard]] const std::vector<std::pair<int, double>>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Merges duplicate variables and removes (near-)zero coefficients.
+  void normalize(double zero_tol = 0.0);
+
+  LinExpr& operator+=(const LinExpr& o) {
+    constant_ += o.constant_;
+    terms_.insert(terms_.end(), o.terms_.begin(), o.terms_.end());
+    return *this;
+  }
+  LinExpr& operator-=(const LinExpr& o) {
+    constant_ -= o.constant_;
+    terms_.reserve(terms_.size() + o.terms_.size());
+    for (const auto& [v, c] : o.terms_) terms_.emplace_back(v, -c);
+    return *this;
+  }
+  LinExpr& operator*=(double s) {
+    constant_ *= s;
+    for (auto& [v, c] : terms_) c *= s;
+    return *this;
+  }
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator-(LinExpr a) { return a *= -1.0; }
+  friend LinExpr operator*(LinExpr a, double s) { return a *= s; }
+  friend LinExpr operator*(double s, LinExpr a) { return a *= s; }
+
+ private:
+  double constant_ = 0.0;
+  std::vector<std::pair<int, double>> terms_;
+};
+
+// Free operators so `3.0 * var` works without first converting to LinExpr
+// (ADL requires a namespace-scope overload when neither operand is LinExpr).
+inline LinExpr operator*(Var v, double s) { return LinExpr(v) *= s; }
+inline LinExpr operator*(double s, Var v) { return LinExpr(v) *= s; }
+inline LinExpr operator+(Var a, Var b) { return LinExpr(a) += LinExpr(b); }
+inline LinExpr operator-(Var a, Var b) { return LinExpr(a) -= LinExpr(b); }
+
+}  // namespace rfp::lp

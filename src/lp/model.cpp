@@ -1,0 +1,152 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace rfp::lp {
+
+void LinExpr::normalize(double zero_tol) {
+  if (terms_.empty()) return;
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    int v = terms_[i].first;
+    double c = 0.0;
+    while (i < terms_.size() && terms_[i].first == v) c += terms_[i++].second;
+    if (std::abs(c) > zero_tol) terms_[out++] = {v, c};
+  }
+  terms_.resize(out);
+}
+
+Var Model::addVar(double lb, double ub, VarType type, std::string name) {
+  RFP_CHECK_MSG(lb <= ub, "variable '" << name << "': lb " << lb << " > ub " << ub);
+  if (type == VarType::kBinary) {
+    lb = std::max(lb, 0.0);
+    ub = std::min(ub, 1.0);
+  }
+  vars_.push_back(VarInfo{lb, ub, type, std::move(name)});
+  return Var{numVars() - 1};
+}
+
+Var Model::addContinuous(double lb, double ub, std::string name) {
+  return addVar(lb, ub, VarType::kContinuous, std::move(name));
+}
+
+Var Model::addBinary(std::string name) {
+  return addVar(0.0, 1.0, VarType::kBinary, std::move(name));
+}
+
+Var Model::addInteger(double lb, double ub, std::string name) {
+  return addVar(lb, ub, VarType::kInteger, std::move(name));
+}
+
+int Model::addConstr(const LinExpr& expr, Sense sense, double rhs, std::string name) {
+  LinExpr e = expr;
+  e.normalize();
+  Constraint c;
+  c.terms = e.terms();
+  for (const auto& [v, coef] : c.terms) {
+    (void)coef;
+    RFP_CHECK_MSG(v >= 0 && v < numVars(), "constraint '" << name << "' uses unknown var " << v);
+  }
+  c.sense = sense;
+  c.rhs = rhs - e.constant();
+  c.name = std::move(name);
+  constrs_.push_back(std::move(c));
+  return numConstrs() - 1;
+}
+
+int Model::addRange(const LinExpr& expr, double lo, double hi, std::string name) {
+  RFP_CHECK_MSG(lo <= hi, "range '" << name << "': lo > hi");
+  const int first = addConstr(expr, Sense::kGreaterEqual, lo, name + ".lo");
+  addConstr(expr, Sense::kLessEqual, hi, name + ".hi");
+  return first;
+}
+
+void Model::setObjective(const LinExpr& expr, ObjSense sense) {
+  objective_ = expr;
+  objective_.normalize();
+  obj_sense_ = sense;
+}
+
+bool Model::hasIntegerVars() const noexcept {
+  return std::any_of(vars_.begin(), vars_.end(), [](const VarInfo& v) {
+    return v.type != VarType::kContinuous;
+  });
+}
+
+void Model::setVarBounds(int i, double lb, double ub) {
+  RFP_CHECK(i >= 0 && i < numVars());
+  RFP_CHECK_MSG(lb <= ub, "setVarBounds: lb > ub for var " << i);
+  vars_[i].lb = lb;
+  vars_[i].ub = ub;
+}
+
+double Model::evalExpr(const LinExpr& e, std::span<const double> x) const {
+  double v = e.constant();
+  for (const auto& [idx, coef] : e.terms()) v += coef * x[static_cast<std::size_t>(idx)];
+  return v;
+}
+
+double Model::evalObjective(std::span<const double> x) const {
+  return evalExpr(objective_, x);
+}
+
+bool Model::isFeasible(std::span<const double> x, double tol) const {
+  if (static_cast<int>(x.size()) != numVars()) return false;
+  for (int i = 0; i < numVars(); ++i) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(i)];
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi < v.lb - tol || xi > v.ub + tol) return false;
+    if (v.type != VarType::kContinuous && std::abs(xi - std::round(xi)) > tol) return false;
+  }
+  for (const Constraint& c : constrs_) {
+    double lhs = 0.0;
+    for (const auto& [idx, coef] : c.terms) lhs += coef * x[static_cast<std::size_t>(idx)];
+    switch (c.sense) {
+      case Sense::kLessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::toString() const {
+  std::ostringstream os;
+  os << (obj_sense_ == ObjSense::kMinimize ? "minimize" : "maximize") << ' ';
+  for (const auto& [v, c] : objective_.terms())
+    os << (c >= 0 ? "+" : "") << c << "*x" << v << ' ';
+  if (objective_.constant() != 0.0) os << "+" << objective_.constant();
+  os << '\n';
+  for (const Constraint& c : constrs_) {
+    os << "  " << (c.name.empty() ? "c" : c.name) << ": ";
+    for (const auto& [v, coef] : c.terms) os << (coef >= 0 ? "+" : "") << coef << "*x" << v << ' ';
+    switch (c.sense) {
+      case Sense::kLessEqual: os << "<= "; break;
+      case Sense::kGreaterEqual: os << ">= "; break;
+      case Sense::kEqual: os << "== "; break;
+    }
+    os << c.rhs << '\n';
+  }
+  for (int i = 0; i < numVars(); ++i) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(i)];
+    os << "  x" << i << " in [" << v.lb << ", " << v.ub << "]"
+       << (v.type == VarType::kContinuous ? "" : v.type == VarType::kBinary ? " bin" : " int");
+    if (!v.name.empty()) os << "  # " << v.name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rfp::lp

@@ -1,0 +1,70 @@
+// Two-phase primal simplex for LPs with bounded variables.
+//
+// This is the continuous-relaxation engine under the branch-and-bound MILP
+// solver (DESIGN.md §3 substitution 1: the paper relied on a commercial
+// branch-and-cut solver; we implement the substrate from scratch).
+//
+// Algorithm: full-tableau primal simplex in standard form with
+//  * finite lower bounds shifted to zero,
+//  * upper bounds handled by the classic column-flip technique (a nonbasic
+//    variable may sit at either bound; flipping substitutes x := U - x),
+//  * phase 1 with artificial variables minimizing total infeasibility,
+//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//    degenerate pivots (anti-cycling).
+//
+// Intended problem scale: up to a few thousand rows/columns — the sizes
+// produced by the floorplanning formulations on unit-test devices. The
+// paper-scale SDR benches use src/search instead (see DESIGN.md).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit, kTimeLimit };
+
+[[nodiscard]] const char* toString(LpStatus s) noexcept;
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;          ///< valid when status == kOptimal
+  std::vector<double> x;           ///< primal values (model variable order)
+  long iterations = 0;
+  double seconds = 0.0;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    double feas_tol = 1e-7;     ///< bound/row feasibility tolerance
+    double cost_tol = 1e-7;     ///< reduced-cost optimality tolerance
+    double pivot_tol = 1e-9;    ///< minimum |pivot| magnitude
+    long max_iterations = 200000;
+    double time_limit_seconds = 0.0;  ///< <= 0: no limit
+    int bland_after_degenerate = 40;  ///< switch to Bland after this many
+                                      ///< consecutive degenerate pivots
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves the continuous relaxation of `model` (integrality ignored).
+  [[nodiscard]] LpResult solve(const Model& model) const;
+
+  /// Solves with per-variable bound overrides (used by branch & bound);
+  /// `lb`/`ub` must have `model.numVars()` entries.
+  [[nodiscard]] LpResult solve(const Model& model, std::span<const double> lb,
+                               std::span<const double> ub) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace rfp::lp

@@ -1,0 +1,396 @@
+#include "milp/bb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "milp/presolve.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::milp {
+
+const char* toString(MipStatus s) noexcept {
+  switch (s) {
+    case MipStatus::kOptimal: return "optimal";
+    case MipStatus::kFeasible: return "feasible";
+    case MipStatus::kInfeasible: return "infeasible";
+    case MipStatus::kNoSolution: return "no-solution";
+    case MipStatus::kUnbounded: return "unbounded";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One bound tightening relative to the parent node (chain representation
+/// keeps per-node memory O(1) regardless of model size).
+struct BoundChange {
+  int var = -1;
+  bool is_lower = false;  // true: lb := value, false: ub := value
+  double value = 0.0;
+};
+
+struct Node {
+  int parent = -1;          ///< index into the node arena (-1: root)
+  BoundChange change;       ///< change applied relative to the parent
+  double lp_bound = -lp::kInfinity;  ///< parent LP objective (dual bound)
+  int depth = 0;
+  double branch_frac = 0.0;  ///< fractional part of the branched variable at
+                             ///< the parent (pseudo-cost bookkeeping)
+};
+
+/// Min-heap entry ordered by dual bound (best-bound-first).
+struct HeapEntry {
+  double bound;
+  long seq;  ///< tiebreak: prefer older nodes (FIFO among equals)
+  int node;
+  bool operator<(const HeapEntry& o) const {
+    if (bound != o.bound) return bound > o.bound;  // min-heap via operator<
+    return seq > o.seq;
+  }
+};
+
+class Search {
+ public:
+  Search(const lp::Model& model, const MilpSolver::Options& opt)
+      : model_(model), opt_(opt), simplex_(opt.lp) {
+    const int n = model.numVars();
+    base_lb_.resize(static_cast<std::size_t>(n));
+    base_ub_.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      base_lb_[static_cast<std::size_t>(j)] = model.var(j).lb;
+      base_ub_[static_cast<std::size_t>(j)] = model.var(j).ub;
+    }
+    minimize_ = model.objSense() == lp::ObjSense::kMinimize;
+    pseudo_costs_.assign(static_cast<std::size_t>(n), PseudoCost{});
+  }
+
+
+  MipResult run(std::optional<std::vector<double>> warm_start) {
+    Stopwatch watch;
+    Deadline deadline(opt_.time_limit_seconds);
+    MipResult res;
+
+    if (warm_start && model_.isFeasible(*warm_start, opt_.int_tol)) {
+      incumbent_ = *warm_start;
+      incumbent_obj_ = signedObj(model_.evalObjective(*warm_start));
+    }
+
+    nodes_.push_back(Node{});  // root
+    heap_.push(HeapEntry{-lp::kInfinity, seq_++, 0});
+
+    bool truncated = false;
+    bool root_unbounded = false;
+    while (!heap_.empty()) {
+      if (deadline.expired() || (opt_.node_limit > 0 && res.nodes >= opt_.node_limit)) {
+        truncated = true;
+        break;
+      }
+      HeapEntry top = heap_.top();
+      heap_.pop();
+      // Prune against the incumbent before solving.
+      if (hasIncumbent() && top.bound >= incumbent_obj_ - absGapSlack()) continue;
+
+      // Depth-first plunge from the selected node.
+      int current = top.node;
+      for (int dive = 0; current >= 0 && dive <= opt_.plunge_depth; ++dive) {
+        if (deadline.expired()) {
+          truncated = true;
+          break;
+        }
+        ++res.nodes;
+        current = processNode(current, res, root_unbounded);
+      }
+      if (root_unbounded) break;
+    }
+
+    // ---- final status assembly ----
+    res.seconds = watch.seconds();
+    double bound;
+    if (truncated) {
+      // The dual bound is the weakest unexplored node bound (root nodes carry
+      // -inf until their parent LP is solved, so this is conservative).
+      bound = heap_.empty() ? incumbent_obj_ : heap_.top().bound;
+    } else {
+      bound = hasIncumbent() ? incumbent_obj_ : lp::kInfinity;
+    }
+    if (root_unbounded) {
+      res.status = MipStatus::kUnbounded;
+      return res;
+    }
+    if (hasIncumbent()) {
+      res.x = incumbent_;
+      res.objective = userObj(incumbent_obj_);
+      res.best_bound = userObj(bound);
+      res.gap = std::abs(incumbent_obj_ - bound) / std::max(1.0, std::abs(incumbent_obj_));
+      res.status = (!truncated || res.gap <= opt_.gap_tol) ? MipStatus::kOptimal
+                                                           : MipStatus::kFeasible;
+    } else {
+      res.status = truncated ? MipStatus::kNoSolution : MipStatus::kInfeasible;
+      res.best_bound = userObj(bound);
+    }
+    res.lp_iterations = lp_iterations_;
+    return res;
+  }
+
+ private:
+  // All internal objective handling is in minimization sense.
+  [[nodiscard]] double signedObj(double user) const { return minimize_ ? user : -user; }
+  [[nodiscard]] double userObj(double internal) const { return minimize_ ? internal : -internal; }
+  [[nodiscard]] bool hasIncumbent() const { return !incumbent_.empty(); }
+  [[nodiscard]] double absGapSlack() const {
+    return hasIncumbent() ? opt_.gap_tol * std::max(1.0, std::abs(incumbent_obj_)) : 0.0;
+  }
+
+  void materializeBounds(int node, std::vector<double>& lb, std::vector<double>& ub) const {
+    lb = base_lb_;
+    ub = base_ub_;
+    // Walk the change chain root-ward; the *latest* change to a variable wins,
+    // so collect then apply in reverse arrival order via max/min merging
+    // (bounds only ever tighten along a path, so max/min is exact).
+    for (int cur = node; cur > 0; cur = nodes_[static_cast<std::size_t>(cur)].parent) {
+      const BoundChange& ch = nodes_[static_cast<std::size_t>(cur)].change;
+      if (ch.is_lower)
+        lb[static_cast<std::size_t>(ch.var)] = std::max(lb[static_cast<std::size_t>(ch.var)], ch.value);
+      else
+        ub[static_cast<std::size_t>(ch.var)] = std::min(ub[static_cast<std::size_t>(ch.var)], ch.value);
+    }
+  }
+
+  /// Solves the node LP, prunes/branches. Returns the child node index to
+  /// continue the plunge on (-1 to end the dive).
+  int processNode(int node_index, MipResult& res, bool& root_unbounded) {
+    std::vector<double> lb, ub;
+    materializeBounds(node_index, lb, ub);
+
+    lp::LpResult rel = simplex_.solve(model_, lb, ub);
+    lp_iterations_ += rel.iterations;
+    if (rel.status == lp::LpStatus::kInfeasible) return -1;
+    if (rel.status == lp::LpStatus::kUnbounded) {
+      if (node_index == 0) root_unbounded = true;
+      return -1;
+    }
+    if (rel.status != lp::LpStatus::kOptimal) return -1;  // limit hit: drop node
+
+    const double bound = signedObj(rel.objective);
+    if (hasIncumbent() && bound >= incumbent_obj_ - absGapSlack()) return -1;
+
+    // Pseudo-cost update: this node's LP bound vs the parent bound measures
+    // the objective degradation of the branch that created it.
+    const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (opt_.pseudo_cost_branching && node_index != 0 &&
+        node.lp_bound > -lp::kInfinity / 2 && node.branch_frac > 0) {
+      const double degradation = std::max(0.0, bound - node.lp_bound);
+      PseudoCost& pc = pseudo_costs_[static_cast<std::size_t>(node.change.var)];
+      if (node.change.is_lower) {  // up branch
+        pc.up_sum += degradation / std::max(1e-9, 1.0 - node.branch_frac);
+        pc.up_count += 1;
+      } else {
+        pc.down_sum += degradation / std::max(1e-9, node.branch_frac);
+        pc.down_count += 1;
+      }
+    }
+
+    const int frac = selectBranchVar(rel.x);
+    if (frac < 0) {
+      // Integral LP optimum: new incumbent.
+      if (!hasIncumbent() || bound < incumbent_obj_) {
+        incumbent_ = rel.x;
+        roundIntegers(incumbent_);
+        incumbent_obj_ = bound;
+        if (opt_.log_progress)
+          RFP_LOG_INFO("milp: incumbent " << userObj(incumbent_obj_) << " at node " << res.nodes);
+      }
+      return -1;
+    }
+
+    if (opt_.enable_rounding_heuristic) tryRounding(rel.x);
+
+    const double xv = rel.x[static_cast<std::size_t>(frac)];
+    const int depth = nodes_[static_cast<std::size_t>(node_index)].depth;
+
+    // Down child (ub := floor) and up child (lb := ceil).
+    const double frac_part = xv - std::floor(xv);
+    const int down = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{node_index, {frac, false, std::floor(xv)}, bound, depth + 1, frac_part});
+    const int up = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{node_index, {frac, true, std::ceil(xv)}, bound, depth + 1, frac_part});
+
+    // Plunge into the child closer to the LP value; queue the other.
+    const bool go_down = (xv - std::floor(xv)) <= 0.5;
+    const int dive_child = go_down ? down : up;
+    const int queue_child = go_down ? up : down;
+    heap_.push(HeapEntry{bound, seq_++, queue_child});
+    return dive_child;
+  }
+
+  /// Branching variable selection. With pseudo-cost branching, fractional
+  /// variables are scored by the product of their estimated up/down
+  /// objective degradations (reliability falls back to fractionality while
+  /// a variable has no observations). Binaries always outrank general
+  /// integers — they drive the big-M structure of floorplanning models.
+  /// Returns -1 when the point is integral.
+  int selectBranchVar(const std::vector<double>& x) const {
+    if (!opt_.pseudo_cost_branching) return mostFractional(x);
+    int best = -1;
+    bool best_binary = false;
+    double best_score = -1.0;
+    for (int j = 0; j < model_.numVars(); ++j) {
+      const lp::VarType type = model_.var(j).type;
+      if (type == lp::VarType::kContinuous) continue;
+      const double v = x[static_cast<std::size_t>(j)];
+      const double f = v - std::floor(v);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= opt_.int_tol) continue;
+      const PseudoCost& pc = pseudo_costs_[static_cast<std::size_t>(j)];
+      // Unobserved directions fall back to the fractionality itself, so an
+      // unscored variable competes as if it were most-fractional branching.
+      const double down = pc.down_count > 0 ? pc.down_sum / pc.down_count * f : dist;
+      const double up = pc.up_count > 0 ? pc.up_sum / pc.up_count * (1.0 - f) : dist;
+      const double score = std::max(down, 1e-9) * std::max(up, 1e-9);
+      const bool binary = type == lp::VarType::kBinary;
+      if (best < 0 || (binary && !best_binary) ||
+          (binary == best_binary && score > best_score)) {
+        best = j;
+        best_binary = binary;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  /// Most-fractional selection (binaries first), the pseudo-cost fallback.
+  int mostFractional(const std::vector<double>& x) const {
+    int best_bin = -1, best_int = -1;
+    double bin_score = opt_.int_tol, int_score = opt_.int_tol;
+    for (int j = 0; j < model_.numVars(); ++j) {
+      const lp::VarType type = model_.var(j).type;
+      if (type == lp::VarType::kContinuous) continue;
+      const double v = x[static_cast<std::size_t>(j)];
+      const double dist = std::min(v - std::floor(v), std::ceil(v) - v);
+      if (dist <= opt_.int_tol) continue;
+      if (type == lp::VarType::kBinary) {
+        if (dist > bin_score) {
+          bin_score = dist;
+          best_bin = j;
+        }
+      } else if (dist > int_score) {
+        int_score = dist;
+        best_int = j;
+      }
+    }
+    return best_bin >= 0 ? best_bin : best_int;
+  }
+
+  void roundIntegers(std::vector<double>& x) const {
+    for (int j = 0; j < model_.numVars(); ++j)
+      if (model_.var(j).type != lp::VarType::kContinuous)
+        x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+  }
+
+  /// Rounds the fractional LP point and accepts it if it happens to be
+  /// feasible and improving — cheap and surprisingly effective on big-M
+  /// floorplanning models where most binaries are already integral.
+  void tryRounding(const std::vector<double>& x) {
+    std::vector<double> cand = x;
+    roundIntegers(cand);
+    if (!model_.isFeasible(cand, opt_.int_tol)) return;
+    const double obj = signedObj(model_.evalObjective(cand));
+    if (!hasIncumbent() || obj < incumbent_obj_ - 1e-12) {
+      incumbent_ = std::move(cand);
+      incumbent_obj_ = obj;
+      if (opt_.log_progress) RFP_LOG_INFO("milp: rounding incumbent " << userObj(obj));
+    }
+  }
+
+  struct PseudoCost {
+    double down_sum = 0, up_sum = 0;
+    long down_count = 0, up_count = 0;
+  };
+
+  const lp::Model& model_;
+  MilpSolver::Options opt_;
+  lp::SimplexSolver simplex_;
+  bool minimize_ = true;
+  std::vector<PseudoCost> pseudo_costs_;
+
+  std::vector<double> base_lb_, base_ub_;
+  std::vector<Node> nodes_;
+  std::priority_queue<HeapEntry> heap_;
+  long seq_ = 0;
+  long lp_iterations_ = 0;
+
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = lp::kInfinity;
+};
+
+}  // namespace
+
+MipResult MilpSolver::solve(const lp::Model& model,
+                            std::optional<std::vector<double>> warm_start) const {
+  if (!model.hasIntegerVars()) {
+    // Pure LP: solve the relaxation directly.
+    lp::SimplexSolver simplex(options_.lp);
+    lp::LpResult rel = simplex.solve(model);
+    MipResult res;
+    res.lp_iterations = rel.iterations;
+    res.seconds = rel.seconds;
+    switch (rel.status) {
+      case lp::LpStatus::kOptimal:
+        res.status = MipStatus::kOptimal;
+        res.x = std::move(rel.x);
+        res.objective = rel.objective;
+        res.best_bound = rel.objective;
+        res.gap = 0.0;
+        break;
+      case lp::LpStatus::kInfeasible: res.status = MipStatus::kInfeasible; break;
+      case lp::LpStatus::kUnbounded: res.status = MipStatus::kUnbounded; break;
+      default: res.status = MipStatus::kNoSolution; break;
+    }
+    return res;
+  }
+  // Working copy: presolve tightens its variable bounds; cover cuts append
+  // rows. Both transformations preserve every integer-feasible point, so a
+  // warm start remains valid and optimality claims are unaffected.
+  lp::Model work = model;
+
+  if (options_.enable_presolve) {
+    std::vector<double> lb(static_cast<std::size_t>(work.numVars()));
+    std::vector<double> ub(static_cast<std::size_t>(work.numVars()));
+    for (int j = 0; j < work.numVars(); ++j) {
+      lb[static_cast<std::size_t>(j)] = work.var(j).lb;
+      ub[static_cast<std::size_t>(j)] = work.var(j).ub;
+    }
+    const PresolveResult pr = tightenBounds(work, lb, ub);
+    if (pr.infeasible) {
+      MipResult res;
+      res.status = MipStatus::kInfeasible;
+      return res;
+    }
+    for (int j = 0; j < work.numVars(); ++j)
+      work.setVarBounds(j, lb[static_cast<std::size_t>(j)], ub[static_cast<std::size_t>(j)]);
+  }
+
+  if (options_.enable_cover_cuts) {
+    lp::SimplexSolver simplex(options_.lp);
+    for (int round = 0; round < options_.cut_rounds; ++round) {
+      const lp::LpResult rel = simplex.solve(work);
+      if (rel.status != lp::LpStatus::kOptimal) break;
+      const std::vector<CoverCut> cuts = separateCoverCuts(work, rel.x);
+      if (cuts.empty()) break;
+      for (const CoverCut& cut : cuts) {
+        lp::LinExpr expr;
+        for (const int j : cut.vars) expr.addTerm(lp::Var{j}, 1.0);
+        work.addConstr(expr, lp::Sense::kLessEqual, cut.rhs, "cover_cut");
+      }
+    }
+  }
+
+  Search search(work, options_);
+  return search.run(std::move(warm_start));
+}
+
+}  // namespace rfp::milp

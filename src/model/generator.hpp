@@ -1,0 +1,38 @@
+// Random floorplanning-instance generator.
+//
+// The paper evaluates a single hand-built design (the SDR case study of
+// Sec. VI). For testing the solvers against each other and for ablations we
+// need families of instances with controlled difficulty. The generator
+// produces *feasible-by-construction* problems: it first packs
+// non-overlapping rectangles onto the device, then derives each region's
+// requirement from the tiles its rectangle covers (optionally shaved to
+// leave slack), so every generated problem has at least one zero-or-low
+// waste solution. Nets and relocation requests are sampled on top.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/problem.hpp"
+
+namespace rfp::model {
+
+struct GeneratorOptions {
+  int num_regions = 4;
+  int max_region_width = 6;   ///< in tiles
+  int max_region_height = 3;  ///< in tiles
+  int num_nets = 3;           ///< 2-pin nets between random region pairs
+  double requirement_slack = 0.0;  ///< fraction of covered tiles *not* required
+                                   ///< (0: exact footprint, 0.5: half)
+  int fc_per_region = 0;           ///< hard FC areas requested per region
+  bool soft_relocation = false;    ///< request FC areas as a metric instead
+  std::uint64_t seed = 1;
+};
+
+/// Generates a feasible problem on `dev`, or std::nullopt when the packing
+/// attempt fails (device too small for the requested shape distribution —
+/// callers typically retry with another seed).
+[[nodiscard]] std::optional<FloorplanProblem> generateProblem(const device::Device& dev,
+                                                              const GeneratorOptions& options);
+
+}  // namespace rfp::model

@@ -1,0 +1,103 @@
+#include "partition/columnar.hpp"
+
+#include "support/check.hpp"
+
+namespace rfp::partition {
+
+int ColumnarPartition::portionAt(int x) const {
+  for (const Portion& p : portions)
+    if (x >= p.x && x < p.x2()) return p.id;
+  return -1;
+}
+
+int ColumnarPartition::numTypes() const {
+  int max_type = -1;
+  for (const Portion& p : portions) max_type = std::max(max_type, p.type);
+  return max_type + 1;
+}
+
+std::optional<ColumnarPartition> columnarPartition(const device::Device& dev) {
+  const int W = dev.width();
+  const int H = dev.height();
+
+  // Step 1: replace every tile inside a forbidden area by a tile of the same
+  // column that does not belong to any forbidden area. If some column is
+  // fully forbidden, fall back to its top tile's type (the portion layout is
+  // unaffected because the whole column then has a single effective type).
+  std::vector<std::vector<int>> eff(static_cast<std::size_t>(H),
+                                    std::vector<int>(static_cast<std::size_t>(W)));
+  for (int x = 0; x < W; ++x) {
+    int replacement = -1;
+    for (int y = 0; y < H && replacement < 0; ++y)
+      if (!dev.inForbidden(x, y)) replacement = dev.typeAt(x, y);
+    if (replacement < 0) replacement = dev.typeAt(x, 0);
+    for (int y = 0; y < H; ++y)
+      eff[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+          dev.inForbidden(x, y) ? replacement : dev.typeAt(x, y);
+  }
+
+  // Steps 2–5: scan top-to-bottom, left-to-right; grow each new portion right
+  // over free same-type tiles, then extend it to the bottom. A portion that
+  // cannot reach the bottom row means the device is not columnar.
+  std::vector<std::vector<bool>> used(static_cast<std::size_t>(H),
+                                      std::vector<bool>(static_cast<std::size_t>(W), false));
+  ColumnarPartition out;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      if (used[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)]) continue;
+      const int type = eff[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+      // Step 3: extend to the right while tiles are free and of the same type.
+      int x_end = x;
+      while (x_end + 1 < W &&
+             !used[static_cast<std::size_t>(y)][static_cast<std::size_t>(x_end + 1)] &&
+             eff[static_cast<std::size_t>(y)][static_cast<std::size_t>(x_end + 1)] == type)
+        ++x_end;
+      // Step 4: extend to the bottom; every row below must be free and of the
+      // same type across the full width. Since we scan top-to-bottom, a
+      // portion must start at row 0 and reach row H-1 or the device is not
+      // columnar-partitionable.
+      if (y != 0) return std::nullopt;
+      for (int yy = 1; yy < H; ++yy)
+        for (int xx = x; xx <= x_end; ++xx) {
+          if (used[static_cast<std::size_t>(yy)][static_cast<std::size_t>(xx)] ||
+              eff[static_cast<std::size_t>(yy)][static_cast<std::size_t>(xx)] != type)
+            return std::nullopt;
+        }
+      for (int yy = 0; yy < H; ++yy)
+        for (int xx = x; xx <= x_end; ++xx)
+          used[static_cast<std::size_t>(yy)][static_cast<std::size_t>(xx)] = true;
+      Portion p;
+      p.id = static_cast<int>(out.portions.size());
+      p.x = x;
+      p.w = x_end - x + 1;
+      p.type = type;
+      out.portions.push_back(p);
+      x = x_end;  // continue scanning after this portion
+    }
+  }
+
+  // Step 6: forbidden areas are reported by position and size.
+  out.forbidden = dev.forbidden();
+  out.forbidden_labels = dev.forbiddenLabels();
+  return out;
+}
+
+std::string validateColumnarPartition(const device::Device& dev,
+                                      const ColumnarPartition& part) {
+  int expect_x = 0;
+  int prev_type = -1;
+  for (std::size_t i = 0; i < part.portions.size(); ++i) {
+    const Portion& p = part.portions[i];
+    if (p.id != static_cast<int>(i)) return "portion ids not ordered left to right";
+    if (p.x != expect_x) return "portions do not tile the x-axis";
+    if (p.w <= 0) return "empty portion";
+    if (i > 0 && p.type == prev_type)
+      return "Property .3 violated: adjacent portions share a tile type";
+    prev_type = p.type;
+    expect_x = p.x2();
+  }
+  if (expect_x != dev.width()) return "portions do not cover the device width";
+  return "";
+}
+
+}  // namespace rfp::partition

@@ -1,0 +1,53 @@
+// Columnar partitioning — the paper's revised partitioning procedure
+// (Section III-B, steps 1–6 and Figure 2).
+//
+// The device is partitioned into *columnar portions*: maximal full-height
+// rectangles of same-type tiles after virtually replacing forbidden-area
+// tiles with the type of their column (step 1). Forbidden areas are kept as
+// a separate, overlapping set A (disjoint from the portion set P — the key
+// difference from the FCCM'14 partitioning, Sec. III-A).
+//
+// The resulting portions enjoy:
+//   Property .3 — adjacent portions have different tile types;
+//   Property .4 — portions are ordered left to right (we number them 0..|P|-1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace rfp::partition {
+
+/// A columnar portion: full device height, columns [x, x+w).
+struct Portion {
+  int id = 0;        ///< left-to-right index (Property .4)
+  int x = 0;         ///< leftmost column
+  int w = 0;         ///< width in columns
+  int type = 0;      ///< tile type id of every tile in the portion
+  [[nodiscard]] int x2() const noexcept { return x + w; }  ///< exclusive
+};
+
+struct ColumnarPartition {
+  std::vector<Portion> portions;          ///< set P, ordered left to right
+  std::vector<device::Rect> forbidden;    ///< set A (copies of device forbidden areas)
+  std::vector<std::string> forbidden_labels;
+
+  /// Portion containing column x (portions tile the x-axis).
+  [[nodiscard]] int portionAt(int x) const;
+  /// Number of distinct tile types used (the paper's nTypes).
+  [[nodiscard]] int numTypes() const;
+};
+
+/// Runs the columnar partitioning. Returns std::nullopt when the device is
+/// not columnar-partitionable (step 4 failure: a portion cannot be extended
+/// to the bottom of the FPGA), mirroring the procedure's failure mode.
+std::optional<ColumnarPartition> columnarPartition(const device::Device& dev);
+
+/// Validates Properties .3 and .4 plus exact tiling of the x-axis.
+/// Returns an empty string when valid, else a description of the violation.
+std::string validateColumnarPartition(const device::Device& dev,
+                                      const ColumnarPartition& part);
+
+}  // namespace rfp::partition

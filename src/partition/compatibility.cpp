@@ -1,0 +1,40 @@
+#include "partition/compatibility.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rfp::partition {
+
+bool areCompatible(const device::Device& dev, const device::Rect& a, const device::Rect& b) {
+  if (a.w != b.w || a.h != b.h) return false;
+  if (!dev.bounds().containsRect(a) || !dev.bounds().containsRect(b)) return false;
+  for (int dy = 0; dy < a.h; ++dy)
+    for (int dx = 0; dx < a.w; ++dx)
+      if (dev.typeAt(a.x + dx, a.y + dy) != dev.typeAt(b.x + dx, b.y + dy)) return false;
+  return true;
+}
+
+bool isFreeCompatible(const device::Device& dev, const device::Rect& source,
+                      const device::Rect& area, const std::vector<device::Rect>& occupied) {
+  if (!areCompatible(dev, source, area)) return false;
+  if (dev.rectHitsForbidden(area)) return false;
+  return std::none_of(occupied.begin(), occupied.end(),
+                      [&](const device::Rect& o) { return o.overlaps(area); });
+}
+
+std::vector<device::Rect> enumerateCompatiblePlacements(const device::Device& dev,
+                                                        const device::Rect& source) {
+  RFP_CHECK_MSG(dev.bounds().containsRect(source),
+                "source area " << source.toString() << " outside device");
+  std::vector<device::Rect> out;
+  for (int x = 0; x + source.w <= dev.width(); ++x)
+    for (int y = 0; y + source.h <= dev.height(); ++y) {
+      const device::Rect cand{x, y, source.w, source.h};
+      if (dev.rectHitsForbidden(cand)) continue;
+      if (areCompatible(dev, source, cand)) out.push_back(cand);
+    }
+  return out;
+}
+
+}  // namespace rfp::partition

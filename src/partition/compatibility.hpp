@@ -1,0 +1,34 @@
+// Area compatibility (Section II, Definitions .1 and .2, Figure 1).
+//
+// Two areas are *compatible* when they have the same shape, size and
+// relative positioning of tiles of the same type — i.e. a bitstream could be
+// moved between them by rewriting frame addresses only. An area is
+// *free-compatible* w.r.t. another when additionally it does not overlap any
+// region, other free-compatible area, or forbidden area.
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace rfp::partition {
+
+/// Definition .1: same shape/size and identical tile types at every relative
+/// position. (On columnar devices this reduces to equal column signatures.)
+[[nodiscard]] bool areCompatible(const device::Device& dev, const device::Rect& a,
+                                 const device::Rect& b);
+
+/// Definition .2 applied to a candidate: `area` is free-compatible w.r.t.
+/// `source` given the already-occupied rectangles (regions + other FC areas).
+/// Forbidden areas of the device are always treated as occupied.
+[[nodiscard]] bool isFreeCompatible(const device::Device& dev, const device::Rect& source,
+                                    const device::Rect& area,
+                                    const std::vector<device::Rect>& occupied);
+
+/// Enumerates every placement of a rectangle compatible with `source`
+/// (including `source` itself) that stays on the device and avoids forbidden
+/// areas. Ordered by (x, y).
+[[nodiscard]] std::vector<device::Rect> enumerateCompatiblePlacements(
+    const device::Device& dev, const device::Rect& source);
+
+}  // namespace rfp::partition

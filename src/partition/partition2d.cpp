@@ -1,0 +1,67 @@
+#include "partition/partition2d.hpp"
+
+#include <string>
+
+namespace rfp::partition {
+
+std::vector<Portion2D> partition2D(const device::Device& dev) {
+  const int W = dev.width();
+  const int H = dev.height();
+  std::vector<bool> used(static_cast<std::size_t>(W) * static_cast<std::size_t>(H), false);
+  const auto at = [&](int x, int y) -> std::vector<bool>::reference {
+    return used[static_cast<std::size_t>(y) * static_cast<std::size_t>(W) +
+                static_cast<std::size_t>(x)];
+  };
+
+  std::vector<Portion2D> out;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      if (at(x, y)) continue;
+      const int type = dev.typeAt(x, y);
+      int x_end = x;
+      while (x_end + 1 < W && !at(x_end + 1, y) && dev.typeAt(x_end + 1, y) == type) ++x_end;
+      int y_end = y;
+      bool extend = true;
+      while (extend && y_end + 1 < H) {
+        for (int xx = x; xx <= x_end; ++xx)
+          if (at(xx, y_end + 1) || dev.typeAt(xx, y_end + 1) != type) {
+            extend = false;
+            break;
+          }
+        if (extend) ++y_end;
+      }
+      for (int yy = y; yy <= y_end; ++yy)
+        for (int xx = x; xx <= x_end; ++xx) at(xx, yy) = true;
+      Portion2D p;
+      p.id = static_cast<int>(out.size());
+      p.rect = device::Rect{x, y, x_end - x + 1, y_end - y + 1};
+      p.type = type;
+      out.push_back(p);
+      x = x_end;
+    }
+  }
+  return out;
+}
+
+std::string validatePartition2D(const device::Device& dev,
+                                const std::vector<Portion2D>& portions) {
+  const int W = dev.width();
+  const int H = dev.height();
+  std::vector<int> cover(static_cast<std::size_t>(W) * static_cast<std::size_t>(H), 0);
+  for (const Portion2D& p : portions) {
+    if (!dev.bounds().containsRect(p.rect)) return "portion outside device";
+    for (int y = p.rect.y; y < p.rect.y2(); ++y)
+      for (int x = p.rect.x; x < p.rect.x2(); ++x) {
+        if (dev.typeAt(x, y) != p.type) return "portion type mismatch";
+        ++cover[static_cast<std::size_t>(y) * static_cast<std::size_t>(W) +
+                static_cast<std::size_t>(x)];
+      }
+  }
+  for (const int c : cover) {
+    if (c == 0) return "uncovered tile";
+    if (c > 1) return "overlapping portions";
+  }
+  return "";
+}
+
+}  // namespace rfp::partition

@@ -1,0 +1,31 @@
+// General 2-D portion partitioning, as used by the FCCM'14 floorplanner
+// ([10]) before this paper's columnar simplification: the FPGA is divided
+// into non-overlapping rectangular portions of uniform tile type covering
+// the whole area. Provided for completeness and for devices that fail the
+// columnar test (e.g. grids with split columns).
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace rfp::partition {
+
+/// A general portion: a rectangle of same-type tiles.
+struct Portion2D {
+  int id = 0;
+  device::Rect rect;
+  int type = 0;
+};
+
+/// Greedy maximal-rectangle decomposition: scan top-to-bottom/left-to-right,
+/// grow each portion right then down as far as the type stays uniform and
+/// tiles are unassigned. Always succeeds; portions tile the device exactly.
+std::vector<Portion2D> partition2D(const device::Device& dev);
+
+/// Empty string when `portions` exactly tile the device with uniform types;
+/// else a description of the violation.
+std::string validatePartition2D(const device::Device& dev,
+                                const std::vector<Portion2D>& portions);
+
+}  // namespace rfp::partition

@@ -1,0 +1,165 @@
+#include "reconfig/reconfig.hpp"
+
+#include <algorithm>
+
+#include "partition/compatibility.hpp"
+#include "support/check.hpp"
+
+namespace rfp::reconfig {
+
+// ---- Icap -------------------------------------------------------------------
+
+double Icap::loadMicros(int frames) const noexcept {
+  const double bytes = static_cast<double>(frames) * bitstream::kFrameWords * 4.0;
+  const double cycles = bytes / static_cast<double>(spec_.bytes_per_cycle);
+  return cycles / spec_.clock_mhz + spec_.per_load_overhead_us;
+}
+
+double Icap::relocateMicros(int frames) const noexcept {
+  return static_cast<double>(frames) * spec_.relocation_filter_us_per_frame;
+}
+
+// ---- BitstreamStore -----------------------------------------------------------
+
+const char* toString(StorePolicy p) noexcept {
+  switch (p) {
+    case StorePolicy::kRelocationAware: return "relocation-aware";
+    case StorePolicy::kPerLocation: return "per-location";
+  }
+  return "?";
+}
+
+void BitstreamStore::registerMode(int region, const ModuleMode& mode,
+                                  const std::vector<device::Rect>& targets) {
+  RFP_CHECK_MSG(!targets.empty(), "registerMode: at least the home target is required");
+  for (const device::Rect& t : targets)
+    RFP_CHECK_MSG(partition::areCompatible(*dev_, targets.front(), t),
+                  "registerMode: target " << t.toString() << " is not compatible with home "
+                                          << targets.front().toString());
+  const Key key{region, mode.name};
+  RFP_CHECK_MSG(store_.find(key) == store_.end(),
+                "mode '" << mode.name << "' already registered for region " << region);
+
+  std::vector<bitstream::PartialBitstream> copies;
+  const bitstream::PartialBitstream home =
+      bitstream::generateBitstream(*dev_, targets.front(), mode.design_seed);
+  if (policy_ == StorePolicy::kRelocationAware) {
+    copies.push_back(home);
+  } else {
+    copies.reserve(targets.size());
+    for (const device::Rect& t : targets)
+      copies.push_back(t == targets.front() ? home
+                                            : bitstream::relocateBitstream(*dev_, home, t));
+  }
+  store_.emplace(key, std::move(copies));
+  targets_.emplace(key, targets);
+}
+
+bitstream::PartialBitstream BitstreamStore::fetch(int region, const std::string& mode,
+                                                  const device::Rect& target,
+                                                  int* filter_frames_out) const {
+  const Key key{region, mode};
+  const auto it = store_.find(key);
+  RFP_CHECK_MSG(it != store_.end(),
+                "fetch: mode '" << mode << "' not registered for region " << region);
+  if (filter_frames_out) *filter_frames_out = 0;
+
+  if (policy_ == StorePolicy::kPerLocation) {
+    const std::vector<device::Rect>& targets = targets_.at(key);
+    for (std::size_t i = 0; i < targets.size(); ++i)
+      if (targets[i] == target) return it->second[i];
+    RFP_CHECK_MSG(false, "fetch: target " << target.toString()
+                                          << " was not provisioned for mode '" << mode << "'");
+  }
+  const bitstream::PartialBitstream& home = it->second.front();
+  if (home.area == target) return home;
+  // Run the relocation filter: address rewrite + CRC recompute.
+  if (filter_frames_out) *filter_frames_out = static_cast<int>(home.frames.size());
+  return bitstream::relocateBitstream(*dev_, home, target);
+}
+
+long BitstreamStore::bitstreamCount() const noexcept {
+  long n = 0;
+  for (const auto& [key, copies] : store_) n += static_cast<long>(copies.size());
+  return n;
+}
+
+std::size_t BitstreamStore::totalBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& [key, copies] : store_)
+    for (const bitstream::PartialBitstream& bs : copies)
+      bytes += bs.frames.size() * (sizeof(std::uint32_t) * (1 + bitstream::kFrameWords));
+  return bytes;
+}
+
+// ---- ReconfigSimulator ----------------------------------------------------------
+
+ReconfigSimulator::ReconfigSimulator(const model::FloorplanProblem& problem,
+                                     const model::Floorplan& fp, StorePolicy policy,
+                                     IcapSpec icap)
+    : problem_(&problem), fp_(&fp), icap_(icap), store_(problem.dev(), policy) {
+  const std::string err = model::check(problem, fp);
+  RFP_CHECK_MSG(err.empty(), "ReconfigSimulator needs a valid floorplan: " << err);
+  targets_.resize(static_cast<std::size_t>(problem.numRegions()));
+  for (int n = 0; n < problem.numRegions(); ++n)
+    targets_[static_cast<std::size_t>(n)].push_back(
+        fp.regions[static_cast<std::size_t>(n)]);
+  for (const model::FcArea& a : fp.fc_areas)
+    if (a.placed) targets_[static_cast<std::size_t>(a.region)].push_back(a.rect);
+}
+
+void ReconfigSimulator::registerModes(int region, const std::vector<ModuleMode>& modes) {
+  RFP_CHECK_MSG(region >= 0 && region < problem_->numRegions(), "unknown region " << region);
+  for (const ModuleMode& m : modes)
+    store_.registerMode(region, m, targets_[static_cast<std::size_t>(region)]);
+}
+
+int ReconfigSimulator::targetCount(int region) const {
+  RFP_CHECK_MSG(region >= 0 && region < problem_->numRegions(), "unknown region " << region);
+  return static_cast<int>(targets_[static_cast<std::size_t>(region)].size());
+}
+
+device::Rect ReconfigSimulator::target(int region, int index) const {
+  RFP_CHECK_MSG(index >= 0 && index < targetCount(region),
+                "region " << region << " has no target " << index);
+  return targets_[static_cast<std::size_t>(region)][static_cast<std::size_t>(index)];
+}
+
+SimulationResult ReconfigSimulator::run(std::vector<SwitchRequest> schedule) const {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const SwitchRequest& a, const SwitchRequest& b) { return a.at_us < b.at_us; });
+
+  SimulationResult result;
+  result.records.reserve(schedule.size());
+  double icap_free_at = 0.0;
+
+  for (const SwitchRequest& req : schedule) {
+    const device::Rect tgt = target(req.region, req.target_index);
+    int filter_frames = 0;
+    const bitstream::PartialBitstream bs =
+        store_.fetch(req.region, req.mode, tgt, &filter_frames);
+    RFP_CHECK_MSG(bitstream::verifyBitstream(problem_->dev(), bs).empty(),
+                  "fetched bitstream failed verification");
+
+    SwitchRecord rec;
+    rec.request = req;
+    rec.frames = static_cast<int>(bs.frames.size());
+    rec.relocated = filter_frames > 0;
+    rec.filter_us = icap_.relocateMicros(filter_frames);
+    rec.start_us = std::max(req.at_us, icap_free_at);
+    rec.ready_us = rec.start_us + rec.filter_us + icap_.loadMicros(rec.frames);
+    icap_free_at = rec.ready_us;
+
+    result.stats.switches += 1;
+    result.stats.relocations += rec.relocated ? 1 : 0;
+    result.stats.total_icap_us += icap_.loadMicros(rec.frames);
+    result.stats.total_filter_us += rec.filter_us;
+    result.stats.makespan_us = std::max(result.stats.makespan_us, rec.ready_us);
+    result.stats.max_queue_wait_us =
+        std::max(result.stats.max_queue_wait_us, rec.start_us - req.at_us);
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace rfp::reconfig

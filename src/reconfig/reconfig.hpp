@@ -1,0 +1,193 @@
+// Runtime partial-reconfiguration simulator.
+//
+// The floorplanner's output — regions plus reserved free-compatible areas —
+// is consumed at *run time*: a task occupying a region can be migrated into
+// one of its free-compatible areas by relocating its partial bitstream
+// (Sec. I: "deliver rapid changes to a design at run time, while reducing
+// design effort by supporting design re-use at compile time"). This module
+// models that runtime: a configuration-port (ICAP) timing model, a
+// bitstream store that quantifies the design-reuse benefit (one bitstream
+// per mode with relocation vs one per mode *and location* without), and a
+// simulator that executes mode-switch/migration schedules against a
+// floorplan and reports latency statistics.
+//
+// The timing model follows the Virtex-5 configuration numbers used across
+// the relocation literature ([2]-[5]): a 32-bit ICAP at 100 MHz, 41-word
+// frames, plus a fixed per-load overhead for sync/desync and the CRC check.
+// Absolute microseconds are therefore indicative; the comparisons (with vs
+// without relocation, more vs fewer FC areas) are the point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "device/device.hpp"
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::reconfig {
+
+// ---- ICAP timing model ------------------------------------------------------
+
+struct IcapSpec {
+  double clock_mhz = 100.0;             ///< configuration clock
+  int bytes_per_cycle = 4;              ///< 32-bit ICAP word per cycle
+  double per_load_overhead_us = 5.0;    ///< sync, desync, CRC check
+  double relocation_filter_us_per_frame = 0.02;  ///< software BiRF-style
+                                                 ///< address rewrite per frame
+};
+
+/// Deterministic ICAP timing: how long a partial bitstream takes to load,
+/// and how long the software relocation filter takes to rewrite it.
+class Icap {
+ public:
+  Icap() = default;
+  explicit Icap(IcapSpec spec) : spec_(spec) {}
+
+  /// Microseconds to stream `frames` configuration frames through the port.
+  [[nodiscard]] double loadMicros(int frames) const noexcept;
+  /// Microseconds for the relocation filter to rewrite `frames` addresses
+  /// and recompute the CRC (software filter, [4][5]).
+  [[nodiscard]] double relocateMicros(int frames) const noexcept;
+
+  [[nodiscard]] const IcapSpec& spec() const noexcept { return spec_; }
+
+ private:
+  IcapSpec spec_;
+};
+
+// ---- bitstream store ----------------------------------------------------------
+
+/// How the store provisions configuration data for multiple target areas.
+enum class StorePolicy {
+  kRelocationAware,  ///< one bitstream per mode; relocation filter at run time
+  kPerLocation,      ///< one bitstream per (mode, target area); no filter
+};
+
+[[nodiscard]] const char* toString(StorePolicy p) noexcept;
+
+/// A module mode (one of the mutually exclusive implementations of a
+/// region's module, Sec. VI).
+struct ModuleMode {
+  std::string name;
+  std::uint64_t design_seed = 0;  ///< distinguishes the configuration data
+};
+
+/// Repository of partial bitstreams for every (region, mode), provisioned
+/// for a fixed set of target areas per region (the region's home rectangle
+/// plus its free-compatible areas). Quantifies the design-reuse benefit of
+/// relocation: under kPerLocation the same mode is duplicated per target.
+class BitstreamStore {
+ public:
+  BitstreamStore(const device::Device& dev, StorePolicy policy)
+      : dev_(&dev), policy_(policy) {}
+
+  /// Registers `mode` for region `n`, provisioned for `targets` (index 0 is
+  /// the home area; all targets must be mutually compatible rectangles).
+  void registerMode(int region, const ModuleMode& mode,
+                    const std::vector<device::Rect>& targets);
+
+  /// Fetches the bitstream for (region, mode) retargeted to `target`,
+  /// relocating on the fly under kRelocationAware. `filter_frames_out`, when
+  /// non-null, receives the number of frames the filter rewrote (0 when the
+  /// stored bitstream already targets `target`).
+  [[nodiscard]] bitstream::PartialBitstream fetch(int region, const std::string& mode,
+                                                  const device::Rect& target,
+                                                  int* filter_frames_out = nullptr) const;
+
+  [[nodiscard]] StorePolicy policy() const noexcept { return policy_; }
+  /// Number of stored bitstreams (the design-reuse metric).
+  [[nodiscard]] long bitstreamCount() const noexcept;
+  /// Total storage footprint in bytes (addresses + payloads).
+  [[nodiscard]] std::size_t totalBytes() const noexcept;
+
+ private:
+  struct Key {
+    int region;
+    std::string mode;
+    auto operator<=>(const Key&) const = default;
+  };
+  const device::Device* dev_;
+  StorePolicy policy_;
+  /// Per (region, mode): bitstreams in target order (kRelocationAware keeps
+  /// only the home copy).
+  std::map<Key, std::vector<bitstream::PartialBitstream>> store_;
+  std::map<Key, std::vector<device::Rect>> targets_;
+};
+
+// ---- simulator ----------------------------------------------------------------
+
+/// One scheduled request: at `at_us`, (re)configure region `region` with
+/// `mode` on target area `target_index` (0 = home rectangle, 1.. = the
+/// region's free-compatible areas in floorplan order).
+struct SwitchRequest {
+  double at_us = 0.0;
+  int region = -1;
+  std::string mode;
+  int target_index = 0;
+};
+
+/// Outcome of one request.
+struct SwitchRecord {
+  SwitchRequest request;
+  double start_us = 0.0;   ///< when the ICAP began serving it
+  double ready_us = 0.0;   ///< when the area became active
+  double filter_us = 0.0;  ///< relocation-filter share of the latency
+  int frames = 0;          ///< configuration frames streamed
+  bool relocated = false;  ///< target differed from the stored bitstream
+};
+
+struct SimulationStats {
+  long switches = 0;
+  long relocations = 0;
+  double total_icap_us = 0.0;
+  double total_filter_us = 0.0;
+  double makespan_us = 0.0;        ///< last ready time
+  double max_queue_wait_us = 0.0;  ///< worst start − arrival gap
+};
+
+struct SimulationResult {
+  std::vector<SwitchRecord> records;
+  SimulationStats stats;
+};
+
+/// Executes mode-switch schedules against a floorplan. The single ICAP
+/// serializes configuration loads (as on the real devices); requests are
+/// served in arrival order. Target areas are the region's home rectangle
+/// and its placed free-compatible areas.
+class ReconfigSimulator {
+ public:
+  /// `fp` must be a checked floorplan for `problem` (model::check == "").
+  /// Every (region, mode) pair used by a schedule must be registered first.
+  ReconfigSimulator(const model::FloorplanProblem& problem, const model::Floorplan& fp,
+                    StorePolicy policy, IcapSpec icap = {});
+
+  /// Registers the modes of region `n` in the store, provisioned for the
+  /// region's home area plus all its placed FC areas.
+  void registerModes(int region, const std::vector<ModuleMode>& modes);
+
+  /// Number of selectable targets for `region` (1 + placed FC areas).
+  [[nodiscard]] int targetCount(int region) const;
+  /// The rectangle of target `index` for `region`.
+  [[nodiscard]] device::Rect target(int region, int index) const;
+
+  /// Runs `schedule` (sorted by arrival time internally). Throws
+  /// rfp::CheckError on unknown regions/modes/targets.
+  [[nodiscard]] SimulationResult run(std::vector<SwitchRequest> schedule) const;
+
+  [[nodiscard]] const BitstreamStore& store() const noexcept { return store_; }
+  [[nodiscard]] const Icap& icap() const noexcept { return icap_; }
+
+ private:
+  const model::FloorplanProblem* problem_;
+  const model::Floorplan* fp_;
+  Icap icap_;
+  BitstreamStore store_;
+  std::vector<std::vector<device::Rect>> targets_;  ///< per region
+};
+
+}  // namespace rfp::reconfig

@@ -1,0 +1,126 @@
+#include "render/render.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "model/floorplan.hpp"
+#include "support/check.hpp"
+
+namespace rfp::render {
+
+namespace {
+
+char freeTileChar(int type) {
+  static constexpr std::array<char, 6> kChars = {'.', ':', '+', '~', '-', '='};
+  return kChars[static_cast<std::size_t>(type) % kChars.size()];
+}
+
+const char* regionColor(int n) {
+  static constexpr std::array<const char*, 8> kColors = {
+      "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f"};
+  return kColors[static_cast<std::size_t>(n) % kColors.size()];
+}
+
+}  // namespace
+
+std::string asciiDevice(const device::Device& dev) {
+  std::ostringstream os;
+  for (int y = 0; y < dev.height(); ++y) {
+    for (int x = 0; x < dev.width(); ++x)
+      os << (dev.inForbidden(x, y) ? '#'
+                                   : dev.tileType(dev.typeAt(x, y)).name.empty()
+                                         ? '?'
+                                         : dev.tileType(dev.typeAt(x, y)).name[0]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii(const model::FloorplanProblem& problem, const model::Floorplan& fp) {
+  const device::Device& dev = problem.dev();
+  std::vector<std::string> grid(static_cast<std::size_t>(dev.height()),
+                                std::string(static_cast<std::size_t>(dev.width()), ' '));
+  for (int y = 0; y < dev.height(); ++y)
+    for (int x = 0; x < dev.width(); ++x)
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+          dev.inForbidden(x, y) ? '#' : freeTileChar(dev.typeAt(x, y));
+
+  const auto paint = [&](const device::Rect& r, char c) {
+    for (int y = r.y; y < r.y2(); ++y)
+      for (int x = r.x; x < r.x2(); ++x)
+        grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = c;
+  };
+  for (std::size_t i = 0; i < fp.fc_areas.size(); ++i)
+    if (fp.fc_areas[i].placed)
+      paint(fp.fc_areas[i].rect, static_cast<char>('a' + fp.fc_areas[i].region % 26));
+  for (int n = 0; n < problem.numRegions(); ++n)
+    paint(fp.regions[static_cast<std::size_t>(n)], static_cast<char>('A' + n % 26));
+
+  std::ostringstream os;
+  os << "+" << std::string(static_cast<std::size_t>(dev.width()), '-') << "+\n";
+  for (const std::string& row : grid) os << '|' << row << "|\n";
+  os << "+" << std::string(static_cast<std::size_t>(dev.width()), '-') << "+\n";
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    const device::Rect& r = fp.regions[static_cast<std::size_t>(n)];
+    os << static_cast<char>('A' + n % 26) << " = " << problem.region(n).name << " "
+       << r.toString();
+    int fc_count = 0;
+    for (const model::FcArea& a : fp.fc_areas)
+      if (a.region == n && a.placed) ++fc_count;
+    if (fc_count > 0)
+      os << "  (+" << fc_count << " free-compatible area" << (fc_count > 1 ? "s" : "")
+         << " '" << static_cast<char>('a' + n % 26) << "')";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string svg(const model::FloorplanProblem& problem, const model::Floorplan& fp) {
+  const device::Device& dev = problem.dev();
+  const int cell = 18;
+  const int margin = 8;
+  const int width = dev.width() * cell + 2 * margin;
+  const int height = dev.height() * cell + 2 * margin + 20 * (problem.numRegions() + 1);
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+     << height << "\" font-family=\"sans-serif\" font-size=\"10\">\n";
+  const auto rectAt = [&](const device::Rect& r, const std::string& fill, double opacity,
+                          const std::string& extra = "") {
+    os << "  <rect x=\"" << margin + r.x * cell << "\" y=\"" << margin + r.y * cell
+       << "\" width=\"" << r.w * cell << "\" height=\"" << r.h * cell << "\" fill=\"" << fill
+       << "\" fill-opacity=\"" << opacity << "\" stroke=\"black\" stroke-width=\"0.5\" "
+       << extra << "/>\n";
+  };
+
+  // Tile background per column type.
+  for (int x = 0; x < dev.width(); ++x) {
+    const int t = dev.typeAt(x, 0);
+    const char* fill = t == 0 ? "#f4f4f4" : t == 1 ? "#cfe3f7" : "#d8f2d0";
+    rectAt(device::Rect{x, 0, 1, dev.height()}, fill, 1.0);
+  }
+  for (const device::Rect& f : dev.forbidden()) rectAt(f, "#777777", 1.0);
+
+  for (std::size_t i = 0; i < fp.fc_areas.size(); ++i)
+    if (fp.fc_areas[i].placed)
+      rectAt(fp.fc_areas[i].rect, regionColor(fp.fc_areas[i].region), 0.35,
+             "stroke-dasharray=\"4 2\"");
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    const device::Rect& r = fp.regions[static_cast<std::size_t>(n)];
+    rectAt(r, regionColor(n), 0.8);
+    os << "  <text x=\"" << margin + r.x * cell + 3 << "\" y=\""
+       << margin + r.y * cell + 12 << "\">" << static_cast<char>('A' + n % 26) << "</text>\n";
+  }
+  // Legend.
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    const int ly = dev.height() * cell + 2 * margin + 16 * (n + 1);
+    os << "  <rect x=\"" << margin << "\" y=\"" << ly - 10 << "\" width=\"12\" height=\"12\""
+       << " fill=\"" << regionColor(n) << "\"/>\n";
+    os << "  <text x=\"" << margin + 18 << "\" y=\"" << ly << "\">"
+       << static_cast<char>('A' + n % 26) << " " << problem.region(n).name << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace rfp::render

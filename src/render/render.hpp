@@ -1,0 +1,29 @@
+// Floorplan rendering: ASCII (for terminals and the figure benches) and SVG
+// (for Figs. 4–5 style output).
+#pragma once
+
+#include <string>
+
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::render {
+
+/// ASCII rendering: one character per tile. Regions are upper-case letters
+/// (A = region 0, ...), their free-compatible areas the matching lower-case
+/// letter, forbidden areas '#', free tiles show the tile-type's first
+/// character in dim form ('.', ':', '+' for types 0/1/2...). A legend and
+/// per-region placement table follow the grid.
+[[nodiscard]] std::string ascii(const model::FloorplanProblem& problem,
+                                const model::Floorplan& fp);
+
+/// Device-only ASCII (column types + forbidden areas).
+[[nodiscard]] std::string asciiDevice(const device::Device& dev);
+
+/// SVG rendering in the style of the paper's Figs. 4–5: tile grid with tile
+/// types as background stripes, regions as labeled colored boxes, FC areas
+/// hatched with the region color, forbidden areas gray.
+[[nodiscard]] std::string svg(const model::FloorplanProblem& problem,
+                              const model::Floorplan& fp);
+
+}  // namespace rfp::render

@@ -1,0 +1,64 @@
+// Candidate placement enumeration for the exact columnar solver.
+//
+// On a columnar device the tiles covered by a rectangle depend only on
+// (x, w, h) — each column contributes h tiles of its column type — so
+// candidates factor into *shapes* (x, w, h, waste) × feasible y positions.
+// Wasted frames per shape are y-independent; forbidden areas only restrict
+// the y list. This factorization is what makes exhaustive search tractable
+// at paper scale (DESIGN.md §3 substitution 2).
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::search {
+
+/// A placement shape for one region: column span and height, with the
+/// (y-independent) wasted frames, plus the valid top rows.
+struct Shape {
+  int x = 0;
+  int w = 0;
+  int h = 0;
+  long waste = 0;             ///< wasted frames of any placement of this shape
+  std::vector<int> ys;        ///< valid top rows (forbidden areas excluded)
+  std::vector<int> covered;   ///< tiles covered per type id (c_t · h)
+};
+
+/// All shapes for one region, sorted by ascending waste.
+struct RegionCandidates {
+  std::vector<Shape> shapes;
+  long min_waste = 0;  ///< waste of the cheapest shape (0 shapes: LONG_MAX/4)
+
+  [[nodiscard]] std::size_t totalPlacements() const noexcept {
+    std::size_t n = 0;
+    for (const Shape& s : shapes) n += s.ys.size();
+    return n;
+  }
+};
+
+/// Enumerates all shapes whose coverage satisfies region `n` of `problem`,
+/// with waste at most `max_waste` (< 0: unlimited). Requires a columnar
+/// device (checked).
+///
+/// With `min_height_only`, only the minimal feasible height per column span
+/// is emitted. Taller shapes are strictly dominated whenever the objective
+/// is monotone in waste (lexicographic mode, feasibility tests): shrinking
+/// every rect of a solution to its span's minimal height preserves
+/// disjointness, forbidden-area avoidance, coverage, and FC-area
+/// compatibility, while strictly reducing waste.
+[[nodiscard]] RegionCandidates enumerateCandidates(const model::FloorplanProblem& problem,
+                                                   int n, long max_waste = -1,
+                                                   bool min_height_only = false);
+
+/// All x positions whose column-type signature matches columns [x0, x0+w) —
+/// the compatible column spans per Definition .1 (y positions are free on a
+/// columnar device, up to forbidden areas). Includes x0 itself.
+[[nodiscard]] std::vector<int> matchingColumnSpans(const device::Device& dev, int x0, int w);
+
+/// Valid top rows for an h-tall rect at columns [x, x+w) avoiding forbidden
+/// areas.
+[[nodiscard]] std::vector<int> validRows(const device::Device& dev, int x, int w, int h);
+
+}  // namespace rfp::search

@@ -1,0 +1,81 @@
+// Bit-grid occupancy map used by the exact search solver.
+//
+// One bit per tile, row-major. Rect operations touch O(h · w/64) words, so
+// overlap tests during branch-and-bound are a handful of AND/OR ops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/geometry.hpp"
+#include "support/check.hpp"
+
+namespace rfp::search {
+
+class Occupancy {
+ public:
+  Occupancy(int width, int height)
+      : width_(width), height_(height),
+        words_((static_cast<std::size_t>(width) * static_cast<std::size_t>(height) + 63) / 64,
+               0) {
+    RFP_CHECK(width > 0 && height > 0);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  /// True if any tile of `r` is occupied.
+  [[nodiscard]] bool overlaps(const device::Rect& r) const noexcept {
+    bool hit = false;
+    forEachSpan(r, [&](std::size_t word, std::uint64_t mask) {
+      hit = hit || (words_[word] & mask) != 0;
+    });
+    return hit;
+  }
+
+  void fill(const device::Rect& r) noexcept {
+    forEachSpan(r, [&](std::size_t word, std::uint64_t mask) { words_[word] |= mask; });
+  }
+
+  void clear(const device::Rect& r) noexcept {
+    forEachSpan(r, [&](std::size_t word, std::uint64_t mask) { words_[word] &= ~mask; });
+  }
+
+  [[nodiscard]] bool occupied(int x, int y) const noexcept {
+    const std::size_t bit = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                            static_cast<std::size_t>(x);
+    return (words_[bit / 64] >> (bit % 64)) & 1u;
+  }
+
+  [[nodiscard]] int popcount() const noexcept {
+    int n = 0;
+    for (const std::uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+ private:
+  template <typename Fn>
+  void forEachSpan(const device::Rect& r, Fn&& fn) const noexcept {
+    for (int y = r.y; y < r.y2(); ++y) {
+      std::size_t bit = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                        static_cast<std::size_t>(r.x);
+      int remaining = r.w;
+      while (remaining > 0) {
+        const std::size_t word = bit / 64;
+        const int offset = static_cast<int>(bit % 64);
+        const int take = std::min(remaining, 64 - offset);
+        const std::uint64_t mask =
+            (take == 64 ? ~0ull : ((1ull << take) - 1)) << offset;
+        fn(word, mask);
+        bit += static_cast<std::size_t>(take);
+        remaining -= take;
+      }
+    }
+  }
+
+  int width_;
+  int height_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rfp::search

@@ -1,0 +1,606 @@
+#include "search/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "search/candidates.hpp"
+#include "search/occupancy.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::search {
+
+const char* toString(SearchStatus s) noexcept {
+  switch (s) {
+    case SearchStatus::kOptimal: return "optimal";
+    case SearchStatus::kInfeasible: return "infeasible";
+    case SearchStatus::kFeasible: return "feasible";
+    case SearchStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+using device::Rect;
+
+constexpr std::uint64_t kKeyInf = ~0ull;
+
+/// One expanded FC slot (a single requested free-compatible area).
+struct FcSlot {
+  int region = -1;
+  bool hard = true;
+  double weight = 1.0;
+};
+
+/// Immutable per-solve data shared by all worker threads.
+struct Instance {
+  const model::FloorplanProblem* problem = nullptr;
+  std::vector<RegionCandidates> candidates;  ///< per region
+  std::vector<int> region_order;             ///< most-constrained-first
+  std::vector<FcSlot> slots;                 ///< expanded FC requests
+  std::vector<long> suffix_min_waste;        ///< Σ min_waste of order[i..]
+  std::vector<double> min_perimeter;         ///< per region, over its shapes
+  std::vector<long> supply;                  ///< usable tiles per type
+  std::vector<long> base_need;               ///< Σ (1+hard_fc)·required per type
+  std::vector<std::vector<int>> req;         ///< req[n][t] = required tiles
+  std::vector<int> hard_fc;                  ///< hard FC slots per region
+  std::vector<std::vector<int>> span_cache;  ///< (x, w) → matching column spans
+  int span_stride = 0;                       ///< device width (span_cache index)
+  SearchOptions opt;
+  double wl_max = 1, p_max = 1, r_max = 1, rl_max = 1;  ///< Eq. 14 normalizers
+
+  [[nodiscard]] const model::FloorplanProblem& prob() const { return *problem; }
+
+  /// Cached matchingColumnSpans(dev, x, w); valid whenever slots are present.
+  [[nodiscard]] const std::vector<int>& spans(int x, int w) const {
+    return span_cache[static_cast<std::size_t>(x) * static_cast<std::size_t>(span_stride) +
+                      static_cast<std::size_t>(w) - 1];
+  }
+};
+
+/// Thread-shared incumbent: a monotone 64-bit cost key for lock-free pruning
+/// plus the actual plan under a mutex.
+struct Shared {
+  std::atomic<std::uint64_t> best_key{kKeyInf};
+  std::atomic<bool> stop{false};
+  std::atomic<long> nodes{0};
+  std::mutex mutex;
+  model::Floorplan best_plan;
+  bool has_plan = false;
+};
+
+/// Lexicographic key: wasted frames in the high 32 bits, wire length scaled
+/// ×64 in the low 32. Monotone in (waste, WL) ordering.
+std::uint64_t lexKey(long waste, double wl) {
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::min<long>(waste, 0x7fffffffL));
+  const std::uint64_t lo = static_cast<std::uint64_t>(
+      std::min<double>(std::max(0.0, wl) * 64.0, 4294967294.0));
+  return (hi << 32) | lo;
+}
+
+/// Weighted key: Eq. 14 objective scaled to integers.
+std::uint64_t weightedKey(double objective) {
+  return static_cast<std::uint64_t>(std::min(std::max(0.0, objective) * 1e15, 1e18));
+}
+
+/// Weighted-HPWL over nets counting only placed pins — admissible lower
+/// bound (adding pins can only grow a bounding box).
+double wireLengthLowerBound(const model::FloorplanProblem& problem,
+                            const std::vector<Rect>& rects,
+                            const std::vector<bool>& placed) {
+  double total = 0;
+  for (const model::Net& net : problem.nets()) {
+    double min_x = 1e30, max_x = -1e30, min_y = 1e30, max_y = -1e30;
+    bool any = false;
+    for (const int r : net.regions) {
+      if (!placed[static_cast<std::size_t>(r)]) continue;
+      any = true;
+      const Rect& rect = rects[static_cast<std::size_t>(r)];
+      min_x = std::min(min_x, rect.centerX());
+      max_x = std::max(max_x, rect.centerX());
+      min_y = std::min(min_y, rect.centerY());
+      max_y = std::max(max_y, rect.centerY());
+    }
+    if (any) total += net.weight * ((max_x - min_x) + (max_y - min_y));
+  }
+  return total;
+}
+
+class Worker {
+ public:
+  Worker(const Instance& inst, Shared& shared, const Deadline& deadline)
+      : inst_(inst),
+        shared_(shared),
+        deadline_(deadline),
+        occ_(inst.prob().dev().width(), inst.prob().dev().height()),
+        rects_(static_cast<std::size_t>(inst.prob().numRegions())),
+        region_placed_(static_cast<std::size_t>(inst.prob().numRegions()), false),
+        fc_rects_(inst.slots.size()),
+        fc_placed_(inst.slots.size(), false),
+        used_(inst.supply.size(), 0),
+        need_(inst.base_need) {}
+
+  /// Explores the subtree where the first region in the order takes root
+  /// candidate (shape_index, y_index).
+  void exploreRoot(std::size_t shape_index, std::size_t y_index) {
+    const int n = inst_.region_order[0];
+    const RegionCandidates& cands = inst_.candidates[static_cast<std::size_t>(n)];
+    const Shape& s = cands.shapes[shape_index];
+    placeRegion(0, n, s, s.ys[y_index]);
+  }
+
+ private:
+  [[nodiscard]] bool aborted() {
+    if (shared_.stop.load(std::memory_order_relaxed)) return true;
+    if ((local_nodes_ & 255) == 0 && deadline_.expired()) {
+      shared_.stop.store(true);
+      return true;
+    }
+    return false;
+  }
+
+  /// Admissible cost-key lower bound for the current partial assignment.
+  [[nodiscard]] std::uint64_t boundKey(int depth) const {
+    const long waste_lb =
+        waste_ + inst_.suffix_min_waste[static_cast<std::size_t>(depth)];
+    const double wl_lb = wireLengthLowerBound(inst_.prob(), rects_, region_placed_);
+    if (inst_.opt.mode == ObjectiveMode::kLexicographic)
+      return lexKey(waste_lb, inst_.opt.optimize_wirelength ? wl_lb : 0.0);
+    // Weighted (Eq. 14): perimeter of placed regions + per-region minima;
+    // unplaced FC areas are assumed placeable (RL lower bound 0 + committed
+    // skips).
+    double perim_lb = perim_;
+    for (int d = depth; d < inst_.prob().numRegions(); ++d)
+      perim_lb += inst_.min_perimeter[static_cast<std::size_t>(inst_.region_order[static_cast<std::size_t>(d)])];
+    const model::ObjectiveWeights& q = inst_.prob().weights();
+    const double obj = q.q1_wirelength * wl_lb / inst_.wl_max +
+                       q.q2_perimeter * perim_lb / inst_.p_max +
+                       q.q3_wasted * static_cast<double>(waste_lb) / inst_.r_max +
+                       q.q4_relocation * rl_ / inst_.rl_max;
+    return weightedKey(obj);
+  }
+
+  void placeRegion(int depth, int n, const Shape& s, int y) {
+    if (aborted()) return;
+
+    // Per-type supply/demand prune: covered tiles of placed regions plus a
+    // lower bound on the demand still outstanding (unplaced regions at their
+    // bare requirement, hard FC slots at their region's footprint) must fit
+    // in the device's usable tiles. This is what makes the Sec. VI
+    // infeasibility proofs (matched filter / video decoder) cheap: DSP
+    // supply is tight, so wasteful shapes die immediately.
+    const std::size_t nt = inst_.supply.size();
+    const long k_fc = inst_.hard_fc[static_cast<std::size_t>(n)];
+    for (std::size_t t = 0; t < nt; ++t) {
+      const long cov = s.covered[t];
+      const long req = inst_.req[static_cast<std::size_t>(n)][t];
+      const long used_after = used_[t] + cov;
+      const long need_after = need_[t] - (1 + k_fc) * req + k_fc * cov;
+      if (used_after + need_after > inst_.supply[t]) return;
+    }
+
+    ++local_nodes_;
+    if ((local_nodes_ & 1023) == 0) flushNodes();
+
+    const Rect r{s.x, y, s.w, s.h};
+    occ_.fill(r);
+    rects_[static_cast<std::size_t>(n)] = r;
+    region_placed_[static_cast<std::size_t>(n)] = true;
+    waste_ += s.waste;
+    perim_ += 2.0 * (r.w + r.h);
+    for (std::size_t t = 0; t < nt; ++t) {
+      used_[t] += s.covered[t];
+      need_[t] += k_fc * s.covered[t] - (1 + k_fc) * inst_.req[static_cast<std::size_t>(n)][t];
+    }
+
+    if (quickFcCheckAll() &&
+        boundKey(depth + 1) < shared_.best_key.load(std::memory_order_relaxed))
+      descendRegions(depth + 1);
+
+    for (std::size_t t = 0; t < nt; ++t) {
+      used_[t] -= s.covered[t];
+      need_[t] -= k_fc * s.covered[t] - (1 + k_fc) * inst_.req[static_cast<std::size_t>(n)][t];
+    }
+    perim_ -= 2.0 * (r.w + r.h);
+    waste_ -= s.waste;
+    region_placed_[static_cast<std::size_t>(n)] = false;
+    occ_.clear(r);
+  }
+
+  /// quickFcCheck over every placed region: placing a region can also
+  /// destroy the FC candidates of regions placed earlier.
+  [[nodiscard]] bool quickFcCheckAll() const {
+    for (int m = 0; m < inst_.prob().numRegions(); ++m)
+      if (inst_.hard_fc[static_cast<std::size_t>(m)] > 0 &&
+          region_placed_[static_cast<std::size_t>(m)] && !quickFcCheck(m))
+        return false;
+    return true;
+  }
+
+  /// Cheap necessary condition: each *hard* FC request of region n must have
+  /// at least `count` compatible placements free w.r.t. current occupancy.
+  [[nodiscard]] bool quickFcCheck(int n) const {
+    const int needed = inst_.hard_fc[static_cast<std::size_t>(n)];
+    if (needed == 0) return true;
+    const Rect& src = rects_[static_cast<std::size_t>(n)];
+    const device::Device& dev = inst_.prob().dev();
+    int found = 0;
+    for (const int x : inst_.spans(src.x, src.w)) {
+      for (int y = 0; y + src.h <= dev.height(); ++y) {
+        const Rect cand{x, y, src.w, src.h};
+        if (dev.rectHitsForbidden(cand)) continue;
+        if (occ_.overlaps(cand)) continue;
+        // The source rect itself is occupied, so `found` counts genuinely
+        // free placements.
+        if (++found >= needed) return true;
+      }
+    }
+    return found >= needed;
+  }
+
+  void descendRegions(int depth) {
+    if (aborted()) return;
+    if (depth == inst_.prob().numRegions()) {
+      startFcPhase();
+      return;
+    }
+    const int n = inst_.region_order[static_cast<std::size_t>(depth)];
+    const RegionCandidates& cands = inst_.candidates[static_cast<std::size_t>(n)];
+    const std::uint64_t best = shared_.best_key.load(std::memory_order_relaxed);
+    for (const Shape& s : cands.shapes) {
+      // Shapes are waste-sorted: once the waste bound alone exceeds the
+      // incumbent, no later shape can help.
+      const long waste_lb = waste_ + s.waste +
+                            inst_.suffix_min_waste[static_cast<std::size_t>(depth + 1)] -
+                            inst_.candidates[static_cast<std::size_t>(n)].min_waste;
+      if (inst_.opt.waste_budget >= 0 && waste_lb > inst_.opt.waste_budget) break;
+      if (inst_.opt.mode == ObjectiveMode::kLexicographic &&
+          lexKey(waste_lb, 0.0) >= best)
+        break;
+      for (const int y : s.ys) {
+        if (occ_.overlaps(Rect{s.x, y, s.w, s.h})) continue;
+        placeRegion(depth, n, s, y);
+        if (aborted()) return;
+      }
+    }
+  }
+
+  // ---- FC phase ------------------------------------------------------------
+
+  struct SlotPlan {
+    int slot = -1;                 ///< index into inst_.slots
+    std::vector<Rect> candidates;  ///< compatible, forbidden-free placements
+  };
+
+  void startFcPhase() {
+    if (inst_.slots.empty()) {
+      recordSolution();
+      return;
+    }
+    // Candidates per slot depend only on the region placements; slots of the
+    // same region share one list. Order: fewest candidates first.
+    std::vector<SlotPlan> plans;
+    plans.reserve(inst_.slots.size());
+    const device::Device& dev = inst_.prob().dev();
+    std::vector<std::vector<Rect>> per_region(
+        static_cast<std::size_t>(inst_.prob().numRegions()));
+    std::vector<bool> computed(static_cast<std::size_t>(inst_.prob().numRegions()), false);
+    for (std::size_t i = 0; i < inst_.slots.size(); ++i) {
+      const int n = inst_.slots[i].region;
+      if (!computed[static_cast<std::size_t>(n)]) {
+        computed[static_cast<std::size_t>(n)] = true;
+        const Rect& src = rects_[static_cast<std::size_t>(n)];
+        for (const int x : inst_.spans(src.x, src.w))
+          for (const int y : validRows(dev, x, src.w, src.h))
+            per_region[static_cast<std::size_t>(n)].push_back(Rect{x, y, src.w, src.h});
+      }
+      plans.push_back(SlotPlan{static_cast<int>(i), per_region[static_cast<std::size_t>(n)]});
+    }
+    std::stable_sort(plans.begin(), plans.end(), [](const SlotPlan& a, const SlotPlan& b) {
+      return a.candidates.size() < b.candidates.size();
+    });
+    fc_entry_rl_ = rl_;
+    descendSlots(plans, 0, std::vector<std::size_t>(
+                               static_cast<std::size_t>(inst_.prob().numRegions()), 0));
+  }
+
+  /// `next_start[n]` enforces a canonical candidate order among same-region
+  /// slots (they are interchangeable), killing the k! symmetry.
+  ///
+  /// Returns true when the FC phase may stop for this region placement: FC
+  /// positions do not enter any cost term (only whether each slot is
+  /// placed), so an assignment placing every remaining slot — no skip
+  /// penalty over the phase entry — is optimal for the fixed region rects.
+  bool descendSlots(const std::vector<SlotPlan>& plans, std::size_t depth,
+                    std::vector<std::size_t> next_start) {
+    if (aborted()) return true;
+    if (depth == plans.size()) {
+      recordSolution();
+      return rl_ == fc_entry_rl_;
+    }
+    ++local_nodes_;
+    const SlotPlan& plan = plans[depth];
+    const FcSlot& slot = inst_.slots[static_cast<std::size_t>(plan.slot)];
+    const std::size_t start = next_start[static_cast<std::size_t>(slot.region)];
+    for (std::size_t c = start; c < plan.candidates.size(); ++c) {
+      const Rect& r = plan.candidates[c];
+      if (occ_.overlaps(r)) continue;
+      occ_.fill(r);
+      fc_rects_[static_cast<std::size_t>(plan.slot)] = r;
+      fc_placed_[static_cast<std::size_t>(plan.slot)] = true;
+      std::vector<std::size_t> ns = next_start;
+      ns[static_cast<std::size_t>(slot.region)] = c + 1;
+      const bool done = descendSlots(plans, depth + 1, std::move(ns));
+      fc_placed_[static_cast<std::size_t>(plan.slot)] = false;
+      occ_.clear(r);
+      if (done || aborted()) return done;
+    }
+    if (!slot.hard && inst_.opt.mode == ObjectiveMode::kWeighted) {
+      // Soft request: skip with penalty cw_c (Sec. V).
+      rl_ += slot.weight;
+      bool done = false;
+      if (boundKey(inst_.prob().numRegions()) <
+          shared_.best_key.load(std::memory_order_relaxed))
+        done = descendSlots(plans, depth + 1, std::move(next_start));
+      rl_ -= slot.weight;
+      return done;
+    }
+    return false;
+  }
+
+  void recordSolution() {
+    model::Floorplan plan;
+    plan.regions = rects_;
+    plan.fc_areas = model::expandFcRequests(inst_.prob());
+    for (std::size_t i = 0; i < inst_.slots.size(); ++i) {
+      plan.fc_areas[i].placed = fc_placed_[i];
+      if (fc_placed_[i]) plan.fc_areas[i].rect = fc_rects_[i];
+    }
+    const model::FloorplanCosts costs = model::evaluate(inst_.prob(), plan);
+    const std::uint64_t key =
+        inst_.opt.mode == ObjectiveMode::kLexicographic
+            ? lexKey(costs.wasted_frames,
+                     inst_.opt.optimize_wirelength ? costs.wire_length : 0.0)
+            : weightedKey(costs.objective);
+
+    std::uint64_t cur = shared_.best_key.load(std::memory_order_relaxed);
+    while (key < cur && !shared_.best_key.compare_exchange_weak(cur, key)) {
+    }
+    if (key <= cur || !shared_.has_plan) {
+      std::lock_guard<std::mutex> lock(shared_.mutex);
+      if (key <= shared_.best_key.load() || !shared_.has_plan) {
+        shared_.best_plan = std::move(plan);
+        shared_.has_plan = true;
+      }
+    }
+    if (inst_.opt.feasibility_only) shared_.stop.store(true);
+  }
+
+  void flushNodes() {
+    shared_.nodes.fetch_add(local_nodes_ - flushed_nodes_, std::memory_order_relaxed);
+    flushed_nodes_ = local_nodes_;
+    if (inst_.opt.node_limit > 0 &&
+        shared_.nodes.load(std::memory_order_relaxed) > inst_.opt.node_limit)
+      shared_.stop.store(true);
+  }
+
+ public:
+  void finish() { flushNodes(); }
+
+ private:
+  const Instance& inst_;
+  Shared& shared_;
+  const Deadline& deadline_;
+  Occupancy occ_;
+  std::vector<Rect> rects_;
+  std::vector<bool> region_placed_;
+  std::vector<Rect> fc_rects_;
+  std::vector<bool> fc_placed_;
+  std::vector<long> used_;  ///< covered tiles per type over placed regions
+  std::vector<long> need_;  ///< remaining demand lower bound per type
+  long waste_ = 0;
+  double perim_ = 0;
+  double rl_ = 0;
+  double fc_entry_rl_ = 0;  ///< rl_ on entering the FC phase (early-stop ref)
+  long local_nodes_ = 0;
+  long flushed_nodes_ = 0;
+};
+
+Instance buildInstance(const model::FloorplanProblem& problem, const SearchOptions& opt) {
+  Instance inst;
+  inst.problem = &problem;
+  inst.opt = opt;
+
+  const std::string problem_error = problem.validateStructure();
+  RFP_CHECK_MSG(problem_error.empty(), "invalid problem: " << problem_error);
+
+  // In lexicographic mode taller-than-minimal shapes are strictly dominated
+  // (see enumerateCandidates); in weighted mode a taller shape can pay off
+  // through the wire-length term, so the full shape set is kept.
+  const bool min_height_only = opt.mode == ObjectiveMode::kLexicographic;
+  inst.candidates.reserve(static_cast<std::size_t>(problem.numRegions()));
+  for (int n = 0; n < problem.numRegions(); ++n)
+    inst.candidates.push_back(
+        enumerateCandidates(problem, n, opt.waste_budget, min_height_only));
+
+  // Most-constrained-first ordering (fewest placements).
+  inst.region_order.resize(static_cast<std::size_t>(problem.numRegions()));
+  for (int n = 0; n < problem.numRegions(); ++n)
+    inst.region_order[static_cast<std::size_t>(n)] = n;
+  std::stable_sort(inst.region_order.begin(), inst.region_order.end(), [&](int a, int b) {
+    return inst.candidates[static_cast<std::size_t>(a)].totalPlacements() <
+           inst.candidates[static_cast<std::size_t>(b)].totalPlacements();
+  });
+
+  inst.suffix_min_waste.assign(static_cast<std::size_t>(problem.numRegions()) + 1, 0);
+  for (int i = problem.numRegions() - 1; i >= 0; --i) {
+    const RegionCandidates& c =
+        inst.candidates[static_cast<std::size_t>(inst.region_order[static_cast<std::size_t>(i)])];
+    const long mw = c.shapes.empty() ? LONG_MAX / 8 : c.min_waste;
+    inst.suffix_min_waste[static_cast<std::size_t>(i)] =
+        inst.suffix_min_waste[static_cast<std::size_t>(i) + 1] + mw;
+  }
+
+  inst.min_perimeter.assign(static_cast<std::size_t>(problem.numRegions()), 0.0);
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    double best = 1e30;
+    for (const Shape& s : inst.candidates[static_cast<std::size_t>(n)].shapes)
+      best = std::min(best, 2.0 * (s.w + s.h));
+    inst.min_perimeter[static_cast<std::size_t>(n)] =
+        inst.candidates[static_cast<std::size_t>(n)].shapes.empty() ? 0.0 : best;
+  }
+
+  for (const model::RelocationRequest& req : problem.relocations()) {
+    RFP_CHECK_MSG(req.hard || opt.mode == ObjectiveMode::kWeighted,
+                  "soft relocation requests require ObjectiveMode::kWeighted");
+    for (int i = 0; i < req.count; ++i)
+      inst.slots.push_back(FcSlot{req.region, req.hard, req.weight});
+  }
+
+  // Supply/demand bookkeeping for the per-type prune.
+  const int T = problem.dev().numTileTypes();
+  const std::vector<int> totals = problem.dev().totalTiles(/*usable_only=*/true);
+  inst.supply.assign(totals.begin(), totals.end());
+  inst.hard_fc.assign(static_cast<std::size_t>(problem.numRegions()), 0);
+  for (const FcSlot& s : inst.slots)
+    if (s.hard) ++inst.hard_fc[static_cast<std::size_t>(s.region)];
+  inst.req.resize(static_cast<std::size_t>(problem.numRegions()));
+  inst.base_need.assign(static_cast<std::size_t>(T), 0);
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    inst.req[static_cast<std::size_t>(n)].resize(static_cast<std::size_t>(T));
+    for (int t = 0; t < T; ++t) {
+      const int r = problem.region(n).required(t);
+      inst.req[static_cast<std::size_t>(n)][static_cast<std::size_t>(t)] = r;
+      inst.base_need[static_cast<std::size_t>(t)] +=
+          static_cast<long>(1 + inst.hard_fc[static_cast<std::size_t>(n)]) * r;
+    }
+  }
+
+  // Column-span cache for the FC checks (only needed when FC slots exist).
+  if (!inst.slots.empty()) {
+    const device::Device& dev = problem.dev();
+    const int W = dev.width();
+    inst.span_stride = W;
+    inst.span_cache.resize(static_cast<std::size_t>(W) * static_cast<std::size_t>(W));
+    for (int w = 1; w <= W; ++w)
+      for (int x = 0; x + w <= W; ++x)
+        inst.span_cache[static_cast<std::size_t>(x) * static_cast<std::size_t>(W) +
+                        static_cast<std::size_t>(w) - 1] = matchingColumnSpans(dev, x, w);
+  }
+
+  // Eq. 14 normalizers (same convention as model::evaluate).
+  const device::Device& dev = problem.dev();
+  inst.wl_max = 0;
+  for (const model::Net& net : problem.nets())
+    inst.wl_max += net.weight * (dev.width() + dev.height());
+  if (inst.wl_max <= 0) inst.wl_max = 1;
+  inst.p_max = std::max(1.0, 2.0 * problem.numRegions() * (dev.width() + dev.height()));
+  inst.r_max = std::max<double>(1.0, static_cast<double>(dev.totalFrames()));
+  inst.rl_max = 0;
+  for (const FcSlot& s : inst.slots) inst.rl_max += s.weight;
+  if (inst.rl_max <= 0) inst.rl_max = 1;
+  return inst;
+}
+
+}  // namespace
+
+SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem) const {
+  Stopwatch watch;
+  Deadline deadline(options_.time_limit_seconds);
+  SearchResult result;
+
+  // Aggregate over-demand is an infeasibility verdict, not an API error.
+  if (!problem.supplyShortfall().empty()) {
+    result.status = SearchStatus::kInfeasible;
+    result.seconds = watch.seconds();
+    return result;
+  }
+
+  const Instance inst = buildInstance(problem, options_);
+  Shared shared;
+
+  // Root decomposition: the first region's candidate placements.
+  const int first = inst.region_order.empty() ? -1 : inst.region_order[0];
+  std::vector<std::pair<std::size_t, std::size_t>> roots;
+  if (first >= 0) {
+    const RegionCandidates& c = inst.candidates[static_cast<std::size_t>(first)];
+    for (std::size_t si = 0; si < c.shapes.size(); ++si)
+      for (std::size_t yi = 0; yi < c.shapes[si].ys.size(); ++yi)
+        roots.emplace_back(si, yi);
+  }
+
+  if (first < 0) {
+    // No regions: trivially feasible empty plan.
+    result.plan.fc_areas = model::expandFcRequests(problem);
+    result.costs = model::evaluate(problem, result.plan);
+    result.status = SearchStatus::kOptimal;
+    result.seconds = watch.seconds();
+    return result;
+  }
+
+  const int threads = std::max(1, options_.num_threads);
+  std::atomic<std::size_t> next_root{0};
+  auto body = [&]() {
+    Worker worker(inst, shared, deadline);
+    while (!shared.stop.load(std::memory_order_relaxed)) {
+      const std::size_t i = next_root.fetch_add(1, std::memory_order_relaxed);
+      if (i >= roots.size()) break;
+      worker.exploreRoot(roots[i].first, roots[i].second);
+    }
+    worker.finish();
+  };
+
+  if (threads == 1) {
+    body();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(body);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.nodes = shared.nodes.load();
+  result.seconds = watch.seconds();
+  const bool truncated =
+      shared.stop.load() &&
+      !(options_.feasibility_only && shared.has_plan);  // feasibility stop ≠ limit
+  if (shared.has_plan) {
+    result.plan = shared.best_plan;
+    result.costs = model::evaluate(problem, result.plan);
+    result.status = truncated && !options_.feasibility_only ? SearchStatus::kFeasible
+                                                            : SearchStatus::kOptimal;
+    if (options_.feasibility_only) result.status = SearchStatus::kFeasible;
+  } else {
+    result.status = truncated ? SearchStatus::kNoSolution : SearchStatus::kInfeasible;
+  }
+  return result;
+}
+
+std::vector<bool> ColumnarSearchSolver::feasibilityAnalysis(
+    const model::FloorplanProblem& problem) const {
+  std::vector<bool> relocatable(static_cast<std::size_t>(problem.numRegions()), false);
+  for (int n = 0; n < problem.numRegions(); ++n) {
+    // Rebuild the problem with a single hard FC request for region n.
+    model::FloorplanProblem probe(&problem.dev());
+    for (int i = 0; i < problem.numRegions(); ++i) probe.addRegion(problem.region(i));
+    for (const model::Net& net : problem.nets()) probe.addNet(net);
+    probe.addRelocation(model::RelocationRequest{n, 1, /*hard=*/true, 1.0});
+    probe.setLexicographic(problem.lexicographic());
+
+    SearchOptions opt = options_;
+    opt.feasibility_only = true;
+    opt.mode = ObjectiveMode::kLexicographic;
+    ColumnarSearchSolver probe_solver(opt);
+    const SearchResult res = probe_solver.solve(probe);
+    relocatable[static_cast<std::size_t>(n)] = res.hasSolution();
+  }
+  return relocatable;
+}
+
+}  // namespace rfp::search

@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros used across the library.
+//
+// RFP_CHECK fires in all build types (it guards API contracts and solver
+// invariants whose violation would silently corrupt results). Failures throw
+// rfp::CheckError so callers and tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rfp {
+
+/// Exception thrown when a runtime contract check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rfp
+
+#define RFP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::rfp::detail::checkFail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RFP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::rfp::detail::checkFail(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                  \
+  } while (0)

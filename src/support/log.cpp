@@ -1,0 +1,40 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace rfp::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLevel(Level level) noexcept { g_level.store(static_cast<int>(level)); }
+
+Level level() noexcept { return static_cast<Level>(g_level.load()); }
+
+void emit(Level level, const std::string& message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double t = std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %s\n", t, levelName(level), message.c_str());
+}
+
+}  // namespace rfp::log

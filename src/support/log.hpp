@@ -1,0 +1,38 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   rfp::log::setLevel(rfp::log::Level::kInfo);
+//   RFP_LOG_INFO("solved in " << t << "s");
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rfp::log {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the global minimum level that is emitted.
+void setLevel(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits a single log line (internal; prefer the RFP_LOG_* macros).
+void emit(Level level, const std::string& message);
+
+}  // namespace rfp::log
+
+#define RFP_LOG_AT(lvl, stream_expr)                          \
+  do {                                                        \
+    if (static_cast<int>(lvl) >= static_cast<int>(::rfp::log::level())) { \
+      std::ostringstream os_;                                 \
+      os_ << stream_expr;                                     \
+      ::rfp::log::emit(lvl, os_.str());                       \
+    }                                                         \
+  } while (0)
+
+#define RFP_LOG_TRACE(s) RFP_LOG_AT(::rfp::log::Level::kTrace, s)
+#define RFP_LOG_DEBUG(s) RFP_LOG_AT(::rfp::log::Level::kDebug, s)
+#define RFP_LOG_INFO(s) RFP_LOG_AT(::rfp::log::Level::kInfo, s)
+#define RFP_LOG_WARN(s) RFP_LOG_AT(::rfp::log::Level::kWarn, s)
+#define RFP_LOG_ERROR(s) RFP_LOG_AT(::rfp::log::Level::kError, s)

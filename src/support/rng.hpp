@@ -1,0 +1,72 @@
+// Deterministic, seedable PRNG (xoshiro256**) so every experiment in the
+// repository is reproducible bit-for-bit across platforms; <random> engines
+// are not guaranteed to produce identical streams across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace rfp {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation),
+/// seeded through SplitMix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  std::uint64_t nextU64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    while (true) {
+      const std::uint64_t x = nextU64();
+      const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound && low < static_cast<std::uint64_t>(-static_cast<std::int64_t>(bound)) % bound)
+        continue;
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (nextU64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool nextBool(double p_true = 0.5) { return nextDouble() < p_true; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rfp

@@ -1,0 +1,28 @@
+// Small string utilities shared by the device parser and result writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfp::str {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// Splits on a delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// printf-style float formatting with fixed precision, locale-independent.
+[[nodiscard]] std::string formatDouble(double v, int precision = 3);
+
+}  // namespace rfp::str

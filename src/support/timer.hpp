@@ -1,0 +1,48 @@
+// Wall-clock stopwatch and deadline helpers used by the solvers.
+#pragma once
+
+#include <chrono>
+
+namespace rfp {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget; `expired()` is cheap enough to poll in inner loops.
+class Deadline {
+ public:
+  /// `limit_seconds <= 0` means "no limit".
+  explicit Deadline(double limit_seconds = 0.0) : limit_(limit_seconds) {}
+
+  [[nodiscard]] bool expired() const {
+    return limit_ > 0.0 && watch_.seconds() >= limit_;
+  }
+
+  [[nodiscard]] double remaining() const {
+    if (limit_ <= 0.0) return 1e30;
+    return limit_ - watch_.seconds();
+  }
+
+  [[nodiscard]] double limit() const { return limit_; }
+  [[nodiscard]] double elapsed() const { return watch_.seconds(); }
+
+ private:
+  double limit_;
+  Stopwatch watch_;
+};
+
+}  // namespace rfp

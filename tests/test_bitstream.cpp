@@ -1,0 +1,101 @@
+// Tests for the synthetic partial-bitstream model and relocation filter.
+#include <gtest/gtest.h>
+
+#include "bitstream/bitstream.hpp"
+#include "device/builders.hpp"
+#include "support/check.hpp"
+
+namespace rfp::bitstream {
+namespace {
+
+using device::Rect;
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Bitstream, FrameAddressPackingRoundTrip) {
+  const FrameAddress a{37, 6, 29};
+  EXPECT_EQ(FrameAddress::unpack(a.packed()), a);
+}
+
+TEST(Bitstream, GeneratedBitstreamVerifies) {
+  const device::Device dev = device::virtex5FX70T();
+  const Rect area{6, 0, 6, 5};  // a matched-filter footprint (D C C C C C)
+  const PartialBitstream bs = generateBitstream(dev, area, /*design_seed=*/1);
+  EXPECT_EQ(verifyBitstream(dev, bs), "");
+  // Frame count: per column type per tile: sum over tiles.
+  long expected = 0;
+  for (int x = area.x; x < area.x2(); ++x)
+    expected += static_cast<long>(dev.tileType(dev.columnType(x)).frames) * area.h;
+  EXPECT_EQ(static_cast<long>(bs.frames.size()), expected);
+}
+
+TEST(Bitstream, TamperingBreaksCrc) {
+  const device::Device dev = device::uniformDevice(4, 4);
+  PartialBitstream bs = generateBitstream(dev, Rect{0, 0, 2, 2}, 1);
+  bs.frames[0].words[0] ^= 1u;
+  EXPECT_NE(verifyBitstream(dev, bs), "");
+}
+
+TEST(Bitstream, RelocationMovesAddressesAndFixesCrc) {
+  const device::Device dev = device::virtex5FX70T();
+  const Rect src{3, 0, 4, 2};
+  const Rect dst{3, 4, 4, 2};  // vertical translation: always compatible
+  const PartialBitstream bs = generateBitstream(dev, src, 2);
+  const PartialBitstream moved = relocateBitstream(dev, bs, dst);
+  EXPECT_EQ(verifyBitstream(dev, moved), "");
+  EXPECT_EQ(moved.area, dst);
+  EXPECT_EQ(moved.frames[0].address.row, bs.frames[0].address.row + 4);
+  EXPECT_EQ(moved.frames[0].address.column, bs.frames[0].address.column);
+  EXPECT_NE(moved.crc, bs.crc);  // addresses participate in the CRC
+}
+
+TEST(Bitstream, RelocationRoundTripIsIdentity) {
+  const device::Device dev = device::virtex5FX70T();
+  const Rect src{8, 1, 3, 3};
+  const Rect dst{8, 5, 3, 3};
+  const PartialBitstream bs = generateBitstream(dev, src, 3);
+  const PartialBitstream back = relocateBitstream(dev, relocateBitstream(dev, bs, dst), src);
+  EXPECT_EQ(back.crc, bs.crc);
+  ASSERT_EQ(back.frames.size(), bs.frames.size());
+  for (std::size_t i = 0; i < bs.frames.size(); ++i) {
+    EXPECT_EQ(back.frames[i].address, bs.frames[i].address);
+    EXPECT_EQ(back.frames[i].words, bs.frames[i].words);
+  }
+}
+
+TEST(Bitstream, RelocationToIncompatibleAreaRejected) {
+  const device::Device dev = device::virtex5FX70T();
+  // Source spans the BRAM column at x=2; x+1 has a different signature.
+  const PartialBitstream bs = generateBitstream(dev, Rect{1, 0, 3, 2}, 4);
+  EXPECT_THROW((void)relocateBitstream(dev, bs, Rect{2, 0, 3, 2}), CheckError);
+}
+
+TEST(Bitstream, CompatibleHorizontalRelocation) {
+  // The two DSP columns of the FX70T model have congruent neighborhoods:
+  // D C C C C C at x=7 matches x=22.
+  const device::Device dev = device::virtex5FX70T();
+  const PartialBitstream bs = generateBitstream(dev, Rect{7, 0, 6, 5}, 5);
+  const PartialBitstream moved = relocateBitstream(dev, bs, Rect{22, 0, 6, 5});
+  EXPECT_EQ(verifyBitstream(dev, moved), "");
+  // Same configuration data (Def. .1): payloads must be identical.
+  for (std::size_t i = 0; i < bs.frames.size(); ++i)
+    EXPECT_EQ(moved.frames[i].words, bs.frames[i].words);
+}
+
+TEST(Bitstream, PayloadPositionIndependence) {
+  // Definition .1: the configuration data of compatible areas is identical —
+  // generating directly at the target equals relocating from the source.
+  const device::Device dev = device::virtex5FX70T();
+  const PartialBitstream at_src = generateBitstream(dev, Rect{7, 0, 6, 5}, 9);
+  const PartialBitstream at_dst = generateBitstream(dev, Rect{22, 2, 6, 5}, 9);
+  const PartialBitstream moved = relocateBitstream(dev, at_src, Rect{22, 2, 6, 5});
+  ASSERT_EQ(moved.frames.size(), at_dst.frames.size());
+  EXPECT_EQ(moved.crc, at_dst.crc);
+}
+
+}  // namespace
+}  // namespace rfp::bitstream

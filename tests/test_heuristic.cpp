@@ -1,0 +1,89 @@
+// Tests for the constructive heuristic (HO's first-solution generator).
+#include <gtest/gtest.h>
+
+#include "device/builders.hpp"
+#include "fp/heuristic.hpp"
+#include "model/floorplan.hpp"
+
+namespace rfp::fp {
+namespace {
+
+TEST(Heuristic, SolvesSdrWithoutRelocation) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const auto fp = constructiveFloorplan(sdr);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_EQ(model::check(sdr, *fp), "");
+}
+
+TEST(Heuristic, SolvesSdr2WithHardRelocation) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  const auto fp = constructiveFloorplan(sdr2);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_EQ(model::check(sdr2, *fp), "");
+  EXPECT_EQ(fp->placedFcCount(), 6);
+}
+
+TEST(Heuristic, FailsCleanlyOnImpossibleInstance) {
+  const device::Device dev = device::uniformDevice(2, 2);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+  HeuristicOptions opt;
+  opt.restarts = 4;
+  EXPECT_FALSE(constructiveFloorplan(p, opt).has_value());
+}
+
+TEST(Heuristic, DeterministicForFixedSeed) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const auto a = constructiveFloorplan(sdr);
+  const auto b = constructiveFloorplan(sdr);
+  ASSERT_TRUE(a && b);
+  for (int n = 0; n < sdr.numRegions(); ++n)
+    EXPECT_EQ(a->regions[static_cast<std::size_t>(n)], b->regions[static_cast<std::size_t>(n)]);
+}
+
+TEST(Heuristic, RestartsRecoverFromBadFirstOrder) {
+  // Generated instances on a tight device: restarts must raise the success
+  // rate over the deterministic first order alone.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"a", {4, 0, 1}});
+  p.addRegion(model::RegionSpec{"b", {3, 1, 0}});
+  p.addRegion(model::RegionSpec{"c", {6, 0, 0}});
+  HeuristicOptions opt;
+  opt.restarts = 50;
+  const auto fp = constructiveFloorplan(p, opt);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_EQ(model::check(p, *fp), "");
+}
+
+TEST(Heuristic, SolutionsOnGeneratedSdr3AreCheckable) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr3 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr3, 3);
+  HeuristicOptions opt;
+  opt.restarts = 30;
+  const auto fp = constructiveFloorplan(sdr3, opt);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_EQ(model::check(sdr3, *fp), "");
+  EXPECT_EQ(fp->placedFcCount(), 9);
+}
+
+TEST(Heuristic, SoftRequestsBestEffort) {
+  // Tight device: region fits but no FC space; soft request → still succeeds.
+  const device::Device dev = device::uniformDevice(2, 2);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 1, false, 1.0});
+  const auto fp = constructiveFloorplan(p);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_EQ(fp->placedFcCount(), 0);
+  EXPECT_EQ(model::check(p, *fp), "");
+}
+
+}  // namespace
+}  // namespace rfp::fp

@@ -1,0 +1,236 @@
+// Cross-module invariants on randomized instances (complementing
+// test_properties.cpp), exercising the generator, the search solver's
+// budget/relocation semantics, rendering, the problem text format, and the
+// runtime-reconfiguration layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/builders.hpp"
+#include "device/catalog.hpp"
+#include "io/problem_text.hpp"
+#include "model/floorplan.hpp"
+#include "model/generator.hpp"
+#include "reconfig/reconfig.hpp"
+#include "render/render.hpp"
+#include "search/solver.hpp"
+
+namespace rfp {
+namespace {
+
+using device::Rect;
+
+// With zero requirement slack, the generator derives each region's demand
+// from an actually-packed rectangle — so a zero-waste floorplan exists and
+// the lexicographic optimum must find waste exactly 0.
+TEST(GeneratorInvariant, ZeroSlackInstancesHaveZeroWasteOptimum) {
+  const device::Device dev = device::virtex5FX70T();
+  search::SearchOptions opt;
+  opt.num_threads = 4;
+  int exercised = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    model::GeneratorOptions gopt;
+    gopt.num_regions = 3;
+    gopt.requirement_slack = 0.0;
+    gopt.seed = seed;
+    const auto p = model::generateProblem(dev, gopt);
+    if (!p) continue;
+    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(*p);
+    ASSERT_EQ(res.status, search::SearchStatus::kOptimal) << "seed " << seed;
+    EXPECT_EQ(res.costs.wasted_frames, 0) << "seed " << seed;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 6);
+}
+
+// waste_budget semantics: any returned solution respects the budget, and a
+// budget strictly below the proven optimum is infeasible.
+TEST(SearchInvariant, WasteBudgetIsRespectedExactly) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  search::SearchOptions opt;
+  opt.num_threads = 4;
+  const long optimum = search::ColumnarSearchSolver(opt).solve(sdr).costs.wasted_frames;
+
+  search::SearchOptions capped = opt;
+  capped.waste_budget = optimum;
+  const search::SearchResult at = search::ColumnarSearchSolver(capped).solve(sdr);
+  ASSERT_TRUE(at.hasSolution());
+  EXPECT_LE(at.costs.wasted_frames, optimum);
+
+  capped.waste_budget = optimum - 1;
+  EXPECT_EQ(search::ColumnarSearchSolver(capped).solve(sdr).status,
+            search::SearchStatus::kInfeasible);
+}
+
+// Every FC area of a hard-constraint solution is free-compatible w.r.t. its
+// region by direct grid inspection (Definition .2 re-checked outside the
+// solver and outside model::check).
+TEST(SearchInvariant, FcAreasAreCompatibleByDirectInspection) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  search::SearchOptions opt;
+  opt.num_threads = 8;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(sdr2);
+  ASSERT_TRUE(res.hasSolution());
+  for (const model::FcArea& a : res.plan.fc_areas) {
+    ASSERT_TRUE(a.placed);
+    const Rect& src = res.plan.regions[static_cast<std::size_t>(a.region)];
+    ASSERT_EQ(a.rect.w, src.w);
+    ASSERT_EQ(a.rect.h, src.h);
+    for (int dx = 0; dx < src.w; ++dx)
+      for (int dy = 0; dy < src.h; ++dy)
+        EXPECT_EQ(dev.typeAt(a.rect.x + dx, a.rect.y + dy),
+                  dev.typeAt(src.x + dx, src.y + dy))
+            << "tile (" << dx << "," << dy << ")";
+    EXPECT_FALSE(dev.rectHitsForbidden(a.rect));
+  }
+}
+
+// ASCII rendering is consistent with the floorplan: each region's letter
+// appears exactly area-many times in the grid.
+TEST(RenderInvariant, AsciiLetterCountsMatchRegionAreas) {
+  const device::Device dev = device::virtex5FX70T();
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 4;
+  gopt.seed = 5;
+  const auto p = model::generateProblem(dev, gopt);
+  ASSERT_TRUE(p);
+  search::SearchOptions opt;
+  opt.num_threads = 4;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(*p);
+  ASSERT_TRUE(res.hasSolution());
+  const std::string art = render::ascii(*p, res.plan);
+  const std::string grid = art.substr(0, art.find("\n+--", 3));  // grid block only
+  for (int n = 0; n < p->numRegions(); ++n) {
+    const char letter = static_cast<char>('A' + n);
+    const long count = std::count(grid.begin(), grid.end(), letter);
+    const Rect& r = res.plan.regions[static_cast<std::size_t>(n)];
+    EXPECT_EQ(count, static_cast<long>(r.w) * r.h) << "region " << n;
+  }
+}
+
+// SVG rendering is well-formed enough to be parsed as XML-ish: balanced
+// <svg> root and one <rect> per tile at minimum.
+TEST(RenderInvariant, SvgContainsRootAndRegionBoxes) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  search::SearchOptions opt;
+  opt.num_threads = 4;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(sdr);
+  ASSERT_TRUE(res.hasSolution());
+  const std::string svg = render::svg(sdr, res.plan);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  for (int n = 0; n < sdr.numRegions(); ++n)
+    EXPECT_NE(svg.find(sdr.region(n).name), std::string::npos) << "label " << n;
+}
+
+// Problem text format round-trips random generated instances exactly.
+TEST(ProblemTextInvariant, RoundTripsGeneratedInstances) {
+  const device::Device dev = device::virtex5FX70T();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    model::GeneratorOptions gopt;
+    gopt.num_regions = 4;
+    gopt.num_nets = 3;
+    gopt.fc_per_region = seed % 3 == 0 ? 1 : 0;
+    gopt.soft_relocation = seed % 2 == 0;
+    gopt.seed = seed;
+    const auto p = model::generateProblem(dev, gopt);
+    if (!p) continue;
+    const model::FloorplanProblem q = io::parseProblem(io::formatProblem(*p), dev);
+    ASSERT_EQ(q.numRegions(), p->numRegions());
+    for (int n = 0; n < p->numRegions(); ++n)
+      for (int t = 0; t < dev.numTileTypes(); ++t)
+        EXPECT_EQ(q.region(n).required(t), p->region(n).required(t)) << seed;
+    ASSERT_EQ(q.nets().size(), p->nets().size());
+    ASSERT_EQ(q.relocations().size(), p->relocations().size());
+    for (std::size_t i = 0; i < q.relocations().size(); ++i) {
+      EXPECT_EQ(q.relocations()[i].hard, p->relocations()[i].hard);
+      EXPECT_EQ(q.relocations()[i].count, p->relocations()[i].count);
+    }
+  }
+}
+
+// The two storage policies must produce bitstreams with identical content
+// semantics: fetching the same (region, mode, target) yields frame-identical
+// bitstreams either way.
+TEST(ReconfigInvariant, PoliciesYieldIdenticalBitstreams) {
+  const device::Device dev = device::uniformDevice(10, 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 2, true, 1.0});
+  search::SearchResult sol = search::ColumnarSearchSolver().solve(p);
+  ASSERT_TRUE(sol.hasSolution());
+
+  reconfig::ReconfigSimulator aware(p, sol.plan, reconfig::StorePolicy::kRelocationAware);
+  reconfig::ReconfigSimulator perloc(p, sol.plan, reconfig::StorePolicy::kPerLocation);
+  aware.registerModes(0, {reconfig::ModuleMode{"m", 9}});
+  perloc.registerModes(0, {reconfig::ModuleMode{"m", 9}});
+
+  for (int target = 0; target < aware.targetCount(0); ++target) {
+    const Rect rect = aware.target(0, target);
+    const auto a = aware.store().fetch(0, "m", rect);
+    const auto b = perloc.store().fetch(0, "m", rect);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    EXPECT_EQ(a.crc, b.crc) << "target " << target;
+    for (std::size_t f = 0; f < a.frames.size(); ++f) {
+      EXPECT_EQ(a.frames[f].address, b.frames[f].address);
+      EXPECT_EQ(a.frames[f].words, b.frames[f].words);
+    }
+  }
+}
+
+// Makespan is invariant to the storage policy up to the filter overhead:
+// per-location makespan + total filter time == relocation-aware makespan for
+// a back-to-back schedule.
+TEST(ReconfigInvariant, FilterTimeAccountsForTheMakespanGap) {
+  const device::Device dev = device::uniformDevice(12, 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 2, true, 1.0});
+  const search::SearchResult sol = search::ColumnarSearchSolver().solve(p);
+  ASSERT_TRUE(sol.hasSolution());
+
+  std::vector<reconfig::SwitchRequest> schedule;
+  for (int i = 0; i < 9; ++i)
+    schedule.push_back(reconfig::SwitchRequest{0.0, 0, "m", i % 3});
+
+  double makespan[2], filter[2];
+  int idx = 0;
+  for (const auto policy : {reconfig::StorePolicy::kRelocationAware,
+                            reconfig::StorePolicy::kPerLocation}) {
+    reconfig::ReconfigSimulator sim(p, sol.plan, policy);
+    sim.registerModes(0, {reconfig::ModuleMode{"m", 1}});
+    const reconfig::SimulationResult res = sim.run(schedule);
+    makespan[idx] = res.stats.makespan_us;
+    filter[idx] = res.stats.total_filter_us;
+    ++idx;
+  }
+  EXPECT_NEAR(makespan[0] - filter[0], makespan[1], 1e-6);
+  EXPECT_DOUBLE_EQ(filter[1], 0.0);
+}
+
+// Catalog devices can host generated instances end to end (device → generate
+// → solve → check), exercising every family.
+TEST(CatalogInvariant, GeneratedInstancesSolveOnEveryCatalogPart) {
+  for (const device::CatalogEntry& entry : device::catalog()) {
+    const device::Device dev = entry.build();
+    model::GeneratorOptions gopt;
+    gopt.num_regions = 2;
+    gopt.max_region_width = 4;
+    gopt.max_region_height = 2;
+    gopt.seed = 11;
+    const auto p = model::generateProblem(dev, gopt);
+    if (!p) continue;  // tiny parts may fail to pack this shape
+    search::SearchOptions opt;
+    opt.feasibility_only = true;
+    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(*p);
+    ASSERT_TRUE(res.hasSolution()) << entry.name;
+    EXPECT_EQ(model::check(*p, res.plan), "") << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,230 @@
+// Runtime reconfiguration simulator: ICAP timing model, bitstream store
+// policies (relocation-aware vs per-location), and schedule execution
+// against floorplans with free-compatible areas.
+#include <gtest/gtest.h>
+
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "reconfig/reconfig.hpp"
+#include "search/solver.hpp"
+#include "support/check.hpp"
+
+namespace rfp::reconfig {
+namespace {
+
+using device::Rect;
+
+// A 2-region floorplan with one FC area on a uniform device, built by hand.
+struct Fixture {
+  device::Device dev = device::uniformDevice(8, 4);
+  model::FloorplanProblem problem{&dev};
+  model::Floorplan fp;
+
+  Fixture() {
+    problem.addRegion(model::RegionSpec{"a", {4}});
+    problem.addRegion(model::RegionSpec{"b", {2}});
+    problem.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+    fp.regions = {Rect{0, 0, 2, 2}, Rect{2, 0, 2, 1}};
+    fp.fc_areas = model::expandFcRequests(problem);
+    fp.fc_areas[0].placed = true;
+    fp.fc_areas[0].rect = Rect{4, 0, 2, 2};
+  }
+};
+
+TEST(Icap, LoadTimeScalesLinearlyInFrames) {
+  const Icap icap;
+  const double t1 = icap.loadMicros(10);
+  const double t2 = icap.loadMicros(20);
+  const double overhead = icap.spec().per_load_overhead_us;
+  EXPECT_NEAR(t2 - overhead, 2.0 * (t1 - overhead), 1e-9);
+  EXPECT_GT(t1, overhead);
+}
+
+TEST(Icap, Virtex5NumbersAreInTheRightBallpark) {
+  // 100 MHz x 4 bytes/cycle = 400 MB/s; one frame = 164 bytes ≈ 0.41 us.
+  const Icap icap;
+  EXPECT_NEAR(icap.loadMicros(1) - icap.spec().per_load_overhead_us, 0.41, 0.01);
+}
+
+TEST(Icap, RelocationFilterCostIsPerFrame) {
+  const Icap icap;
+  EXPECT_DOUBLE_EQ(icap.relocateMicros(0), 0.0);
+  EXPECT_GT(icap.relocateMicros(100), icap.relocateMicros(10));
+}
+
+TEST(BitstreamStore, RelocationAwareStoresOneCopyPerMode) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kRelocationAware);
+  store.registerMode(0, ModuleMode{"m0", 11}, {f.fp.regions[0], f.fp.fc_areas[0].rect});
+  store.registerMode(0, ModuleMode{"m1", 12}, {f.fp.regions[0], f.fp.fc_areas[0].rect});
+  EXPECT_EQ(store.bitstreamCount(), 2);
+}
+
+TEST(BitstreamStore, PerLocationDuplicatesPerTarget) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kPerLocation);
+  store.registerMode(0, ModuleMode{"m0", 11}, {f.fp.regions[0], f.fp.fc_areas[0].rect});
+  store.registerMode(0, ModuleMode{"m1", 12}, {f.fp.regions[0], f.fp.fc_areas[0].rect});
+  EXPECT_EQ(store.bitstreamCount(), 4);
+}
+
+TEST(BitstreamStore, StorageBytesReflectThePolicy) {
+  Fixture f;
+  BitstreamStore aware(f.dev, StorePolicy::kRelocationAware);
+  BitstreamStore dup(f.dev, StorePolicy::kPerLocation);
+  const std::vector<Rect> targets{f.fp.regions[0], f.fp.fc_areas[0].rect};
+  aware.registerMode(0, ModuleMode{"m", 3}, targets);
+  dup.registerMode(0, ModuleMode{"m", 3}, targets);
+  EXPECT_EQ(dup.totalBytes(), 2 * aware.totalBytes());
+}
+
+TEST(BitstreamStore, FetchRelocatesOnlyWhenTargetDiffers) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kRelocationAware);
+  const std::vector<Rect> targets{f.fp.regions[0], f.fp.fc_areas[0].rect};
+  store.registerMode(0, ModuleMode{"m", 3}, targets);
+
+  int frames = -1;
+  const auto home = store.fetch(0, "m", targets[0], &frames);
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(home.area, targets[0]);
+
+  const auto moved = store.fetch(0, "m", targets[1], &frames);
+  EXPECT_GT(frames, 0);
+  EXPECT_EQ(moved.area, targets[1]);
+  EXPECT_EQ(bitstream::verifyBitstream(f.dev, moved), "");
+}
+
+TEST(BitstreamStore, PerLocationFetchNeverRunsTheFilter) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kPerLocation);
+  const std::vector<Rect> targets{f.fp.regions[0], f.fp.fc_areas[0].rect};
+  store.registerMode(0, ModuleMode{"m", 3}, targets);
+  int frames = -1;
+  const auto bs = store.fetch(0, "m", targets[1], &frames);
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(bs.area, targets[1]);
+}
+
+TEST(BitstreamStore, RejectsIncompatibleTargets) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kRelocationAware);
+  EXPECT_THROW(store.registerMode(0, ModuleMode{"m", 3},
+                                  {Rect{0, 0, 2, 2}, Rect{4, 0, 3, 2}}),  // wrong width
+               rfp::CheckError);
+}
+
+TEST(BitstreamStore, RejectsDuplicateRegistration) {
+  Fixture f;
+  BitstreamStore store(f.dev, StorePolicy::kRelocationAware);
+  store.registerMode(0, ModuleMode{"m", 3}, {f.fp.regions[0]});
+  EXPECT_THROW(store.registerMode(0, ModuleMode{"m", 4}, {f.fp.regions[0]}),
+               rfp::CheckError);
+}
+
+TEST(Simulator, TargetsAreHomePlusPlacedFcAreas) {
+  Fixture f;
+  ReconfigSimulator sim(f.problem, f.fp, StorePolicy::kRelocationAware);
+  EXPECT_EQ(sim.targetCount(0), 2);
+  EXPECT_EQ(sim.targetCount(1), 1);
+  EXPECT_EQ(sim.target(0, 0), f.fp.regions[0]);
+  EXPECT_EQ(sim.target(0, 1), f.fp.fc_areas[0].rect);
+  EXPECT_THROW(sim.target(1, 1), rfp::CheckError);
+}
+
+TEST(Simulator, SequentialIcapSerializesOverlappingRequests) {
+  Fixture f;
+  ReconfigSimulator sim(f.problem, f.fp, StorePolicy::kRelocationAware);
+  sim.registerModes(0, {ModuleMode{"m", 1}});
+  sim.registerModes(1, {ModuleMode{"m", 2}});
+
+  // Both requests arrive at t=0: the second must wait for the first.
+  const SimulationResult res =
+      sim.run({SwitchRequest{0.0, 0, "m", 0}, SwitchRequest{0.0, 1, "m", 0}});
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.records[0].start_us, 0.0);
+  EXPECT_GE(res.records[1].start_us, res.records[0].ready_us);
+  EXPECT_GT(res.stats.max_queue_wait_us, 0.0);
+}
+
+TEST(Simulator, IdlePortServesImmediately) {
+  Fixture f;
+  ReconfigSimulator sim(f.problem, f.fp, StorePolicy::kRelocationAware);
+  sim.registerModes(0, {ModuleMode{"m", 1}});
+  const SimulationResult res =
+      sim.run({SwitchRequest{0.0, 0, "m", 0}, SwitchRequest{1e6, 0, "m", 0}});
+  EXPECT_DOUBLE_EQ(res.records[1].start_us, 1e6);
+  EXPECT_DOUBLE_EQ(res.stats.max_queue_wait_us, 0.0);
+}
+
+TEST(Simulator, RelocationLatencyOnlyUnderRelocationAwarePolicy) {
+  Fixture f;
+  for (const StorePolicy policy :
+       {StorePolicy::kRelocationAware, StorePolicy::kPerLocation}) {
+    ReconfigSimulator sim(f.problem, f.fp, policy);
+    sim.registerModes(0, {ModuleMode{"m", 1}});
+    const SimulationResult res = sim.run({SwitchRequest{0.0, 0, "m", 1}});
+    ASSERT_EQ(res.records.size(), 1u);
+    if (policy == StorePolicy::kRelocationAware) {
+      EXPECT_TRUE(res.records[0].relocated);
+      EXPECT_GT(res.records[0].filter_us, 0.0);
+    } else {
+      EXPECT_FALSE(res.records[0].relocated);
+      EXPECT_DOUBLE_EQ(res.records[0].filter_us, 0.0);
+    }
+  }
+}
+
+TEST(Simulator, ScheduleIsSortedByArrival) {
+  Fixture f;
+  ReconfigSimulator sim(f.problem, f.fp, StorePolicy::kRelocationAware);
+  sim.registerModes(0, {ModuleMode{"m", 1}});
+  const SimulationResult res =
+      sim.run({SwitchRequest{50.0, 0, "m", 0}, SwitchRequest{0.0, 0, "m", 1}});
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.records[0].request.at_us, 0.0);
+  EXPECT_DOUBLE_EQ(res.records[1].request.at_us, 50.0);
+}
+
+TEST(Simulator, RejectsInvalidFloorplans) {
+  Fixture f;
+  f.fp.regions[1] = Rect{0, 0, 2, 2};  // overlap with region 0
+  EXPECT_THROW(ReconfigSimulator(f.problem, f.fp, StorePolicy::kRelocationAware),
+               rfp::CheckError);
+}
+
+TEST(Simulator, EndToEndOnSdr2Floorplan) {
+  // Full pipeline: floorplan SDR2, then run a migration-heavy schedule on
+  // the relocatable regions and verify every relocation.
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  search::SearchOptions opt;
+  opt.num_threads = 8;
+  const search::SearchResult sol = search::ColumnarSearchSolver(opt).solve(sdr2);
+  ASSERT_TRUE(sol.hasSolution());
+
+  ReconfigSimulator sim(sdr2, sol.plan, StorePolicy::kRelocationAware);
+  for (const int region :
+       {model::kCarrierRecovery, model::kDemodulator, model::kSignalDecoder}) {
+    sim.registerModes(region, {ModuleMode{"mode_a", 100u + static_cast<unsigned>(region)},
+                               ModuleMode{"mode_b", 200u + static_cast<unsigned>(region)}});
+    ASSERT_EQ(sim.targetCount(region), 3) << "home + 2 FC areas";
+  }
+
+  std::vector<SwitchRequest> schedule;
+  double t = 0;
+  for (const int region :
+       {model::kCarrierRecovery, model::kDemodulator, model::kSignalDecoder})
+    for (int target = 0; target < 3; ++target)
+      schedule.push_back(SwitchRequest{t += 10.0, region,
+                                       target % 2 ? "mode_a" : "mode_b", target});
+  const SimulationResult res = sim.run(std::move(schedule));
+  EXPECT_EQ(res.stats.switches, 9);
+  EXPECT_EQ(res.stats.relocations, 6);  // target 1 and 2 of each region
+  EXPECT_GT(res.stats.makespan_us, 0.0);
+  EXPECT_GT(res.stats.total_filter_us, 0.0);
+}
+
+}  // namespace
+}  // namespace rfp::reconfig

@@ -1,0 +1,92 @@
+// Tests for rendering (ASCII/SVG) and serialization (JSON/CSV).
+#include <gtest/gtest.h>
+
+#include "device/builders.hpp"
+#include "io/json.hpp"
+#include "io/results.hpp"
+#include "model/floorplan.hpp"
+#include "render/render.hpp"
+#include "search/solver.hpp"
+
+namespace rfp {
+namespace {
+
+using device::Rect;
+
+model::Floorplan solvedSdr2(const model::FloorplanProblem& sdr2) {
+  search::SearchOptions opt;
+  opt.num_threads = 8;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(sdr2);
+  EXPECT_TRUE(res.hasSolution());
+  return res.plan;
+}
+
+TEST(Render, AsciiDeviceShowsForbiddenAndTypes) {
+  const std::string art = render::asciiDevice(device::virtex5FX70T());
+  EXPECT_NE(art.find('#'), std::string::npos);   // PPC440
+  EXPECT_NE(art.find('D'), std::string::npos);   // DSP columns
+  EXPECT_NE(art.find('B'), std::string::npos);   // BRAM columns
+}
+
+TEST(Render, AsciiFloorplanContainsRegionsAndFcAreas) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  const model::Floorplan fp = solvedSdr2(sdr2);
+  const std::string art = render::ascii(sdr2, fp);
+  for (char c : {'A', 'B', 'C', 'D', 'E'}) EXPECT_NE(art.find(c), std::string::npos);
+  // FC areas of carrier recovery (region 1 → 'b').
+  EXPECT_NE(art.find('b'), std::string::npos);
+  EXPECT_NE(art.find("matched_filter"), std::string::npos);
+}
+
+TEST(Render, SvgIsWellFormedEnough) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  const model::Floorplan fp = solvedSdr2(sdr2);
+  const std::string svg = render::svg(sdr2, fp);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("video_decoder"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);  // FC hatching
+}
+
+TEST(Json, WriterProducesValidStructure) {
+  io::JsonWriter w;
+  w.beginObject();
+  w.key("name").value("x\"y");
+  w.key("list").beginArray().value(1).value(2.5).value(true).endArray();
+  w.key("nested").beginObject().key("k").value("v").endObject();
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"x\\\"y\",\"list\":[1,2.5,true],\"nested\":{\"k\":\"v\"}}");
+}
+
+TEST(Json, CsvQuotesSpecialFields) {
+  io::CsvWriter csv;
+  csv.row({"a", "b,c", "d\"e"});
+  EXPECT_EQ(csv.str(), "a,\"b,c\",\"d\"\"e\"\n");
+}
+
+TEST(Io, ProblemJsonContainsTableOne) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const std::string json = io::problemToJson(sdr);
+  EXPECT_NE(json.find("\"matched_filter\""), std::string::npos);
+  EXPECT_NE(json.find("\"min_frames\":1040"), std::string::npos);
+  EXPECT_NE(json.find("\"min_frames\":2180"), std::string::npos);
+}
+
+TEST(Io, FloorplanJsonRoundsTripCosts) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  const model::Floorplan fp = solvedSdr2(sdr2);
+  const std::string json = io::floorplanToJson(sdr2, fp);
+  EXPECT_NE(json.find("\"wasted_frames\""), std::string::npos);
+  EXPECT_NE(json.find("\"fc_areas\""), std::string::npos);
+  EXPECT_NE(json.find("\"placed\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfp

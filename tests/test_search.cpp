@@ -1,0 +1,224 @@
+// Tests for the exact columnar search solver: candidates, occupancy,
+// optimality, relocation constraints and the feasibility analysis.
+#include <gtest/gtest.h>
+
+#include "device/builders.hpp"
+#include "model/floorplan.hpp"
+#include "search/candidates.hpp"
+#include "search/occupancy.hpp"
+#include "search/solver.hpp"
+
+namespace rfp::search {
+namespace {
+
+using device::Rect;
+
+TEST(Occupancy, FillOverlapClear) {
+  Occupancy occ(44, 8);
+  const Rect r{5, 2, 6, 3};
+  EXPECT_FALSE(occ.overlaps(r));
+  occ.fill(r);
+  EXPECT_TRUE(occ.overlaps(Rect{10, 4, 3, 3}));
+  EXPECT_FALSE(occ.overlaps(Rect{11, 2, 3, 3}));
+  EXPECT_TRUE(occ.occupied(5, 2));
+  EXPECT_FALSE(occ.occupied(4, 2));
+  EXPECT_EQ(occ.popcount(), 18);
+  occ.clear(r);
+  EXPECT_EQ(occ.popcount(), 0);
+}
+
+TEST(Occupancy, WordBoundarySpans) {
+  Occupancy occ(100, 3);  // rows cross 64-bit word boundaries
+  const Rect r{60, 1, 10, 1};
+  occ.fill(r);
+  EXPECT_EQ(occ.popcount(), 10);
+  EXPECT_TRUE(occ.overlaps(Rect{63, 0, 2, 2}));
+  EXPECT_FALSE(occ.overlaps(Rect{60, 0, 10, 1}));
+}
+
+TEST(Candidates, CoverageAndWasteAreExact) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCC", 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {2, 1, 0}});
+  const RegionCandidates cands = enumerateCandidates(p, 0);
+  ASSERT_FALSE(cands.shapes.empty());
+  for (const Shape& s : cands.shapes) {
+    const std::vector<int> hist = dev.tileHistogram(Rect{s.x, s.ys[0], s.w, s.h});
+    EXPECT_GE(hist[0], 2);
+    EXPECT_GE(hist[1], 1);
+    const long waste = (hist[0] - 2) * 36 + (hist[1] - 1) * 30 + hist[2] * 28;
+    EXPECT_EQ(waste, s.waste);
+  }
+  // Minimal waste: w=2 h=2 covering col 1-2 (2 CLB + 2 BRAM): waste 30;
+  // or w=3 h=1 (2 CLB + 1 BRAM): waste 0.
+  EXPECT_EQ(cands.min_waste, 0);
+}
+
+TEST(Candidates, WasteBudgetPrunes) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const RegionCandidates all = enumerateCandidates(sdr, model::kVideoDecoder, -1);
+  const RegionCandidates capped = enumerateCandidates(sdr, model::kVideoDecoder, 90);
+  EXPECT_GT(all.shapes.size(), capped.shapes.size());
+  for (const Shape& s : capped.shapes) EXPECT_LE(s.waste, 90);
+  EXPECT_EQ(capped.min_waste, 90);  // VD's minimum on this device
+}
+
+TEST(Candidates, ForbiddenRowsExcluded) {
+  device::Device dev = device::uniformDevice(6, 6);
+  dev.addForbidden(Rect{0, 2, 6, 2}, "band");
+  const std::vector<int> ys = validRows(dev, 0, 2, 2);
+  // h=2 at y: must avoid rows 2-3 → y in {0, 4}.
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_EQ(ys[0], 0);
+  EXPECT_EQ(ys[1], 4);
+}
+
+TEST(Candidates, MatchingColumnSpans) {
+  const device::Device dev = device::columnarFromPattern("t", "CBCCBC", 3);
+  const std::vector<int> xs = matchingColumnSpans(dev, 0, 2);  // pattern CB
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], 0);
+  EXPECT_EQ(xs[1], 3);
+}
+
+TEST(Solver, FindsOptimalWasteOnTinyInstance) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCC", 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"a", {2, 1, 0}});
+  p.addRegion(model::RegionSpec{"b", {2, 0, 0}});
+  const SearchResult res = ColumnarSearchSolver().solve(p);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  EXPECT_EQ(res.costs.wasted_frames, 0);
+  EXPECT_EQ(model::check(p, res.plan), "");
+}
+
+TEST(Solver, ProvesInfeasibilityWhenRegionsCannotFit) {
+  const device::Device dev = device::columnarFromPattern("t", "CC", 2);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"a", {3, 0, 0}});
+  p.addRegion(model::RegionSpec{"b", {2, 0, 0}});
+  const SearchResult res = ColumnarSearchSolver().solve(p);
+  EXPECT_EQ(res.status, SearchStatus::kInfeasible);
+}
+
+TEST(Solver, HardRelocationConstraintIsEnforced) {
+  // 6-wide uniform device: region needs 4 tiles (2x2); one hard FC area.
+  const device::Device dev = device::uniformDevice(6, 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+  const SearchResult res = ColumnarSearchSolver().solve(p);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  ASSERT_EQ(res.plan.placedFcCount(), 1);
+  EXPECT_EQ(model::check(p, res.plan), "");
+}
+
+TEST(Solver, HardRelocationInfeasibleWhenNoRoom) {
+  // Region consumes the whole device: no FC area can exist.
+  const device::Device dev = device::uniformDevice(2, 2);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+  const SearchResult res = ColumnarSearchSolver().solve(p);
+  EXPECT_EQ(res.status, SearchStatus::kInfeasible);
+}
+
+TEST(Solver, SoftRelocationDegradesGracefully) {
+  const device::Device dev = device::uniformDevice(2, 2);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 1, false, 1.0});
+  p.setWeights(model::ObjectiveWeights{0, 0, 1, 1});
+  SearchOptions opt;
+  opt.mode = ObjectiveMode::kWeighted;
+  const SearchResult res = ColumnarSearchSolver(opt).solve(p);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  EXPECT_EQ(res.plan.placedFcCount(), 0);
+  EXPECT_DOUBLE_EQ(res.costs.relocation, 1.0);
+}
+
+TEST(Solver, WeightedModePlacesFcWhenBeneficial) {
+  const device::Device dev = device::uniformDevice(8, 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"r", {4}});
+  p.addRelocation(model::RelocationRequest{0, 2, false, 1.0});
+  p.setWeights(model::ObjectiveWeights{0, 0, 1, 1});
+  SearchOptions opt;
+  opt.mode = ObjectiveMode::kWeighted;
+  const SearchResult res = ColumnarSearchSolver(opt).solve(p);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  EXPECT_EQ(res.plan.placedFcCount(), 2);  // space exists → no reason to skip
+}
+
+TEST(Solver, LexicographicPrefersLowerWireLengthAtEqualWaste) {
+  const device::Device dev = device::uniformDevice(12, 4);
+  model::FloorplanProblem p(&dev);
+  p.addRegion(model::RegionSpec{"a", {4}});
+  p.addRegion(model::RegionSpec{"b", {4}});
+  p.addNet(model::Net{{0, 1}, 1.0, "n"});
+  const SearchResult res = ColumnarSearchSolver().solve(p);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  EXPECT_EQ(res.costs.wasted_frames, 0);
+  // Zero-waste optimum on WL: 1x4 full-height strips in adjacent columns,
+  // center distance 1 on x — strictly better than side-by-side 2x2 blocks.
+  EXPECT_NEAR(res.costs.wire_length, 1.0, 1e-9);
+}
+
+TEST(Solver, ParallelMatchesSerial) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  SearchOptions serial;
+  serial.num_threads = 1;
+  SearchOptions parallel;
+  parallel.num_threads = 8;
+  const SearchResult a = ColumnarSearchSolver(serial).solve(sdr2);
+  const SearchResult b = ColumnarSearchSolver(parallel).solve(sdr2);
+  ASSERT_EQ(a.status, SearchStatus::kOptimal);
+  ASSERT_EQ(b.status, SearchStatus::kOptimal);
+  EXPECT_EQ(a.costs.wasted_frames, b.costs.wasted_frames);
+  EXPECT_NEAR(a.costs.wire_length, b.costs.wire_length, 1e-9);
+}
+
+TEST(Solver, FeasibilityAnalysisMatchesPaper) {
+  // Sec. VI: "no solution exists ... for the matched filter or the video
+  // decoder region"; carrier recovery, demodulator and signal decoder are
+  // relocatable.
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  SearchOptions opt;
+  opt.num_threads = 4;
+  const std::vector<bool> reloc = ColumnarSearchSolver(opt).feasibilityAnalysis(sdr);
+  ASSERT_EQ(reloc.size(), 5u);
+  EXPECT_FALSE(reloc[model::kMatchedFilter]);
+  EXPECT_TRUE(reloc[model::kCarrierRecovery]);
+  EXPECT_TRUE(reloc[model::kDemodulator]);
+  EXPECT_TRUE(reloc[model::kSignalDecoder]);
+  EXPECT_FALSE(reloc[model::kVideoDecoder]);
+}
+
+TEST(Solver, WasteBudgetMakesProblemInfeasible) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  SearchOptions opt;
+  opt.waste_budget = 10;  // below the 90-frame optimum
+  const SearchResult res = ColumnarSearchSolver(opt).solve(sdr);
+  EXPECT_EQ(res.status, SearchStatus::kInfeasible);
+}
+
+TEST(Solver, SolutionsAlwaysPassTheIndependentChecker) {
+  const device::Device dev = device::virtex5FX70T();
+  for (int fc = 0; fc <= 3; ++fc) {
+    model::FloorplanProblem p = model::makeSdrProblem(dev);
+    if (fc > 0) model::addSdrRelocations(p, fc);
+    SearchOptions opt;
+    opt.num_threads = 8;
+    const SearchResult res = ColumnarSearchSolver(opt).solve(p);
+    ASSERT_TRUE(res.hasSolution()) << "fc=" << fc;
+    EXPECT_EQ(model::check(p, res.plan), "") << "fc=" << fc;
+  }
+}
+
+}  // namespace
+}  // namespace rfp::search

@@ -1,0 +1,113 @@
+// Tests for sequence-pair extraction (HO, Sec. II-A).
+#include <gtest/gtest.h>
+
+#include "device/geometry.hpp"
+#include "fp/seqpair.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rfp::fp {
+namespace {
+
+using device::Rect;
+
+TEST(SeqPair, HorizontalPair) {
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {3, 0, 2, 2}};
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+  // 0 left of 1 → 0 before 1 in both sequences.
+  EXPECT_EQ(sp.s1[0], 0);
+  EXPECT_EQ(sp.s2[0], 0);
+}
+
+TEST(SeqPair, VerticalPair) {
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {0, 3, 2, 2}};
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+  // 0 above 1 → before in s1, after in s2.
+  EXPECT_EQ(sp.s1[0], 0);
+  EXPECT_EQ(sp.s2[0], 1);
+}
+
+TEST(SeqPair, RejectsOverlappingInput) {
+  const std::vector<Rect> rects{{0, 0, 3, 3}, {1, 1, 3, 3}};
+  EXPECT_THROW((void)extractSequencePair(rects), CheckError);
+}
+
+TEST(SeqPair, EmptyAndSingle) {
+  EXPECT_TRUE(isConsistent(extractSequencePair({}), {}));
+  const std::vector<Rect> one{{2, 2, 3, 1}};
+  EXPECT_TRUE(isConsistent(extractSequencePair(one), one));
+}
+
+TEST(SeqPair, InconsistencyDetected) {
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {3, 0, 2, 2}};
+  SequencePair sp;
+  sp.s1 = {1, 0};
+  sp.s2 = {1, 0};  // claims 1 left of 0 — false
+  EXPECT_FALSE(isConsistent(sp, rects));
+}
+
+TEST(SeqPair, UpLeftDiagonalForcesS1Only) {
+  // 0 is left of AND above 1: s1 order is forced (0 first); either s2 order
+  // is a valid sequence pair for this placement.
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {3, 3, 2, 2}};
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+  EXPECT_EQ(sp.s1[0], 0);
+}
+
+TEST(SeqPair, DownLeftDiagonalForcesS2Only) {
+  // 0 is left of AND below 1: s2 order is forced (0 first).
+  const std::vector<Rect> rects{{0, 3, 2, 2}, {3, 0, 2, 2}};
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+  EXPECT_EQ(sp.s2[0], 0);
+}
+
+TEST(SeqPair, PinwheelPlacementIsConsistent) {
+  // The classic pinwheel: no slicing structure, every pair diagonal or
+  // mixed. This family defeated the old "horizontal relations first"
+  // pairwise rule (cycles through third rectangles).
+  const std::vector<Rect> rects{
+      {0, 0, 1, 2}, {1, 0, 2, 1}, {2, 1, 1, 2}, {0, 2, 2, 1}};
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+}
+
+TEST(SeqPair, DensePackingWithoutGapsIsConsistent) {
+  // A full 4x4 tiling by 8 dominoes — every pair is adjacent, maximizing
+  // forced relations.
+  std::vector<Rect> rects;
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; x += 2) rects.push_back(Rect{x, y, 2, 1});
+  const SequencePair sp = extractSequencePair(rects);
+  EXPECT_TRUE(isConsistent(sp, rects));
+}
+
+TEST(SeqPair, TouchingEdgesAreNotOverlaps) {
+  const std::vector<Rect> rects{{0, 0, 2, 2}, {2, 0, 2, 2}, {0, 2, 4, 1}};
+  EXPECT_TRUE(isConsistent(extractSequencePair(rects), rects));
+}
+
+// Property: extraction from random disjoint placements is always consistent.
+TEST(SeqPairProperty, ExtractionConsistentOnRandomPlacements) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Generate disjoint rects by random insertion with overlap rejection.
+    std::vector<Rect> rects;
+    const int attempts = 3 + static_cast<int>(rng.nextBelow(10));
+    for (int i = 0; i < attempts; ++i) {
+      const Rect cand{static_cast<int>(rng.nextBelow(20)), static_cast<int>(rng.nextBelow(12)),
+                      1 + static_cast<int>(rng.nextBelow(5)), 1 + static_cast<int>(rng.nextBelow(4))};
+      bool overlap = false;
+      for (const Rect& r : rects) overlap = overlap || r.overlaps(cand);
+      if (!overlap) rects.push_back(cand);
+    }
+    const SequencePair sp = extractSequencePair(rects);
+    EXPECT_TRUE(isConsistent(sp, rects)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rfp::fp

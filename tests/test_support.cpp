@@ -1,0 +1,123 @@
+// Unit tests for the support layer (strings, rng, timer, check macros).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+
+namespace rfp {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(str::trim("  hello  "), "hello");
+  EXPECT_EQ(str::trim("\t a b \n"), "a b");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = str::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmptyFields) {
+  const auto parts = str::splitWhitespace("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(str::startsWith("device x", "device"));
+  EXPECT_FALSE(str::startsWith("dev", "device"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(str::toLower("CLB Tile"), "clb tile"); }
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(str::formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(str::formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.nextU64() == b.nextU64() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 17, 1000}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto v = rng.nextBelow(static_cast<std::uint64_t>(bound));
+      EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.nextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Timer, StopwatchAdvances) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(w.seconds(), 0.0);
+}
+
+TEST(Timer, DeadlineZeroNeverExpires) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 1e20);
+}
+
+TEST(Timer, DeadlineTinyLimitExpires) {
+  Deadline d(1e-9);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Check, ThrowsCheckErrorWithMessage) {
+  try {
+    RFP_CHECK_MSG(false, "custom " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { RFP_CHECK(1 + 1 == 2); }
+
+}  // namespace
+}  // namespace rfp
