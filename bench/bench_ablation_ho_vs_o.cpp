@@ -28,7 +28,7 @@ int main() {
   std::printf("%-12s %-4s %14s %12s %10s %8s\n", "instance", "alg", "wasted frames",
               "wire length", "status", "time[s]");
 
-  const auto run_instance = [&](const char* name, const device::Device& dev,
+  const auto run_instance = [&](const char* name, const device::Device& /*dev*/,
                                 model::FloorplanProblem& problem) {
     const search::SearchResult ref = search::ColumnarSearchSolver().solve(problem);
     std::printf("%-12s %-4s %14ld %12.1f %10s %8s\n", name, "ref",

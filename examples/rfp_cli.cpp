@@ -10,12 +10,15 @@
 //       Print a device (catalog name or description file) and its columnar
 //       partitioning.
 //   rfp_cli solve <device> <problem-file> [options]
-//       Floorplan the problem. Options:
-//         --algo search|o|ho     solver (default: search, the exact solver)
+//       Floorplan the problem through the rfp::driver dispatch. Options:
+//         --algo NAME            backend: search (default, exact), milp-o,
+//                                milp-ho, heuristic, annealer — or
+//                                "portfolio" to race them concurrently and
+//                                keep the best/proven result
 //         --threads N            search parallelism (default 4)
-//         --time-limit S         wall-clock limit per solve/stage
+//         --time-limit S         wall-clock deadline for the whole solve
 //         --svg FILE             write the floorplan as SVG
-//         --json FILE            write the floorplan + costs as JSON
+//         --json FILE            write the solve response + floorplan as JSON
 //   rfp_cli feasibility <device> <problem-file>
 //       Per-region relocatability analysis (Sec. VI of the paper).
 //
@@ -31,7 +34,8 @@
 
 #include "device/catalog.hpp"
 #include "device/parser.hpp"
-#include "fp/milp_floorplanner.hpp"
+#include "driver/driver.hpp"
+#include "driver/response_json.hpp"
 #include "io/problem_text.hpp"
 #include "io/results.hpp"
 #include "model/floorplan.hpp"
@@ -105,53 +109,48 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   const device::Device dev = loadDevice(device_spec);
   const model::FloorplanProblem problem = io::parseProblem(readFile(problem_path), dev);
 
-  model::Floorplan plan;
-  std::string status;
-  if (args.algo == "search") {
-    search::SearchOptions opt;
-    opt.num_threads = args.threads;
-    opt.time_limit_seconds = args.time_limit;
-    if (!problem.lexicographic()) opt.mode = search::ObjectiveMode::kWeighted;
-    const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
-    status = search::toString(res.status);
-    if (!res.hasSolution()) {
-      std::printf("no solution: %s\n", status.c_str());
-      return 1;
-    }
-    plan = res.plan;
-    std::printf("solver=search status=%s nodes=%ld time=%.2fs\n", status.c_str(), res.nodes,
-                res.seconds);
-  } else if (args.algo == "o" || args.algo == "ho") {
-    fp::MilpFloorplannerOptions opt;
-    opt.algorithm = args.algo == "o" ? fp::Algorithm::kO : fp::Algorithm::kHO;
-    opt.lexicographic = problem.lexicographic();
-    opt.milp.time_limit_seconds = args.time_limit > 0 ? args.time_limit : 60.0;
-    const fp::FpResult res = fp::MilpFloorplanner(opt).solve(problem);
-    status = fp::toString(res.status);
-    if (!res.hasSolution()) {
-      std::printf("no solution: %s (%s)\n", status.c_str(), res.detail.c_str());
-      return 1;
-    }
-    plan = res.plan;
-    std::printf("solver=%s status=%s nodes=%ld time=%.2fs\n", args.algo.c_str(),
-                status.c_str(), res.nodes, res.seconds);
+  driver::SolveRequest request;
+  request.num_threads = args.threads;
+  request.deadline_seconds = args.time_limit;
+  // The MILP stages are open-ended without a budget; keep the CLI snappy.
+  if (args.time_limit <= 0) request.milp.time_limit_seconds = 60.0;
+
+  const driver::Driver drv;
+  driver::SolveResponse res;
+  if (args.algo == "portfolio") {
+    res = drv.solvePortfolio(problem, request);
   } else {
-    std::fprintf(stderr, "error: unknown --algo '%s'\n", args.algo.c_str());
-    return 2;
+    const std::optional<driver::Backend> backend = driver::backendFromString(args.algo);
+    if (!backend) {
+      std::fprintf(stderr, "error: unknown --algo '%s'\n", args.algo.c_str());
+      return 2;
+    }
+    request.backend = *backend;
+    res = drv.solve(problem, request);
   }
 
-  const std::string check = model::check(problem, plan);
-  if (!check.empty()) {
-    std::fprintf(stderr, "internal error: checker rejected the solution: %s\n", check.c_str());
-    return 3;
+  // Validate before any artifact is written: a checker-rejected plan must
+  // not leave behind a JSON file claiming success.
+  if (res.hasSolution()) {
+    const std::string check = model::check(problem, res.plan);
+    if (!check.empty()) {
+      std::fprintf(stderr, "internal error: checker rejected the solution: %s\n", check.c_str());
+      return 3;
+    }
   }
-  const model::FloorplanCosts costs = model::evaluate(problem, plan);
-  std::printf("wasted_frames=%ld wire_length=%.1f fc_areas=%d/%d\n\n", costs.wasted_frames,
-              costs.wire_length, plan.placedFcCount(), problem.totalFcAreas());
-  std::printf("%s", render::ascii(problem, plan).c_str());
+  if (!args.json_path.empty())
+    writeFile(args.json_path, driver::solveResponseToJson(problem, res));
+  if (!res.hasSolution()) {
+    std::printf("no solution: %s (%s)\n", driver::toString(res.status), res.detail.c_str());
+    return 1;
+  }
+  std::printf("solver=%s status=%s nodes=%ld time=%.2fs\n", driver::toString(res.backend),
+              driver::toString(res.status), res.nodes, res.seconds);
+  std::printf("wasted_frames=%ld wire_length=%.1f fc_areas=%d/%d\n\n", res.costs.wasted_frames,
+              res.costs.wire_length, res.plan.placedFcCount(), problem.totalFcAreas());
+  std::printf("%s", render::ascii(problem, res.plan).c_str());
 
-  if (!args.svg_path.empty()) writeFile(args.svg_path, render::svg(problem, plan));
-  if (!args.json_path.empty()) writeFile(args.json_path, io::floorplanToJson(problem, plan));
+  if (!args.svg_path.empty()) writeFile(args.svg_path, render::svg(problem, res.plan));
   return 0;
 }
 
@@ -175,8 +174,9 @@ int usage() {
                "usage:\n"
                "  rfp_cli devices\n"
                "  rfp_cli show <device>\n"
-               "  rfp_cli solve <device> <problem-file> [--algo search|o|ho] [--threads N]\n"
-               "                [--time-limit S] [--svg FILE] [--json FILE]\n"
+               "  rfp_cli solve <device> <problem-file> [--threads N] [--time-limit S]\n"
+               "                [--algo search|milp-o|milp-ho|heuristic|annealer|portfolio]\n"
+               "                [--svg FILE] [--json FILE]\n"
                "  rfp_cli feasibility <device> <problem-file> [--threads N]\n"
                "<device> is a catalog name (see 'devices') or a description file.\n");
   return 2;

@@ -7,6 +7,7 @@
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace rfp::baseline {
 
@@ -60,8 +61,11 @@ double costOf(const model::FloorplanProblem& problem, const model::Floorplan& fp
 
 std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& problem,
                                             const AnnealerOptions& options) {
+  Deadline deadline(options.time_limit_seconds);
   fp::HeuristicOptions hopt;
   hopt.seed = options.seed;
+  hopt.stop = options.stop;
+  hopt.time_limit_seconds = options.time_limit_seconds;
   auto start = fp::constructiveFloorplan(problem, hopt);
   if (!start) return std::nullopt;
 
@@ -78,6 +82,9 @@ std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& probl
   AnnealResult result;
   double temperature = options.initial_temperature;
   for (long it = 0; it < options.iterations; ++it, temperature *= options.cooling) {
+    if ((it & 255) == 0 &&
+        (deadline.expired() || (options.stop && options.stop->load(std::memory_order_relaxed))))
+      break;
     ++result.iterations;
     // Move: pick a region and a random alternative candidate placement.
     const int n = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(problem.numRegions())));

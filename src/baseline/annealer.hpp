@@ -4,6 +4,7 @@
 // and as an alternative first-solution generator for HO.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -19,6 +20,11 @@ struct AnnealerOptions {
   double cooling = 0.9995;        ///< geometric cooling per iteration
   double waste_weight = 1.0;      ///< cost = waste_weight·waste/Rmax +
   double wirelength_weight = 1.0; ///<        wirelength_weight·WL/WLmax
+  double time_limit_seconds = 0.0;  ///< wall-clock budget; <= 0: none
+  /// Cooperative external cancellation, polled every few hundred iterations;
+  /// the best floorplan found so far is still returned. The pointee must
+  /// outlive the call. Used by driver portfolios.
+  std::atomic<bool>* stop = nullptr;
 };
 
 struct AnnealResult {

@@ -1,0 +1,156 @@
+#include "driver/backend_runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fp/heuristic.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::driver::detail {
+
+namespace {
+
+SolveStatus fromSearch(search::SearchStatus s) noexcept {
+  switch (s) {
+    case search::SearchStatus::kOptimal: return SolveStatus::kOptimal;
+    case search::SearchStatus::kFeasible: return SolveStatus::kFeasible;
+    case search::SearchStatus::kInfeasible: return SolveStatus::kInfeasible;
+    case search::SearchStatus::kNoSolution: return SolveStatus::kNoSolution;
+  }
+  return SolveStatus::kNoSolution;
+}
+
+SolveStatus fromFp(fp::FpStatus s) noexcept {
+  switch (s) {
+    case fp::FpStatus::kOptimal: return SolveStatus::kOptimal;
+    case fp::FpStatus::kFeasible: return SolveStatus::kFeasible;
+    case fp::FpStatus::kInfeasible: return SolveStatus::kInfeasible;
+    case fp::FpStatus::kNoSolution: return SolveStatus::kNoSolution;
+  }
+  return SolveStatus::kNoSolution;
+}
+
+SolveResponse runSearch(const model::FloorplanProblem& problem, const SolveRequest& request,
+                        std::atomic<bool>* external_stop) {
+  search::SearchOptions opt = request.search;
+  opt.mode = problem.lexicographic() ? search::ObjectiveMode::kLexicographic
+                                     : search::ObjectiveMode::kWeighted;
+  opt.num_threads = std::max({1, opt.num_threads, request.num_threads});
+  opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
+  if (external_stop) opt.stop = external_stop;
+
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
+  SolveResponse out;
+  out.status = fromSearch(res.status);
+  out.plan = res.plan;
+  out.costs = res.costs;
+  out.seconds = res.seconds;
+  out.nodes = res.nodes;
+  std::ostringstream d;
+  d << "search: " << search::toString(res.status) << " nodes=" << res.nodes;
+  out.detail = d.str();
+  return out;
+}
+
+SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest& request,
+                      Backend backend, std::atomic<bool>* external_stop) {
+  fp::MilpFloorplannerOptions opt = request.milp;
+  opt.algorithm = backend == Backend::kMilpO ? fp::Algorithm::kO : fp::Algorithm::kHO;
+  opt.lexicographic = problem.lexicographic();
+  opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
+  if (external_stop) {
+    // Override both stage flags: a caller-set heuristic.stop would otherwise
+    // shadow the portfolio's cancellation in the warm-start stage.
+    opt.milp.stop = external_stop;
+    opt.heuristic.stop = external_stop;
+  }
+
+  const fp::FpResult res = fp::MilpFloorplanner(opt).solve(problem);
+  SolveResponse out;
+  out.status = fromFp(res.status);
+  // HO's MILP runs with sequence-pair constraints extracted from one
+  // heuristic solution; an infeasible verdict there only covers the
+  // restricted space, so it is no proof for the full problem.
+  if (backend == Backend::kMilpHO && out.status == SolveStatus::kInfeasible)
+    out.status = SolveStatus::kNoSolution;
+  if (res.hasSolution()) {
+    out.plan = res.plan;
+    out.costs = res.costs;
+  }
+  out.seconds = res.seconds;
+  out.nodes = res.nodes;
+  out.detail = std::string(toString(backend)) + ": " + res.detail;
+  return out;
+}
+
+SolveResponse runHeuristic(const model::FloorplanProblem& problem, const SolveRequest& request,
+                           std::atomic<bool>* external_stop) {
+  Stopwatch watch;
+  fp::HeuristicOptions opt = request.heuristic;
+  opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
+  if (external_stop) opt.stop = external_stop;
+  const std::optional<model::Floorplan> plan = fp::constructiveFloorplan(problem, opt);
+  SolveResponse out;
+  if (plan) {
+    out.status = SolveStatus::kFeasible;
+    out.plan = *plan;
+    out.costs = model::evaluate(problem, out.plan);
+    out.detail = "heuristic: feasible";
+  } else {
+    out.detail = "heuristic: no feasible construction";
+  }
+  out.seconds = watch.seconds();
+  return out;
+}
+
+SolveResponse runAnnealer(const model::FloorplanProblem& problem, const SolveRequest& request,
+                          std::atomic<bool>* external_stop) {
+  Stopwatch watch;
+  baseline::AnnealerOptions opt = request.annealer;
+  opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
+  if (external_stop) opt.stop = external_stop;
+  const std::optional<baseline::AnnealResult> res = baseline::annealFloorplan(problem, opt);
+  SolveResponse out;
+  if (res) {
+    out.status = SolveStatus::kFeasible;
+    out.plan = res->plan;
+    out.costs = res->costs;
+    out.nodes = res->iterations;
+    std::ostringstream d;
+    d << "annealer: feasible iterations=" << res->iterations
+      << " accepted=" << res->accepted_moves;
+    out.detail = d.str();
+  } else {
+    out.detail = "annealer: no feasible starting floorplan";
+  }
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace
+
+double cappedLimit(double configured, double deadline) noexcept {
+  if (deadline <= 0) return configured;
+  return configured > 0 ? std::min(configured, deadline) : deadline;
+}
+
+bool isProof(const SolveResponse& response) noexcept {
+  return isExhaustive(response.backend) && (response.status == SolveStatus::kOptimal ||
+                                            response.status == SolveStatus::kInfeasible);
+}
+
+SolveResponse runBackend(const model::FloorplanProblem& problem, const SolveRequest& request,
+                         Backend backend, std::atomic<bool>* external_stop) {
+  SolveResponse out;
+  switch (backend) {
+    case Backend::kSearch: out = runSearch(problem, request, external_stop); break;
+    case Backend::kMilpO:
+    case Backend::kMilpHO: out = runMilp(problem, request, backend, external_stop); break;
+    case Backend::kHeuristic: out = runHeuristic(problem, request, external_stop); break;
+    case Backend::kAnnealer: out = runAnnealer(problem, request, external_stop); break;
+  }
+  out.backend = backend;
+  return out;
+}
+
+}  // namespace rfp::driver::detail

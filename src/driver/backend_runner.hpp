@@ -1,0 +1,28 @@
+// Internal: runs one backend for the driver, deriving the engine options
+// from a SolveRequest (deadline capping, stop-flag override, objective mode
+// from the problem) and normalizing the engine's result into a
+// SolveResponse. Shared by the single, portfolio and batch modes.
+#pragma once
+
+#include <atomic>
+
+#include "driver/driver.hpp"
+
+namespace rfp::driver::detail {
+
+/// Runs `backend` on `problem`. `external_stop`, when non-null, replaces the
+/// stop flag configured in the request's engine options (the portfolio's
+/// shared cancellation). Statuses are normalized so that kOptimal and
+/// kInfeasible are only ever reported as proofs (see isExhaustive()).
+[[nodiscard]] SolveResponse runBackend(const model::FloorplanProblem& problem,
+                                       const SolveRequest& request, Backend backend,
+                                       std::atomic<bool>* external_stop);
+
+/// True when `response` settles the problem for good: a proof of optimality
+/// or infeasibility from an exhaustive backend.
+[[nodiscard]] bool isProof(const SolveResponse& response) noexcept;
+
+/// Tightens `configured` (<= 0: none) to the request deadline (<= 0: none).
+[[nodiscard]] double cappedLimit(double configured, double deadline) noexcept;
+
+}  // namespace rfp::driver::detail

@@ -1,0 +1,42 @@
+// Batch mode: N independent problems over a fixed-size thread pool.
+//
+// Work stealing is a single atomic cursor over the problem list; each
+// problem is solved with the single-backend dispatch and untouched request
+// options, so the result for problems[i] is the same whatever the pool size
+// — only the wall clock changes.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "driver/backend_runner.hpp"
+#include "driver/driver.hpp"
+
+namespace rfp::driver {
+
+std::vector<SolveResponse> Driver::solveBatch(
+    const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
+    int pool_threads) const {
+  std::vector<SolveResponse> out(problems.size());
+  if (problems.empty()) return out;
+
+  const int threads =
+      std::clamp(pool_threads, 1, static_cast<int>(problems.size()));
+  std::atomic<std::size_t> next{0};
+  const auto body = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < problems.size();
+         i = next.fetch_add(1, std::memory_order_relaxed))
+      out[i] = detail::runBackend(*problems[i], request, request.backend, nullptr);
+  };
+
+  if (threads == 1) {
+    body();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(body);
+    for (std::thread& t : pool) t.join();
+  }
+  return out;
+}
+
+}  // namespace rfp::driver

@@ -1,0 +1,52 @@
+#include "driver/driver.hpp"
+
+#include "driver/backend_runner.hpp"
+
+namespace rfp::driver {
+
+const char* toString(Backend b) noexcept {
+  switch (b) {
+    case Backend::kSearch: return "search";
+    case Backend::kMilpO: return "milp-o";
+    case Backend::kMilpHO: return "milp-ho";
+    case Backend::kHeuristic: return "heuristic";
+    case Backend::kAnnealer: return "annealer";
+  }
+  return "?";
+}
+
+std::optional<Backend> backendFromString(std::string_view name) noexcept {
+  for (const Backend b : allBackends())
+    if (name == toString(b)) return b;
+  // CLI-friendly aliases matching rfp_cli's historical --algo values.
+  if (name == "o") return Backend::kMilpO;
+  if (name == "ho") return Backend::kMilpHO;
+  return std::nullopt;
+}
+
+const std::vector<Backend>& allBackends() {
+  static const std::vector<Backend> kAll = {Backend::kSearch, Backend::kMilpO, Backend::kMilpHO,
+                                            Backend::kHeuristic, Backend::kAnnealer};
+  return kAll;
+}
+
+bool isExhaustive(Backend b) noexcept {
+  return b == Backend::kSearch || b == Backend::kMilpO;
+}
+
+const char* toString(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+SolveResponse Driver::solve(const model::FloorplanProblem& problem,
+                            const SolveRequest& request) const {
+  return detail::runBackend(problem, request, request.backend, /*external_stop=*/nullptr);
+}
+
+}  // namespace rfp::driver

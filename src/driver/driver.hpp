@@ -1,0 +1,122 @@
+// Unified solve orchestration over the interchangeable floorplanning engines.
+//
+// The repo ships four ways to floorplan the same `model::FloorplanProblem`:
+// the exact columnar branch-and-bound search (src/search), the MILP
+// floorplanners O and HO over the from-scratch simplex (src/fp + src/milp),
+// the constructive heuristic (src/fp), and the simulated annealer
+// (src/baseline). The driver gives them one request/response API and three
+// execution modes:
+//
+//  * single    — dispatch to one backend (Driver::solve),
+//  * portfolio — run several backends concurrently on std::thread; the first
+//    proven-optimal (or proven-infeasible) result cancels the rest via the
+//    engines' cooperative stop flags, and at the deadline the best incumbent
+//    wins (Driver::solvePortfolio),
+//  * batch     — solve N problems across a thread pool for throughput
+//    (Driver::solveBatch); per-problem results are independent of the pool
+//    size.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/annealer.hpp"
+#include "fp/milp_floorplanner.hpp"
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+#include "search/solver.hpp"
+
+namespace rfp::driver {
+
+enum class Backend {
+  kSearch,     ///< exact columnar branch-and-bound (proves optimality)
+  kMilpO,      ///< MILP, full solution space (proves optimality)
+  kMilpHO,     ///< MILP restricted by a heuristic sequence pair (no proofs)
+  kHeuristic,  ///< constructive heuristic, first feasible solution
+  kAnnealer,   ///< simulated-annealing baseline
+};
+
+[[nodiscard]] const char* toString(Backend b) noexcept;
+[[nodiscard]] std::optional<Backend> backendFromString(std::string_view name) noexcept;
+
+/// Every dispatchable backend, exact engines first.
+[[nodiscard]] const std::vector<Backend>& allBackends();
+
+/// True for engines whose completed run is a proof (optimality or
+/// infeasibility): exact search and MILP O. HO explores a restricted space
+/// and the heuristic/annealer are incomplete.
+[[nodiscard]] bool isExhaustive(Backend b) noexcept;
+
+enum class SolveStatus {
+  kOptimal,     ///< proven optimal by an exhaustive backend
+  kFeasible,    ///< valid floorplan without an optimality proof
+  kInfeasible,  ///< proven infeasible by an exhaustive backend
+  kNoSolution,  ///< nothing found before the limits hit
+};
+
+[[nodiscard]] const char* toString(SolveStatus s) noexcept;
+
+struct SolveRequest {
+  Backend backend = Backend::kSearch;  ///< single-backend + batch dispatch
+  /// Portfolio composition; empty selects {search, milp-o, milp-ho,
+  /// annealer}. Ignored outside solvePortfolio().
+  std::vector<Backend> portfolio;
+  /// Wall-clock budget per solve; <= 0: none. Tightens (never loosens) the
+  /// per-backend time limits below.
+  double deadline_seconds = 0.0;
+  /// Intra-backend parallelism for the exact search (root decomposition);
+  /// takes the max with search.num_threads.
+  int num_threads = 1;
+  // Per-backend knobs. Engine stop flags are overridden by the portfolio's
+  // shared cancellation flag.
+  search::SearchOptions search;
+  fp::MilpFloorplannerOptions milp;
+  fp::HeuristicOptions heuristic;
+  baseline::AnnealerOptions annealer;
+};
+
+struct SolveResponse {
+  SolveStatus status = SolveStatus::kNoSolution;
+  /// Engine that produced this result (the portfolio winner). Only
+  /// meaningful when hasSolution() or the status is a kInfeasible proof — a
+  /// winner-less portfolio keeps the default and `detail` says "winner=-".
+  Backend backend = Backend::kSearch;
+  model::Floorplan plan;               ///< valid when hasSolution()
+  model::FloorplanCosts costs;
+  double seconds = 0.0;  ///< wall clock of this solve (portfolio: overall)
+  long nodes = 0;        ///< backend-specific work measure (nodes/iterations)
+  std::string detail;    ///< per-backend diagnostics
+
+  [[nodiscard]] bool hasSolution() const noexcept {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+  }
+};
+
+class Driver {
+ public:
+  Driver() = default;
+
+  /// Single-backend mode: dispatch to `request.backend`.
+  [[nodiscard]] SolveResponse solve(const model::FloorplanProblem& problem,
+                                    const SolveRequest& request) const;
+
+  /// Portfolio mode: run `request.portfolio` concurrently, one std::thread
+  /// per backend. A proven result (optimal/infeasible from an exhaustive
+  /// backend) cancels the others; otherwise everyone runs to its limit and
+  /// the best incumbent under the problem's objective wins.
+  [[nodiscard]] SolveResponse solvePortfolio(const model::FloorplanProblem& problem,
+                                             const SolveRequest& request) const;
+
+  /// Batch mode: solve every problem with the single-backend dispatch across
+  /// a pool of `pool_threads` threads. Results are positionally aligned with
+  /// `problems` and, for deadline-free requests, independent of the pool
+  /// size (a wall-clock deadline can truncate a solve differently under
+  /// pool contention).
+  [[nodiscard]] std::vector<SolveResponse> solveBatch(
+      const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
+      int pool_threads) const;
+};
+
+}  // namespace rfp::driver

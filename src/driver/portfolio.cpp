@@ -1,0 +1,94 @@
+// Portfolio mode: concurrent backends racing on one problem.
+//
+// Every backend gets the same deadline and a shared cancellation flag. A
+// backend that *proves* its result (optimal or infeasible, exhaustive
+// engines only) sets the flag, which the other engines observe at their next
+// poll point and unwind from — so the portfolio's wall clock tracks the
+// fastest prover, not the slowest member. Without a proof, everyone runs to
+// its own limit and the best incumbent under the problem's objective wins.
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "driver/backend_runner.hpp"
+#include "driver/driver.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::driver {
+
+namespace {
+
+const std::vector<Backend>& defaultPortfolio() {
+  // The heuristic is omitted: it is the annealer's and HO's first stage
+  // already, so a dedicated racer adds no coverage.
+  static const std::vector<Backend> kDefault = {Backend::kSearch, Backend::kMilpO,
+                                                Backend::kMilpHO, Backend::kAnnealer};
+  return kDefault;
+}
+
+}  // namespace
+
+SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
+                                     const SolveRequest& request) const {
+  Stopwatch watch;
+  const std::vector<Backend>& backends =
+      request.portfolio.empty() ? defaultPortfolio() : request.portfolio;
+  if (backends.empty()) return SolveResponse{};
+  if (backends.size() == 1) {
+    SolveResponse only = detail::runBackend(problem, request, backends[0], nullptr);
+    only.seconds = watch.seconds();
+    return only;
+  }
+
+  std::atomic<bool> stop{false};
+  // Each thread writes only its own element, and join() publishes the
+  // writes before arbitration reads them — no lock needed.
+  std::vector<SolveResponse> responses(backends.size());
+  std::vector<std::thread> threads;
+  threads.reserve(backends.size());
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    threads.emplace_back([&, i] {
+      responses[i] = detail::runBackend(problem, request, backends[i], &stop);
+      // Cancel the losers only on a proof: an incumbent without one could
+      // still be beaten by a backend that is mid-run.
+      if (detail::isProof(responses[i])) stop.store(true, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Arbitration: proof of optimality > proof of infeasibility > best
+  // incumbent (problem objective; ties to the earlier portfolio position) >
+  // nothing.
+  const SolveResponse* winner = nullptr;
+  for (const SolveResponse& r : responses)
+    if (detail::isProof(r) && r.status == SolveStatus::kOptimal) {
+      winner = &r;
+      break;
+    }
+  if (!winner)
+    for (const SolveResponse& r : responses)
+      if (detail::isProof(r) && r.status == SolveStatus::kInfeasible) {
+        winner = &r;
+        break;
+      }
+  if (!winner)
+    for (const SolveResponse& r : responses) {
+      if (!r.hasSolution()) continue;
+      if (!winner || model::strictlyBetter(problem, r.costs, winner->costs)) winner = &r;
+    }
+
+  SolveResponse out = winner ? *winner : SolveResponse{};
+  std::ostringstream detail;
+  detail << "portfolio[" << backends.size() << "] winner=" << (winner ? toString(out.backend) : "-");
+  long nodes = 0;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    detail << " | " << responses[i].detail;
+    nodes += responses[i].nodes;
+  }
+  out.detail = detail.str();
+  out.nodes = nodes;
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace rfp::driver

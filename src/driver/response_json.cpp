@@ -1,0 +1,26 @@
+#include "driver/response_json.hpp"
+
+#include "io/json.hpp"
+#include "io/results.hpp"
+
+namespace rfp::driver {
+
+std::string solveResponseToJson(const model::FloorplanProblem& problem,
+                                const SolveResponse& response) {
+  io::JsonWriter w;
+  w.beginObject();
+  w.key("status").value(toString(response.status));
+  // `backend` is only attributable alongside a solution or a proof; a
+  // winner-less portfolio would otherwise pin its failure on one engine.
+  if (response.hasSolution() || response.status == SolveStatus::kInfeasible)
+    w.key("backend").value(toString(response.backend));
+  w.key("seconds").value(response.seconds);
+  w.key("nodes").value(response.nodes);
+  w.key("detail").value(response.detail);
+  if (response.hasSolution())
+    w.key("floorplan").rawValue(io::floorplanToJson(problem, response.plan));
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace rfp::driver

@@ -1,0 +1,19 @@
+// JSON serialization of driver solve outcomes. Lives in the driver layer
+// (not io) so the low-level serialization module stays engine-agnostic; the
+// floorplan body is composed from io::floorplanToJson.
+#pragma once
+
+#include <string>
+
+#include "driver/driver.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::driver {
+
+/// Serializes a solve outcome: status/backend/timing header plus the full
+/// floorplan document when a solution exists. The `backend` field is only
+/// emitted when it is attributable (a solution or an infeasibility proof).
+[[nodiscard]] std::string solveResponseToJson(const model::FloorplanProblem& problem,
+                                              const SolveResponse& response);
+
+}  // namespace rfp::driver

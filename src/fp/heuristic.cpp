@@ -6,6 +6,7 @@
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace rfp::fp {
 
@@ -103,7 +104,10 @@ std::optional<model::Floorplan> constructiveFloorplan(const model::FloorplanProb
 
   Rng rng(options.seed);
   std::vector<std::size_t> shape_skip(static_cast<std::size_t>(problem.numRegions()), 0);
+  const Deadline deadline(options.time_limit_seconds);
   for (int attempt_index = 0; attempt_index <= options.restarts; ++attempt_index) {
+    if (options.stop && options.stop->load(std::memory_order_relaxed)) return std::nullopt;
+    if (attempt_index > 0 && deadline.expired()) return std::nullopt;
     if (attempt_index > 0) {
       // Fisher–Yates shuffle for subsequent restarts, plus random shape
       // offsets so the same order can still explore different geometries.

@@ -7,6 +7,7 @@
 // chance of satisfying tight relocation constraints.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -19,6 +20,12 @@ struct HeuristicOptions {
   int restarts = 32;          ///< randomized region orders after the greedy one
   std::uint64_t seed = 1;     ///< RNG seed (deterministic)
   bool place_fc_areas = true; ///< also place all requested FC areas
+  double time_limit_seconds = 0.0;  ///< wall-clock budget, polled between
+                                    ///< restarts; <= 0: none
+  /// Cooperative external cancellation, polled between restarts; when set the
+  /// heuristic gives up (as if every remaining restart failed). The pointee
+  /// must outlive the call. Used by driver portfolios.
+  std::atomic<bool>* stop = nullptr;
 };
 
 /// Returns a fully feasible floorplan (model::check passes) or std::nullopt

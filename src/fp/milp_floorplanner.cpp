@@ -1,5 +1,6 @@
 #include "fp/milp_floorplanner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "fp/seqpair.hpp"
@@ -35,6 +36,10 @@ FpStatus fromMip(milp::MipStatus s) {
 
 FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   Stopwatch watch;
+  Deadline deadline(options_.time_limit_seconds);
+  const auto cancelled = [this] {
+    return options_.milp.stop && options_.milp.stop->load(std::memory_order_relaxed);
+  };
   FpResult result;
   std::ostringstream detail;
 
@@ -48,7 +53,13 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   // restricting the explored space — optimality claims are unaffected.
   std::optional<model::Floorplan> warm;
   std::optional<SequencePair> sp;
-  warm = constructiveFloorplan(problem, options_.heuristic);
+  HeuristicOptions hopt = options_.heuristic;
+  if (!hopt.stop) hopt.stop = options_.milp.stop;  // one flag cancels all stages
+  if (options_.time_limit_seconds > 0)
+    hopt.time_limit_seconds = hopt.time_limit_seconds > 0
+                                  ? std::min(hopt.time_limit_seconds, options_.time_limit_seconds)
+                                  : options_.time_limit_seconds;
+  warm = constructiveFloorplan(problem, hopt);
   if (options_.algorithm == Algorithm::kHO) {
     if (!warm) {
       result.status = FpStatus::kNoSolution;
@@ -82,13 +93,36 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     if (waste_cap) formulation.addWasteCap(*waste_cap);
     if (sp && static_cast<int>(sp->s1.size()) == formulation.numAreas())
       formulation.addSequencePairConstraints(sp->s1, sp->s2);
+
+    // The simplex works on a dense (m+1) x (n + slacks + artificials)
+    // tableau; allocating it for an oversized formulation would eat tens of
+    // GiB before any deadline or stop flag is ever polled. Decline instead.
+    if (options_.max_lp_gib > 0) {
+      const double m = formulation.model().numConstrs();
+      const double n = formulation.model().numVars();
+      const double est_gib = (m + 1) * (n + 2 * m + 2) * 8.0 / (1024.0 * 1024.0 * 1024.0);
+      if (est_gib > options_.max_lp_gib) {
+        milp::MipResult declined;
+        declined.status = milp::MipStatus::kNoSolution;
+        detail << "declined: LP tableau ~" << est_gib << " GiB (vars=" << n << " constrs=" << m
+               << ") exceeds max_lp_gib=" << options_.max_lp_gib << "; ";
+        return std::make_pair(std::move(declined), std::move(formulation));
+      }
+    }
+
     std::optional<std::vector<double>> encoded;
     if (start) {
       encoded = std::move(start);
     } else if (warm) {
       encoded = formulation.encode(*warm);
     }
-    milp::MilpSolver solver(options_.milp);
+    milp::MilpSolver::Options mopt = options_.milp;
+    if (options_.time_limit_seconds > 0) {
+      const double remaining = std::max(0.01, deadline.remaining());
+      mopt.time_limit_seconds =
+          mopt.time_limit_seconds > 0 ? std::min(mopt.time_limit_seconds, remaining) : remaining;
+    }
+    milp::MilpSolver solver(mopt);
     milp::MipResult mip = solver.solve(formulation.model(), std::move(encoded));
     return std::make_pair(std::move(mip), std::move(formulation));
   };
@@ -118,6 +152,19 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     const long waste_cap =
         model::evaluate(problem, stage1_plan).wasted_frames;
     detail << " waste=" << waste_cap << "; ";
+
+    if (deadline.expired() || cancelled()) {
+      // Budget exhausted between stages: stage 1's plan is the best we have,
+      // and without stage 2 the wire length is not proven optimal.
+      detail << "stage2(wl): skipped (" << (cancelled() ? "cancelled" : "budget exhausted")
+             << ")";
+      result.plan = std::move(stage1_plan);
+      result.costs = model::evaluate(problem, result.plan);
+      result.status = FpStatus::kFeasible;
+      result.detail = detail.str();
+      result.seconds = watch.seconds();
+      return result;
+    }
 
     // Stage 2: minimize wire length among waste-optimal floorplans, warm-
     // started from stage 1's solution.

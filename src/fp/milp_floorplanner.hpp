@@ -36,6 +36,18 @@ struct MilpFloorplannerOptions {
   milp::MilpSolver::Options milp;
   bool lexicographic = true;  ///< two-stage (waste, then WL); else Eq. 14
   HeuristicOptions heuristic; ///< HO first-solution settings
+  /// Overall wall-clock budget across all stages (heuristic + both MILP
+  /// stages); <= 0: none. Each MILP stage receives the remaining budget (and
+  /// at most `milp.time_limit_seconds` when that is also set); when the
+  /// budget runs out between stages the best stage result so far is returned
+  /// as kFeasible. `milp.stop` cancels all stages cooperatively.
+  double time_limit_seconds = 0.0;
+  /// Declines to solve (kNoSolution, with a detail note) when the dense
+  /// simplex tableau of the formulation's LP relaxation would exceed this
+  /// many GiB. Paper-scale relocation instances (SDR2/SDR3) formulate to
+  /// tens of GiB — the paper used a 5-hour commercial branch-and-cut run
+  /// there; this port's exact search covers that scale instead. <= 0: no cap.
+  double max_lp_gib = 1.0;
 };
 
 struct FpResult {

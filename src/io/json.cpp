@@ -91,6 +91,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::rawValue(const std::string& json) {
+  comma();
+  out_ << json;
+  return *this;
+}
+
 CsvWriter& CsvWriter::row(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i) out_ << sep_;

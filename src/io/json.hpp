@@ -27,6 +27,9 @@ class JsonWriter {
   JsonWriter& value(long v);
   JsonWriter& value(int v);
   JsonWriter& value(bool v);
+  /// Embeds `json` verbatim as one value (it must already be valid JSON);
+  /// lets higher layers compose documents from serialized fragments.
+  JsonWriter& rawValue(const std::string& json);
 
   [[nodiscard]] std::string str() const { return out_.str(); }
 

@@ -85,7 +85,8 @@ class Search {
     bool truncated = false;
     bool root_unbounded = false;
     while (!heap_.empty()) {
-      if (deadline.expired() || (opt_.node_limit > 0 && res.nodes >= opt_.node_limit)) {
+      if (deadline.expired() || externallyStopped() ||
+          (opt_.node_limit > 0 && res.nodes >= opt_.node_limit)) {
         truncated = true;
         break;
       }
@@ -97,7 +98,7 @@ class Search {
       // Depth-first plunge from the selected node.
       int current = top.node;
       for (int dive = 0; current >= 0 && dive <= opt_.plunge_depth; ++dive) {
-        if (deadline.expired()) {
+        if (deadline.expired() || externallyStopped()) {
           truncated = true;
           break;
         }
@@ -141,6 +142,9 @@ class Search {
   [[nodiscard]] double signedObj(double user) const { return minimize_ ? user : -user; }
   [[nodiscard]] double userObj(double internal) const { return minimize_ ? internal : -internal; }
   [[nodiscard]] bool hasIncumbent() const { return !incumbent_.empty(); }
+  [[nodiscard]] bool externallyStopped() const {
+    return opt_.stop && opt_.stop->load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double absGapSlack() const {
     return hasIncumbent() ? opt_.gap_tol * std::max(1.0, std::abs(incumbent_obj_)) : 0.0;
   }

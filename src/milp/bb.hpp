@@ -10,6 +10,7 @@
 //  * optional warm-start incumbent (used by the HO flow, Sec. II-A).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ class MilpSolver {
     int cut_rounds = 5;               ///< max root separation rounds
     bool pseudo_cost_branching = true;  ///< reliability-style var selection
     bool log_progress = false;
+    /// Cooperative external cancellation: when non-null and set, the solve
+    /// terminates at the next node boundary with a truncated status (an
+    /// incumbent stays kFeasible, never kOptimal unless the gap closed).
+    /// The pointee must outlive solve(). Used by driver portfolios.
+    std::atomic<bool>* stop = nullptr;
     lp::SimplexSolver::Options lp;
   };
 

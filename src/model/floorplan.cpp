@@ -140,4 +140,13 @@ std::string check(const FloorplanProblem& problem, const Floorplan& fp) {
   return "";
 }
 
+bool strictlyBetter(const FloorplanProblem& problem, const FloorplanCosts& a,
+                    const FloorplanCosts& b) {
+  if (problem.lexicographic()) {
+    if (a.wasted_frames != b.wasted_frames) return a.wasted_frames < b.wasted_frames;
+    return a.wire_length < b.wire_length;
+  }
+  return a.objective < b.objective;
+}
+
 }  // namespace rfp::model

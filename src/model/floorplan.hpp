@@ -65,4 +65,10 @@ struct FloorplanCosts {
 [[nodiscard]] double wireLength(const FloorplanProblem& problem,
                                 const std::vector<device::Rect>& regions);
 
+/// True when costs `a` beat costs `b` under the problem's evaluation mode:
+/// lexicographic (wasted frames, then wire length) or the Eq. 14 weighted
+/// objective. Shared by the driver's portfolio arbitration and the tests.
+[[nodiscard]] bool strictlyBetter(const FloorplanProblem& problem, const FloorplanCosts& a,
+                                  const FloorplanCosts& b);
+
 }  // namespace rfp::model

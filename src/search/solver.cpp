@@ -138,7 +138,9 @@ class Worker {
  private:
   [[nodiscard]] bool aborted() {
     if (shared_.stop.load(std::memory_order_relaxed)) return true;
-    if ((local_nodes_ & 255) == 0 && deadline_.expired()) {
+    if ((local_nodes_ & 255) == 0 &&
+        (deadline_.expired() ||
+         (inst_.opt.stop && inst_.opt.stop->load(std::memory_order_relaxed)))) {
       shared_.stop.store(true);
       return true;
     }

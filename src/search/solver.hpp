@@ -17,6 +17,7 @@
 // proof of optimality (or of infeasibility).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "model/floorplan.hpp"
@@ -43,6 +44,10 @@ struct SearchOptions {
   bool feasibility_only = false;    ///< stop at the first feasible floorplan
   long waste_budget = -1;           ///< hard cap on total wasted frames (< 0: none)
   bool optimize_wirelength = true;  ///< lexicographic tiebreak on wire length
+  /// Cooperative external cancellation: when non-null and set, the search
+  /// stops at the next poll point and reports a truncated status (never a
+  /// proof). The pointee must outlive solve(). Used by driver portfolios.
+  std::atomic<bool>* stop = nullptr;
 };
 
 struct SearchResult {

@@ -1,0 +1,221 @@
+// Driver subsystem: backend dispatch, portfolio arbitration + cancellation,
+// deadline handling, and batch determinism across pool sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/builders.hpp"
+#include "driver/driver.hpp"
+#include "model/floorplan.hpp"
+#include "model/generator.hpp"
+#include "model/problem.hpp"
+#include "search/solver.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::driver {
+namespace {
+
+model::FloorplanProblem twoRegionProblem(const device::Device& dev) {
+  model::FloorplanProblem p(&dev);
+  model::RegionSpec a;
+  a.name = "a";
+  a.tiles = {6, 1, 0};
+  p.addRegion(a);
+  model::RegionSpec b;
+  b.name = "b";
+  b.tiles = {4, 0, 1};
+  p.addRegion(b);
+  p.addNet(model::Net{{0, 1}, 1.0, "n"});
+  return p;
+}
+
+TEST(DriverEnums, BackendNamesRoundTrip) {
+  for (const Backend b : allBackends()) {
+    const auto parsed = backendFromString(toString(b));
+    ASSERT_TRUE(parsed.has_value()) << toString(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  // rfp_cli's historical aliases for the MILP algorithms keep working.
+  EXPECT_EQ(backendFromString("o"), Backend::kMilpO);
+  EXPECT_EQ(backendFromString("ho"), Backend::kMilpHO);
+  EXPECT_FALSE(backendFromString("simplex").has_value());
+}
+
+TEST(DriverSingle, EveryBackendSolvesASmallProblem) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  for (const Backend b : allBackends()) {
+    SolveRequest req;
+    req.backend = b;
+    req.deadline_seconds = 60.0;
+    const SolveResponse res = drv.solve(p, req);
+    EXPECT_EQ(res.backend, b);
+    ASSERT_TRUE(res.hasSolution()) << toString(b) << ": " << res.detail;
+    EXPECT_EQ(model::check(p, res.plan), "") << toString(b);
+    if (isExhaustive(b)) {
+      EXPECT_EQ(res.status, SolveStatus::kOptimal) << res.detail;
+    }
+  }
+}
+
+TEST(DriverSingle, ExhaustiveBackendsAgreeOnTheOptimum) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const SolveResponse exact = drv.solve(p, req);
+  req.backend = Backend::kMilpO;
+  req.deadline_seconds = 120.0;
+  const SolveResponse milp = drv.solve(p, req);
+  ASSERT_EQ(exact.status, SolveStatus::kOptimal);
+  ASSERT_EQ(milp.status, SolveStatus::kOptimal) << milp.detail;
+  EXPECT_EQ(exact.costs.wasted_frames, milp.costs.wasted_frames);
+  // MILP optimality holds within gap_tol, so equally-optimal plans may
+  // differ in the last bits of the wire length.
+  EXPECT_NEAR(exact.costs.wire_length, milp.costs.wire_length,
+              1e-4 * std::max(1.0, exact.costs.wire_length));
+}
+
+TEST(DriverSingle, InfeasibleProblemsAreProvenInfeasible) {
+  // Demand beyond the device's supply: an aggregate-infeasibility verdict.
+  const device::Device dev = device::columnarFromPattern("t", "CCCC", 3);
+  model::FloorplanProblem p(&dev);
+  model::RegionSpec r;
+  r.name = "huge";
+  r.tiles = {1000, 0, 0};
+  p.addRegion(r);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  EXPECT_EQ(drv.solve(p, req).status, SolveStatus::kInfeasible);
+  // The incomplete engines cannot prove anything.
+  req.backend = Backend::kHeuristic;
+  EXPECT_EQ(drv.solve(p, req).status, SolveStatus::kNoSolution);
+}
+
+TEST(DriverPortfolio, MatchesTheExactOptimumOnTheSdrProblem) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+
+  search::SearchOptions sopt;
+  sopt.num_threads = 2;
+  const search::SearchResult ref = search::ColumnarSearchSolver(sopt).solve(sdr);
+  ASSERT_EQ(ref.status, search::SearchStatus::kOptimal);
+
+  const Driver drv;
+  SolveRequest req;
+  req.num_threads = 2;
+  req.deadline_seconds = 300.0;  // ample; the search proof cancels the rest
+  const SolveResponse res = drv.solvePortfolio(sdr, req);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal) << res.detail;
+  EXPECT_EQ(res.costs.wasted_frames, ref.costs.wasted_frames);
+  // A gap-tolerance MILP win is equally optimal but not bit-identical.
+  EXPECT_NEAR(res.costs.wire_length, ref.costs.wire_length,
+              1e-4 * std::max(1.0, ref.costs.wire_length));
+  EXPECT_EQ(model::check(sdr, res.plan), "");
+}
+
+TEST(DriverPortfolio, ProvenInfeasibilityWinsOverNoSolution) {
+  const device::Device dev = device::columnarFromPattern("t", "CCCC", 3);
+  model::FloorplanProblem p(&dev);
+  model::RegionSpec r;
+  r.name = "huge";
+  r.tiles = {1000, 0, 0};
+  p.addRegion(r);
+  const Driver drv;
+  SolveRequest req;
+  req.deadline_seconds = 60.0;
+  const SolveResponse res = drv.solvePortfolio(p, req);
+  EXPECT_EQ(res.status, SolveStatus::kInfeasible) << res.detail;
+}
+
+TEST(DriverPortfolio, ExplicitSingletonPortfolioBehavesLikeSingle) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.portfolio = {Backend::kSearch};
+  const SolveResponse res = drv.solvePortfolio(p, req);
+  EXPECT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_EQ(res.backend, Backend::kSearch);
+}
+
+TEST(DriverDeadline, AnnealerStopsAtTheDeadline) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;
+  req.annealer.iterations = 2000000000L;  // would run for hours un-bounded
+  req.deadline_seconds = 0.3;
+  Stopwatch watch;
+  const SolveResponse res = drv.solve(sdr, req);
+  EXPECT_LT(watch.seconds(), 10.0);  // poll granularity + CI slack
+  EXPECT_EQ(res.status, SolveStatus::kFeasible) << res.detail;
+}
+
+TEST(DriverDeadline, MilpStopsNearTheDeadline) {
+  // The full SDR MILP runs far beyond a minute un-bounded; a one-second
+  // deadline must cut it off at a node boundary.
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kMilpO;
+  req.deadline_seconds = 1.0;
+  Stopwatch watch;
+  const SolveResponse res = drv.solve(sdr, req);
+  EXPECT_LT(watch.seconds(), 60.0);  // one LP/presolve round of slack
+  EXPECT_NE(res.status, SolveStatus::kOptimal);
+}
+
+TEST(DriverBatch, ResultsAreIndependentOfThePoolSize) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCCCCBC", 6);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.max_region_width = 4;
+  gopt.max_region_height = 3;
+  std::vector<model::FloorplanProblem> problems;
+  for (std::uint64_t seed = 1; problems.size() < 8; ++seed) {
+    gopt.seed = seed;
+    if (auto p = model::generateProblem(dev, gopt)) problems.push_back(std::move(*p));
+  }
+  std::vector<const model::FloorplanProblem*> ptrs;
+  for (const auto& p : problems) ptrs.push_back(&p);
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  // Deliberately no deadline: the pool-size-independence guarantee only
+  // holds when wall-clock truncation cannot differ under pool contention.
+  const std::vector<SolveResponse> serial = drv.solveBatch(ptrs, req, 1);
+  const std::vector<SolveResponse> pooled = drv.solveBatch(ptrs, req, 4);
+  ASSERT_EQ(serial.size(), ptrs.size());
+  ASSERT_EQ(pooled.size(), ptrs.size());
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(serial[i].status, pooled[i].status) << "problem " << i;
+    ASSERT_TRUE(serial[i].hasSolution()) << "problem " << i;
+    EXPECT_EQ(serial[i].costs.wasted_frames, pooled[i].costs.wasted_frames) << "problem " << i;
+    EXPECT_DOUBLE_EQ(serial[i].costs.wire_length, pooled[i].costs.wire_length)
+        << "problem " << i;
+    EXPECT_EQ(model::check(*ptrs[i], pooled[i].plan), "") << "problem " << i;
+  }
+}
+
+TEST(DriverBatch, EmptyBatchAndOversizedPoolAreFine) {
+  const Driver drv;
+  SolveRequest req;
+  EXPECT_TRUE(drv.solveBatch({}, req, 8).empty());
+
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const std::vector<const model::FloorplanProblem*> one = {&p};
+  const std::vector<SolveResponse> res = drv.solveBatch(one, req, 16);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].status, SolveStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace rfp::driver

@@ -8,6 +8,7 @@
 
 #include "device/builders.hpp"
 #include "device/catalog.hpp"
+#include "driver/driver.hpp"
 #include "io/problem_text.hpp"
 #include "model/floorplan.hpp"
 #include "model/generator.hpp"
@@ -230,6 +231,38 @@ TEST(CatalogInvariant, GeneratedInstancesSolveOnEveryCatalogPart) {
     ASSERT_TRUE(res.hasSolution()) << entry.name;
     EXPECT_EQ(model::check(*p, res.plan), "") << entry.name;
   }
+}
+
+// The driver's portfolio arbitration can never do worse than the exact
+// engine alone: on feasible-by-construction instances with hard relocation
+// requests, the portfolio must return a checker-valid proven optimum with
+// the exact search's wasted-frame count.
+TEST(DriverInvariant, PortfolioNeverWorseThanExactSearch) {
+  const device::Device dev = device::columnarFromPattern("drv", "CCBCCDCCCCBC", 6);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.max_region_width = 4;
+  gopt.max_region_height = 3;
+  gopt.fc_per_region = 1;
+
+  const driver::Driver drv;
+  int exercised = 0;
+  for (std::uint64_t seed = 1; exercised < 5 && seed < 60; ++seed) {
+    gopt.seed = seed;
+    const auto p = model::generateProblem(dev, gopt);
+    if (!p) continue;
+    const search::SearchResult ref = search::ColumnarSearchSolver().solve(*p);
+    if (ref.status != search::SearchStatus::kOptimal) continue;
+    ++exercised;
+
+    driver::SolveRequest req;
+    req.deadline_seconds = 120.0;
+    const driver::SolveResponse res = drv.solvePortfolio(*p, req);
+    ASSERT_EQ(res.status, driver::SolveStatus::kOptimal) << "seed " << seed << ": " << res.detail;
+    EXPECT_EQ(res.costs.wasted_frames, ref.costs.wasted_frames) << "seed " << seed;
+    EXPECT_EQ(model::check(*p, res.plan), "") << "seed " << seed;
+  }
+  EXPECT_GE(exercised, 3);
 }
 
 }  // namespace

@@ -9,10 +9,12 @@
 
 #include "bitstream/bitstream.hpp"
 #include "device/builders.hpp"
+#include "driver/driver.hpp"
 #include "fp/formulation.hpp"
 #include "fp/milp_floorplanner.hpp"
 #include "milp/bb.hpp"
 #include "model/floorplan.hpp"
+#include "model/generator.hpp"
 #include "partition/columnar.hpp"
 #include "partition/compatibility.hpp"
 #include "search/candidates.hpp"
@@ -193,6 +195,54 @@ TEST(CandidateProperty, MinWasteMatchesExhaustiveScan) {
       EXPECT_EQ(cands.min_waste, brute_min) << "trial " << trial;
     }
   }
+}
+
+// Cross-engine agreement through the driver's unified dispatch: on seeded
+// generator instances, the exact search and the MILP floorplanner (backend
+// milp-o, same lexicographic objective) must report the same optimal
+// wasted-frame count — the central claim that the engines solve the same
+// problem semantics.
+TEST(CrossEngineProperty, DriverBackendsAgreeOnGeneratedInstances) {
+  const device::Device dev = device::columnarFromPattern("gen", "CCBCCD", 4);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 2;
+  gopt.max_region_width = 3;
+  gopt.max_region_height = 2;
+  gopt.num_nets = 1;
+
+  const driver::Driver drv;
+  driver::SolveRequest search_req;
+  search_req.backend = driver::Backend::kSearch;
+  driver::SolveRequest milp_req;
+  milp_req.backend = driver::Backend::kMilpO;
+  milp_req.deadline_seconds = 60.0;
+
+  int instances = 0;
+  int both_optimal = 0;
+  for (std::uint64_t seed = 1; instances < 20 && seed < 200; ++seed) {
+    gopt.seed = seed;
+    const auto p = model::generateProblem(dev, gopt);
+    if (!p) continue;
+    ++instances;
+
+    const driver::SolveResponse exact = drv.solve(*p, search_req);
+    ASSERT_EQ(exact.status, driver::SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(model::check(*p, exact.plan), "") << "seed " << seed;
+
+    const driver::SolveResponse milp = drv.solve(*p, milp_req);
+    ASSERT_TRUE(milp.hasSolution()) << "seed " << seed << ": " << milp.detail;
+    ASSERT_EQ(model::check(*p, milp.plan), "") << "seed " << seed;
+    if (milp.status == driver::SolveStatus::kOptimal) {
+      EXPECT_EQ(milp.costs.wasted_frames, exact.costs.wasted_frames)
+          << "seed " << seed << ": " << milp.detail;
+      ++both_optimal;
+    } else {
+      // A truncated MILP can only overestimate the optimum.
+      EXPECT_GE(milp.costs.wasted_frames, exact.costs.wasted_frames) << "seed " << seed;
+    }
+  }
+  EXPECT_EQ(instances, 20) << "generator failed too often on this device";
+  EXPECT_GE(both_optimal, 15) << "too few instances reached a MILP optimality proof";
 }
 
 }  // namespace

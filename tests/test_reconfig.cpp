@@ -129,7 +129,7 @@ TEST(Simulator, TargetsAreHomePlusPlacedFcAreas) {
   EXPECT_EQ(sim.targetCount(1), 1);
   EXPECT_EQ(sim.target(0, 0), f.fp.regions[0]);
   EXPECT_EQ(sim.target(0, 1), f.fp.fc_areas[0].rect);
-  EXPECT_THROW(sim.target(1, 1), rfp::CheckError);
+  EXPECT_THROW((void)sim.target(1, 1), rfp::CheckError);
 }
 
 TEST(Simulator, SequentialIcapSerializesOverlappingRequests) {
