@@ -77,6 +77,21 @@ struct SolveRequest {
   baseline::AnnealerOptions annealer;
 };
 
+/// LP substrate telemetry of a MILP-backed solve (zero `solves` otherwise):
+/// which simplex engine ran, how hard it worked, and how often branch &
+/// bound could reoptimize a node from its parent's basis.
+struct LpStats {
+  std::string engine;           ///< "dense" / "sparse"; empty when no LP ran
+  long solves = 0;              ///< LP relaxations solved
+  long iterations = 0;          ///< total simplex iterations
+  long warm_start_hits = 0;     ///< solves that adopted a parent basis
+  long refactorizations = 0;    ///< sparse engine: basis refactorizations
+
+  [[nodiscard]] double warmStartHitRate() const noexcept {
+    return solves > 0 ? static_cast<double>(warm_start_hits) / static_cast<double>(solves) : 0.0;
+  }
+};
+
 struct SolveResponse {
   SolveStatus status = SolveStatus::kNoSolution;
   /// Engine that produced this result (the portfolio winner). Only
@@ -88,6 +103,7 @@ struct SolveResponse {
   double seconds = 0.0;  ///< wall clock of this solve (portfolio: overall)
   long nodes = 0;        ///< backend-specific work measure (nodes/iterations)
   std::string detail;    ///< per-backend diagnostics
+  LpStats lp;            ///< LP substrate telemetry (MILP backends)
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;

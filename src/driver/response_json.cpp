@@ -16,6 +16,16 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     w.key("backend").value(toString(response.backend));
   w.key("seconds").value(response.seconds);
   w.key("nodes").value(response.nodes);
+  if (response.lp.solves > 0) {
+    w.key("lp").beginObject();
+    w.key("engine").value(response.lp.engine);
+    w.key("solves").value(response.lp.solves);
+    w.key("iterations").value(response.lp.iterations);
+    w.key("refactorizations").value(response.lp.refactorizations);
+    w.key("warm_start_hits").value(response.lp.warm_start_hits);
+    w.key("warm_start_hit_rate").value(response.lp.warmStartHitRate());
+    w.endObject();
+  }
   w.key("detail").value(response.detail);
   if (response.hasSolution())
     w.key("floorplan").rawValue(io::floorplanToJson(problem, response.plan));

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "fp/seqpair.hpp"
+#include "lp/lp_solver.hpp"
+#include "lp/sparse/csc.hpp"
 #include "partition/columnar.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -42,6 +44,13 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   };
   FpResult result;
   std::ostringstream detail;
+  const auto accumulateLpStats = [&result](const milp::MipResult& mip) {
+    if (mip.lp_solves > 0) result.lp_engine = mip.lp_engine;
+    result.lp_solves += mip.lp_solves;
+    result.lp_iterations += mip.lp_iterations;
+    result.lp_warm_hits += mip.lp_warm_hits;
+    result.lp_refactorizations += mip.lp_refactorizations;
+  };
 
   const auto part = partition::columnarPartition(problem.dev());
   RFP_CHECK_MSG(part.has_value(),
@@ -94,17 +103,25 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     if (sp && static_cast<int>(sp->s1.size()) == formulation.numAreas())
       formulation.addSequencePairConstraints(sp->s1, sp->s2);
 
-    // The simplex works on a dense (m+1) x (n + slacks + artificials)
-    // tableau; allocating it for an oversized formulation would eat tens of
-    // GiB before any deadline or stop flag is ever polled. Decline instead.
+    // Admission gate: bill the memory of the LP engine that would actually
+    // run. The dense tableau estimate ((m+1) x (n+2m) doubles) used to be
+    // applied unconditionally, which declined every SDR2/SDR3-scale
+    // formulation (~25 GiB dense); the sparse revised simplex is billed by
+    // constraint-matrix nonzeros instead and sails through at ~0.1 GiB.
+    // Allocating past the gate would eat the memory before any deadline or
+    // stop flag is ever polled, so oversized formulations still decline.
     if (options_.max_lp_gib > 0) {
-      const double m = formulation.model().numConstrs();
-      const double n = formulation.model().numVars();
-      const double est_gib = (m + 1) * (n + 2 * m + 2) * 8.0 / (1024.0 * 1024.0 * 1024.0);
+      const lp::Model& mdl = formulation.model();
+      const lp::LpEngine engine = lp::LpSolver(options_.milp.lp).resolveEngine(mdl);
+      const double est_gib = engine == lp::LpEngine::kSparse
+                                 ? lp::LpSolver::sparseFootprintGib(mdl)
+                                 : lp::LpSolver::denseTableauGib(mdl);
       if (est_gib > options_.max_lp_gib) {
         milp::MipResult declined;
         declined.status = milp::MipStatus::kNoSolution;
-        detail << "declined: LP tableau ~" << est_gib << " GiB (vars=" << n << " constrs=" << m
+        detail << "declined: " << lp::toString(engine) << " LP ~" << est_gib
+               << " GiB (vars=" << mdl.numVars() << " constrs=" << mdl.numConstrs()
+               << " nnz=" << lp::sparse::countNonzeros(mdl)
                << ") exceeds max_lp_gib=" << options_.max_lp_gib << "; ";
         return std::make_pair(std::move(declined), std::move(formulation));
       }
@@ -130,6 +147,7 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   if (!options_.lexicographic) {
     auto [mip, formulation] = buildAndSolve(ObjectiveKind::kWeighted, std::nullopt, std::nullopt);
     result.nodes = mip.nodes;
+    accumulateLpStats(mip);
     result.status = fromMip(mip.status);
     detail << "weighted: " << milp::toString(mip.status) << " obj=" << mip.objective;
     if (mip.hasSolution()) {
@@ -141,6 +159,7 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     auto [mip1, formulation1] =
         buildAndSolve(ObjectiveKind::kWastedFrames, std::nullopt, std::nullopt);
     result.nodes = mip1.nodes;
+    accumulateLpStats(mip1);
     detail << "stage1(waste): " << milp::toString(mip1.status);
     if (!mip1.hasSolution()) {
       result.status = fromMip(mip1.status);
@@ -172,6 +191,7 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
         ObjectiveKind::kWireLength, waste_cap,
         std::optional<std::vector<double>>(formulation1.encode(stage1_plan)));
     result.nodes += mip2.nodes;
+    accumulateLpStats(mip2);
     detail << "stage2(wl): " << milp::toString(mip2.status);
     if (mip2.hasSolution()) {
       result.plan = formulation2.extract(mip2.x);

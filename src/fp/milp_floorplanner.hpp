@@ -42,11 +42,15 @@ struct MilpFloorplannerOptions {
   /// budget runs out between stages the best stage result so far is returned
   /// as kFeasible. `milp.stop` cancels all stages cooperatively.
   double time_limit_seconds = 0.0;
-  /// Declines to solve (kNoSolution, with a detail note) when the dense
-  /// simplex tableau of the formulation's LP relaxation would exceed this
-  /// many GiB. Paper-scale relocation instances (SDR2/SDR3) formulate to
-  /// tens of GiB — the paper used a 5-hour commercial branch-and-cut run
-  /// there; this port's exact search covers that scale instead. <= 0: no cap.
+  /// Declines to solve (kNoSolution, with a detail note) when the LP
+  /// substrate's working set for this formulation would exceed this many
+  /// GiB. The estimate matches the engine `milp.lp` would actually run:
+  /// the dense tableau is (m+1) x (n+2m) doubles (~25 GiB on SDR2, which is
+  /// why such formulations used to be declined outright), while the sparse
+  /// revised simplex is billed per constraint-matrix nonzero (~0.1 GiB on
+  /// the same formulation), so paper-scale instances now pass the gate and
+  /// solve on the sparse engine. The gate still protects the dense path
+  /// when the engine selection is pinned to kDense. <= 0: no cap.
   double max_lp_gib = 1.0;
 };
 
@@ -57,6 +61,12 @@ struct FpResult {
   double seconds = 0.0;
   long nodes = 0;
   std::string detail;  ///< per-stage diagnostics
+  // LP substrate telemetry, aggregated over the MILP stages.
+  lp::LpEngine lp_engine = lp::LpEngine::kAuto;  ///< kAuto until a MILP stage ran
+  long lp_solves = 0;
+  long lp_iterations = 0;
+  long lp_warm_hits = 0;
+  long lp_refactorizations = 0;
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == FpStatus::kOptimal || status == FpStatus::kFeasible;

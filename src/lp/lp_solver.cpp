@@ -1,0 +1,53 @@
+#include "lp/lp_solver.hpp"
+
+#include <vector>
+
+#include "lp/sparse/csc.hpp"
+
+namespace rfp::lp {
+
+double LpSolver::denseTableauGib(const Model& model) {
+  const double m = model.numConstrs();
+  const double n = model.numVars();
+  return (m + 1) * (n + 2 * m + 2) * 8.0 / (1024.0 * 1024.0 * 1024.0);
+}
+
+double LpSolver::sparseFootprintGib(const Model& model) {
+  const double nnz = static_cast<double>(sparse::countNonzeros(model));
+  const double vars = static_cast<double>(model.numVars()) + model.numConstrs();
+  // 96 B/nonzero covers CSC (12 B) plus Markowitz working copies, LU fill
+  // and the eta file between refactorizations; 160 B/variable covers the
+  // dozen dense working vectors (bounds, costs, weights, FTRAN/BTRAN
+  // scratch, basis arrays).
+  return (nnz * 96.0 + vars * 160.0) / (1024.0 * 1024.0 * 1024.0);
+}
+
+LpEngine LpSolver::resolveEngine(const Model& model) const {
+  if (options_.engine != LpEngine::kAuto) return options_.engine;
+  return denseTableauGib(model) * 1024.0 > options_.auto_dense_limit_mib ? LpEngine::kSparse
+                                                                         : LpEngine::kDense;
+}
+
+LpResult LpSolver::solve(const Model& model) const {
+  std::vector<double> lb(static_cast<std::size_t>(model.numVars()));
+  std::vector<double> ub(static_cast<std::size_t>(model.numVars()));
+  for (int j = 0; j < model.numVars(); ++j) {
+    lb[static_cast<std::size_t>(j)] = model.var(j).lb;
+    ub[static_cast<std::size_t>(j)] = model.var(j).ub;
+  }
+  return solve(model, lb, ub);
+}
+
+LpResult LpSolver::solve(const Model& model, std::span<const double> lb,
+                         std::span<const double> ub, const sparse::Basis* warm) const {
+  if (resolveEngine(model) == LpEngine::kSparse) {
+    sparse::RevisedSimplexSolver::Options sopt;
+    sopt.core = options_.core;
+    sopt.refactor_interval = options_.refactor_interval;
+    sopt.lu = options_.lu;
+    return sparse::RevisedSimplexSolver(sopt).solve(model, lb, ub, warm);
+  }
+  return SimplexSolver(options_.core).solve(model, lb, ub);
+}
+
+}  // namespace rfp::lp

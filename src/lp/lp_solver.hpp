@@ -1,0 +1,73 @@
+// Engine-agnostic LP entry point: dense tableau or sparse revised simplex.
+//
+// Callers (branch & bound, the MILP floorplanner, tests) solve through
+// `LpSolver` and let it pick the substrate:
+//
+//  * kDense  — the two-phase full-tableau simplex (lp/simplex.hpp). Fast and
+//    simple on small models, but its working set is (m+1) x (n+2m) doubles:
+//    an SDR2-scale floorplanning formulation (~40k rows) would need ~25 GiB.
+//  * kSparse — the revised simplex over CSC storage with a Markowitz-
+//    factorized basis (lp/sparse/). Memory scales with the nonzero count
+//    (~10 MB for the same SDR2 formulation) and it accepts basis warm
+//    starts, which branch & bound uses to reoptimize child nodes.
+//  * kAuto   — kDense while the dense tableau stays under
+//    `auto_dense_limit_mib`, kSparse above it.
+//
+// The per-engine memory estimates are also exported so admission gates
+// (MilpFloorplannerOptions::max_lp_gib) can budget against the engine that
+// would actually run instead of always assuming the dense tableau.
+#pragma once
+
+#include <span>
+
+#include "lp/simplex.hpp"
+#include "lp/sparse/basis.hpp"
+#include "lp/sparse/revised_simplex.hpp"
+
+namespace rfp::lp {
+
+class LpSolver {
+ public:
+  struct Options {
+    LpEngine engine = LpEngine::kAuto;
+    /// kAuto switches to the sparse engine when the dense tableau would
+    /// exceed this many MiB.
+    double auto_dense_limit_mib = 64.0;
+    /// Tolerances and limits shared by both engines.
+    SimplexSolver::Options core;
+    /// Sparse-only knobs (see lp/sparse/revised_simplex.hpp).
+    int refactor_interval = 100;
+    sparse::BasisLu::Options lu;
+  };
+
+  LpSolver() = default;
+  explicit LpSolver(Options options) : options_(options) {}
+
+  /// Solves the continuous relaxation of `model` (integrality ignored).
+  [[nodiscard]] LpResult solve(const Model& model) const;
+
+  /// Solves with per-variable bound overrides. `warm` (a basis from an
+  /// earlier sparse solve) is honoured by the sparse engine and ignored by
+  /// the dense one; `LpResult::warm_started` reports what happened.
+  [[nodiscard]] LpResult solve(const Model& model, std::span<const double> lb,
+                               std::span<const double> ub,
+                               const sparse::Basis* warm = nullptr) const;
+
+  /// The engine `solve` would use for this model (never kAuto).
+  [[nodiscard]] LpEngine resolveEngine(const Model& model) const;
+
+  /// Working-set estimate of the dense tableau: (m+1) x (n+2m+2) doubles.
+  [[nodiscard]] static double denseTableauGib(const Model& model);
+
+  /// Nonzero-based working-set estimate of the sparse engine: CSC storage
+  /// plus LU fill and eta-file headroom per nonzero, plus the per-variable
+  /// working vectors. Deliberately conservative (real use is lower).
+  [[nodiscard]] static double sparseFootprintGib(const Model& model);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace rfp::lp

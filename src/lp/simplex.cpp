@@ -19,6 +19,15 @@ const char* toString(LpStatus s) noexcept {
   return "?";
 }
 
+const char* toString(LpEngine e) noexcept {
+  switch (e) {
+    case LpEngine::kAuto: return "auto";
+    case LpEngine::kDense: return "dense";
+    case LpEngine::kSparse: return "sparse";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr double kInf = kInfinity;
@@ -262,7 +271,10 @@ class Tableau {
     int degenerate_streak = 0;
     while (true) {
       if (++iters > opt_.max_iterations) return LpStatus::kIterLimit;
-      if ((iters & 63) == 0 && deadline.expired()) return LpStatus::kTimeLimit;
+      if ((iters & 63) == 0 &&
+          (deadline.expired() ||
+           (opt_.stop && opt_.stop->load(std::memory_order_relaxed))))
+        return LpStatus::kTimeLimit;
 
       const bool bland = degenerate_streak > opt_.bland_after_degenerate;
       const double* z = rowPtr(0);

@@ -13,10 +13,14 @@
 //    degenerate pivots (anti-cycling).
 //
 // Intended problem scale: up to a few thousand rows/columns — the sizes
-// produced by the floorplanning formulations on unit-test devices. The
-// paper-scale SDR benches use src/search instead (see DESIGN.md).
+// produced by the floorplanning formulations on unit-test devices. Larger
+// formulations (paper-scale SDR relocation instances) go through the sparse
+// revised simplex in lp/sparse/; `LpSolver` (lp/lp_solver.hpp) picks the
+// engine automatically from the model's memory footprint.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,9 +30,19 @@
 
 namespace rfp::lp {
 
+namespace sparse {
+struct Basis;
+}  // namespace sparse
+
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit, kTimeLimit };
 
 [[nodiscard]] const char* toString(LpStatus s) noexcept;
+
+/// Which LP substrate solves a model: the dense two-phase tableau below, the
+/// sparse revised simplex (lp/sparse/), or an automatic size-based choice.
+enum class LpEngine { kAuto, kDense, kSparse };
+
+[[nodiscard]] const char* toString(LpEngine e) noexcept;
 
 struct LpResult {
   LpStatus status = LpStatus::kIterLimit;
@@ -36,6 +50,12 @@ struct LpResult {
   std::vector<double> x;           ///< primal values (model variable order)
   long iterations = 0;
   double seconds = 0.0;
+  LpEngine engine = LpEngine::kDense;  ///< engine that produced this result
+  long refactorizations = 0;       ///< sparse engine: basis refactorizations
+  bool warm_started = false;       ///< a caller-provided basis was adopted
+  /// Sparse engine, on optimality: the optimal basis, reusable as a warm
+  /// start for a nearby solve (branch & bound child nodes). Opaque.
+  std::shared_ptr<const sparse::Basis> basis;
 };
 
 class SimplexSolver {
@@ -48,6 +68,11 @@ class SimplexSolver {
     double time_limit_seconds = 0.0;  ///< <= 0: no limit
     int bland_after_degenerate = 40;  ///< switch to Bland after this many
                                       ///< consecutive degenerate pivots
+    /// Cooperative cancellation, polled inside the pivot loop (a paper-scale
+    /// sparse solve runs for tens of seconds — callers like the driver
+    /// portfolio cannot wait for a node boundary). When set, the solve
+    /// returns kTimeLimit at the next poll. The pointee must outlive solve().
+    std::atomic<bool>* stop = nullptr;
   };
 
   SimplexSolver() = default;

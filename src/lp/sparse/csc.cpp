@@ -1,0 +1,42 @@
+#include "lp/sparse/csc.hpp"
+
+namespace rfp::lp::sparse {
+
+CscMatrix CscMatrix::fromModel(const Model& model) {
+  CscMatrix a;
+  a.rows = model.numConstrs();
+  a.cols = model.numVars();
+  a.ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+
+  // Count entries per column, then prefix-sum into ptr.
+  for (int i = 0; i < a.rows; ++i)
+    for (const auto& [v, coef] : model.constr(i).terms)
+      if (coef != 0.0) ++a.ptr[static_cast<std::size_t>(v) + 1];
+  for (int j = 0; j < a.cols; ++j) a.ptr[static_cast<std::size_t>(j) + 1] += a.ptr[static_cast<std::size_t>(j)];
+
+  a.idx.resize(static_cast<std::size_t>(a.ptr[static_cast<std::size_t>(a.cols)]));
+  a.val.resize(a.idx.size());
+  std::vector<int> cursor(a.ptr.begin(), a.ptr.end() - 1);
+  // Row-major scan writes each column's rows in ascending order (constraints
+  // are visited in index order), so no per-column sort is needed. Model rows
+  // arrive with duplicate variables already merged (LinExpr::normalize), so
+  // each (row, col) pair appears at most once.
+  for (int i = 0; i < a.rows; ++i) {
+    for (const auto& [v, coef] : model.constr(i).terms) {
+      if (coef == 0.0) continue;
+      const int at = cursor[static_cast<std::size_t>(v)]++;
+      a.idx[static_cast<std::size_t>(at)] = i;
+      a.val[static_cast<std::size_t>(at)] = coef;
+    }
+  }
+  return a;
+}
+
+long countNonzeros(const Model& model) noexcept {
+  long nnz = 0;
+  for (int i = 0; i < model.numConstrs(); ++i)
+    nnz += static_cast<long>(model.constr(i).terms.size());
+  return nnz;
+}
+
+}  // namespace rfp::lp::sparse

@@ -1,0 +1,328 @@
+#include "lp/sparse/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace rfp::lp::sparse {
+
+namespace {
+
+struct Entry {
+  int row;
+  double val;
+};
+
+}  // namespace
+
+bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
+  m_ = a.rows;
+  RFP_CHECK(static_cast<int>(basic.size()) == m_);
+  const int m = m_;
+
+  pivot_row_.clear();
+  pivot_pos_.clear();
+  diag_.clear();
+  l_start_.clear();
+  l_row_.clear();
+  l_val_.clear();
+  u_start_.clear();
+  u_step_.clear();
+  u_val_.clear();
+  eta_start_.clear();
+  eta_idx_.clear();
+  eta_pos_.clear();
+  eta_val_.clear();
+  eta_piv_.clear();
+  deficient_pos_.clear();
+  unpivoted_rows_.clear();
+  work_.assign(static_cast<std::size_t>(m), 0.0);
+  work2_.assign(static_cast<std::size_t>(m), 0.0);
+
+  // ---- working copy of the basis matrix, column-wise -----------------------
+  // Columns are kept exact (only active rows); row patterns may carry stale
+  // position entries which are skipped lazily via col_done / membership.
+  std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(m));
+  std::vector<std::vector<int>> rowpat(static_cast<std::size_t>(m));
+  std::vector<int> rcount(static_cast<std::size_t>(m), 0);
+  for (int p = 0; p < m; ++p) {
+    const int b = basic[static_cast<std::size_t>(p)];
+    if (b >= a.cols) {
+      const int r = b - a.cols;
+      RFP_CHECK_MSG(r >= 0 && r < m, "basis references slack of unknown row " << r);
+      cols[static_cast<std::size_t>(p)].push_back(Entry{r, 1.0});
+    } else {
+      RFP_CHECK_MSG(b >= 0, "basis position " << p << " is unset");
+      for (int k = a.ptr[static_cast<std::size_t>(b)]; k < a.ptr[static_cast<std::size_t>(b) + 1]; ++k)
+        cols[static_cast<std::size_t>(p)].push_back(
+            Entry{a.idx[static_cast<std::size_t>(k)], a.val[static_cast<std::size_t>(k)]});
+    }
+    for (const Entry& e : cols[static_cast<std::size_t>(p)]) {
+      rowpat[static_cast<std::size_t>(e.row)].push_back(p);
+      ++rcount[static_cast<std::size_t>(e.row)];
+    }
+  }
+
+  std::vector<char> row_done(static_cast<std::size_t>(m), 0);
+  std::vector<char> col_done(static_cast<std::size_t>(m), 0);
+
+  // Bucket queue of candidate columns by current length; entries go stale
+  // when a column's length changes (it is re-pushed at the new length) and
+  // are skipped on pop.
+  std::vector<std::vector<int>> bucket(static_cast<std::size_t>(m) + 1);
+  for (int p = 0; p < m; ++p)
+    bucket[cols[static_cast<std::size_t>(p)].size()].push_back(p);
+
+  // Scatter workspace for column updates.
+  std::vector<double> wval(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> wstamp(static_cast<std::size_t>(m), -1);
+  std::vector<int> touched;
+  int epoch = 0;
+
+  const auto columnLen = [&](int p) { return cols[static_cast<std::size_t>(p)].size(); };
+
+  int steps = 0;
+  std::vector<int> popped;  // candidates taken off the buckets this step
+  while (steps < m) {
+    // ---- Markowitz pivot selection ---------------------------------------
+    int best_row = -1, best_pos = -1;
+    double best_val = 0.0;
+    long best_cost = -1;
+    popped.clear();
+    int examined = 0;
+    bool relaxed = false;  // second pass with the relative threshold dropped
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(m);) {
+      if (bucket[c].empty()) {
+        ++c;
+        if (c > static_cast<std::size_t>(m) && best_pos < 0 && !relaxed && !popped.empty()) {
+          // Nothing met the stability threshold; retry the popped candidates
+          // accepting any pivot above the absolute floor.
+          relaxed = true;
+          c = 0;
+          for (const int p : popped) bucket[columnLen(p)].push_back(p);
+          popped.clear();
+        }
+        continue;
+      }
+      const int p = bucket[c].back();
+      bucket[c].pop_back();
+      if (col_done[static_cast<std::size_t>(p)] || columnLen(p) != c) continue;  // stale
+      if (c == 0) continue;  // structurally empty: left for the deficiency report
+      popped.push_back(p);
+      double colmax = 0.0;
+      for (const Entry& e : cols[static_cast<std::size_t>(p)]) colmax = std::max(colmax, std::abs(e.val));
+      const double floor =
+          std::max(opt_.abs_pivot_tol, relaxed ? 0.0 : opt_.rel_pivot_tol * colmax);
+      int cand_row = -1;
+      double cand_val = 0.0;
+      long cand_cost = -1;
+      for (const Entry& e : cols[static_cast<std::size_t>(p)]) {
+        if (std::abs(e.val) < floor) continue;
+        const long cost = (static_cast<long>(c) - 1) *
+                          (static_cast<long>(rcount[static_cast<std::size_t>(e.row)]) - 1);
+        if (cand_row < 0 || cost < cand_cost ||
+            (cost == cand_cost && std::abs(e.val) > std::abs(cand_val))) {
+          cand_row = e.row;
+          cand_val = e.val;
+          cand_cost = cost;
+        }
+      }
+      if (cand_row >= 0) {
+        ++examined;
+        if (best_pos < 0 || cand_cost < best_cost ||
+            (cand_cost == best_cost && std::abs(cand_val) > std::abs(best_val))) {
+          best_pos = p;
+          best_row = cand_row;
+          best_val = cand_val;
+          best_cost = cand_cost;
+        }
+        if (best_cost == 0 || examined >= opt_.search_columns) break;
+      }
+    }
+    // Unchosen candidates return to the queue for later steps.
+    for (const int p : popped)
+      if (p != best_pos) bucket[columnLen(p)].push_back(p);
+    if (best_pos < 0) break;  // remaining submatrix is (numerically) singular
+
+    // ---- elimination step -------------------------------------------------
+    const int pi = best_row, pj = best_pos;
+    const double pivval = best_val;
+    row_done[static_cast<std::size_t>(pi)] = 1;
+    col_done[static_cast<std::size_t>(pj)] = 1;
+    pivot_row_.push_back(pi);
+    pivot_pos_.push_back(pj);
+    diag_.push_back(pivval);
+
+    // L multipliers from the pivot column.
+    const int l_first = static_cast<int>(l_row_.size());
+    l_start_.push_back(l_first);
+    for (const Entry& e : cols[static_cast<std::size_t>(pj)]) {
+      if (e.row == pi) continue;
+      l_row_.push_back(e.row);
+      l_val_.push_back(e.val / pivval);
+      --rcount[static_cast<std::size_t>(e.row)];
+    }
+    const int l_last = static_cast<int>(l_row_.size());
+    cols[static_cast<std::size_t>(pj)].clear();
+
+    // U row: remaining entries of the pivot row, with column updates.
+    u_start_.push_back(static_cast<int>(u_step_.size()));
+    for (const int jp : rowpat[static_cast<std::size_t>(pi)]) {
+      if (jp == pj || col_done[static_cast<std::size_t>(jp)]) continue;
+      std::vector<Entry>& col = cols[static_cast<std::size_t>(jp)];
+      double upv = 0.0;
+      bool found = false;
+      for (const Entry& e : col)
+        if (e.row == pi) {
+          upv = e.val;
+          found = true;
+          break;
+        }
+      if (!found) continue;  // stale pattern entry (cancelled earlier)
+      u_step_.push_back(jp);  // stores positions; remapped to steps below
+      u_val_.push_back(upv);
+
+      // col := col - upv * (L multipliers), dropping the pivot row entry.
+      ++epoch;
+      touched.clear();
+      for (const Entry& e : col) {
+        if (e.row == pi) continue;
+        wval[static_cast<std::size_t>(e.row)] = e.val;
+        wstamp[static_cast<std::size_t>(e.row)] = epoch;
+        touched.push_back(e.row);
+      }
+      for (int t = l_first; t < l_last; ++t) {
+        const int r = l_row_[static_cast<std::size_t>(t)];
+        const double delta = l_val_[static_cast<std::size_t>(t)] * upv;
+        if (wstamp[static_cast<std::size_t>(r)] == epoch) {
+          wval[static_cast<std::size_t>(r)] -= delta;
+        } else {
+          wstamp[static_cast<std::size_t>(r)] = epoch;
+          wval[static_cast<std::size_t>(r)] = -delta;
+          touched.push_back(r);
+          rowpat[static_cast<std::size_t>(r)].push_back(jp);
+          ++rcount[static_cast<std::size_t>(r)];
+        }
+      }
+      col.clear();
+      for (const int r : touched) {
+        const double v = wval[static_cast<std::size_t>(r)];
+        if (std::abs(v) > opt_.drop_tol)
+          col.push_back(Entry{r, v});
+        else
+          --rcount[static_cast<std::size_t>(r)];  // cancelled out
+      }
+      bucket[col.size()].push_back(jp);
+    }
+    ++steps;
+  }
+
+  if (steps < m) {
+    for (int p = 0; p < m; ++p)
+      if (!col_done[static_cast<std::size_t>(p)]) deficient_pos_.push_back(p);
+    for (int r = 0; r < m; ++r)
+      if (!row_done[static_cast<std::size_t>(r)]) unpivoted_rows_.push_back(r);
+    return false;
+  }
+  l_start_.push_back(static_cast<int>(l_row_.size()));
+  u_start_.push_back(static_cast<int>(u_step_.size()));
+
+  // Remap U column references from basis positions to elimination steps.
+  std::vector<int> pos_to_step(static_cast<std::size_t>(m), -1);
+  for (int k = 0; k < m; ++k) pos_to_step[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])] = k;
+  for (int& s : u_step_) s = pos_to_step[static_cast<std::size_t>(s)];
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& v) const {
+  const int m = m_;
+  RFP_CHECK(static_cast<int>(v.size()) == m);
+  // L pass in elimination order (row space).
+  for (int k = 0; k < m; ++k) {
+    const double piv = v[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+    if (piv == 0.0) continue;
+    for (int t = l_start_[static_cast<std::size_t>(k)]; t < l_start_[static_cast<std::size_t>(k) + 1]; ++t)
+      v[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(t)])] -=
+          l_val_[static_cast<std::size_t>(t)] * piv;
+  }
+  // U back-substitution into step space.
+  std::vector<double>& step = work_;
+  for (int k = m - 1; k >= 0; --k) {
+    double s = v[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+    for (int t = u_start_[static_cast<std::size_t>(k)]; t < u_start_[static_cast<std::size_t>(k) + 1]; ++t)
+      s -= u_val_[static_cast<std::size_t>(t)] * step[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(t)])];
+    step[static_cast<std::size_t>(k)] = s / diag_[static_cast<std::size_t>(k)];
+  }
+  // Steps to basis positions.
+  for (int k = 0; k < m; ++k)
+    v[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])] = step[static_cast<std::size_t>(k)];
+  // Eta file, oldest first (position space).
+  const int etas = etaCount();
+  for (int e = 0; e < etas; ++e) {
+    const int p = eta_pos_[static_cast<std::size_t>(e)];
+    const double vp = v[static_cast<std::size_t>(p)] / eta_piv_[static_cast<std::size_t>(e)];
+    if (vp != 0.0)
+      for (int t = eta_start_[static_cast<std::size_t>(e)]; t < eta_start_[static_cast<std::size_t>(e) + 1]; ++t)
+        v[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(t)])] -=
+            eta_val_[static_cast<std::size_t>(t)] * vp;
+    v[static_cast<std::size_t>(p)] = vp;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& v) const {
+  const int m = m_;
+  RFP_CHECK(static_cast<int>(v.size()) == m);
+  // Eta transposes, newest first (position space): only component p changes.
+  for (int e = etaCount() - 1; e >= 0; --e) {
+    const int p = eta_pos_[static_cast<std::size_t>(e)];
+    double s = 0.0;
+    for (int t = eta_start_[static_cast<std::size_t>(e)]; t < eta_start_[static_cast<std::size_t>(e) + 1]; ++t)
+      s += eta_val_[static_cast<std::size_t>(t)] *
+           v[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(t)])];
+    v[static_cast<std::size_t>(p)] = (v[static_cast<std::size_t>(p)] - s) / eta_piv_[static_cast<std::size_t>(e)];
+  }
+  // U^T forward pass in step space with scatter updates.
+  std::vector<double>& cp = work_;
+  for (int k = 0; k < m; ++k)
+    cp[static_cast<std::size_t>(k)] = v[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])];
+  for (int k = 0; k < m; ++k) {
+    const double z = cp[static_cast<std::size_t>(k)] / diag_[static_cast<std::size_t>(k)];
+    cp[static_cast<std::size_t>(k)] = z;
+    if (z == 0.0) continue;
+    for (int t = u_start_[static_cast<std::size_t>(k)]; t < u_start_[static_cast<std::size_t>(k) + 1]; ++t)
+      cp[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(t)])] -=
+          u_val_[static_cast<std::size_t>(t)] * z;
+  }
+  // Steps to rows, then the transposed L ops newest-first.
+  std::vector<double>& out = work2_;
+  for (int k = 0; k < m; ++k)
+    out[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])] = cp[static_cast<std::size_t>(k)];
+  for (int k = m - 1; k >= 0; --k) {
+    double s = 0.0;
+    for (int t = l_start_[static_cast<std::size_t>(k)]; t < l_start_[static_cast<std::size_t>(k) + 1]; ++t)
+      s += l_val_[static_cast<std::size_t>(t)] * out[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(t)])];
+    out[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])] -= s;
+  }
+  v = out;
+}
+
+void BasisLu::pushEta(int position, const std::vector<double>& alpha) {
+  RFP_CHECK(position >= 0 && position < m_);
+  const double piv = alpha[static_cast<std::size_t>(position)];
+  RFP_CHECK_MSG(piv != 0.0, "eta update with zero pivot at position " << position);
+  if (eta_start_.empty()) eta_start_.push_back(0);
+  for (int i = 0; i < m_; ++i) {
+    if (i == position) continue;
+    const double v = alpha[static_cast<std::size_t>(i)];
+    if (std::abs(v) > 1e-14) {
+      eta_idx_.push_back(i);
+      eta_val_.push_back(v);
+    }
+  }
+  eta_pos_.push_back(position);
+  eta_piv_.push_back(piv);
+  eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+}
+
+}  // namespace rfp::lp::sparse

@@ -1,0 +1,92 @@
+// Sparse LU factorization of a simplex basis, with product-form updates.
+//
+// `factorize` runs a Markowitz-pivoted Gaussian elimination on the basis
+// matrix B (columns of A for basic structural variables, implicit unit
+// columns for basic slacks): each pivot minimizes the fill-in bound
+// (rowcount-1)*(colcount-1) among entries that pass a relative stability
+// threshold. Slack-heavy floorplanning bases are mostly singleton columns,
+// which Markowitz eliminates first with zero fill, so the factor stays near
+// the size of the basic structural columns.
+//
+// Between refactorizations the basis changes one column at a time;
+// `pushEta` records the change as a product-form eta matrix built from the
+// FTRAN-solved entering column. `ftran`/`btran` apply the LU factors plus
+// the eta file. The solver refactorizes periodically (the eta file grows
+// and loses accuracy) and whenever a numerical-stability check trips.
+#pragma once
+
+#include <vector>
+
+#include "lp/sparse/csc.hpp"
+
+namespace rfp::lp::sparse {
+
+class BasisLu {
+ public:
+  struct Options {
+    double abs_pivot_tol = 1e-11;  ///< reject pivots smaller than this
+    double rel_pivot_tol = 0.05;   ///< pivot must be >= rel * max|column|
+    int search_columns = 8;        ///< Markowitz candidate columns per pivot
+    double drop_tol = 1e-13;       ///< fill-in below this is discarded
+  };
+
+  BasisLu() = default;
+  explicit BasisLu(Options opt) : opt_(opt) {}
+
+  /// Factorizes the basis selected by `basic` (size A.rows): entries
+  /// < A.cols are structural columns of A, A.cols + i is the slack of row i.
+  /// Discards any existing factorization and eta file. Returns false when
+  /// the basis is singular; `deficientPositions()` / `unpivotedRows()` then
+  /// describe a repair: replacing the variable at deficient position k with
+  /// the slack of unpivoted row k yields a nonsingular basis.
+  bool factorize(const CscMatrix& a, const std::vector<int>& basic);
+
+  [[nodiscard]] const std::vector<int>& deficientPositions() const noexcept {
+    return deficient_pos_;
+  }
+  [[nodiscard]] const std::vector<int>& unpivotedRows() const noexcept {
+    return unpivoted_rows_;
+  }
+
+  /// v := B^-1 v. Input indexed by rows, output by basis positions.
+  void ftran(std::vector<double>& v) const;
+  /// v := B^-T v. Input indexed by basis positions, output by rows.
+  void btran(std::vector<double>& v) const;
+
+  /// Records the basis change "alpha = B^-1 (entering column) replaces the
+  /// variable at `position`" as an eta matrix. |alpha[position]| must be
+  /// nonzero (the solver's ratio test guarantees a pivot-tolerance floor).
+  void pushEta(int position, const std::vector<double>& alpha);
+
+  [[nodiscard]] int etaCount() const noexcept { return static_cast<int>(eta_pos_.size()); }
+  [[nodiscard]] int rows() const noexcept { return m_; }
+  [[nodiscard]] long factorNonzeros() const noexcept {
+    return static_cast<long>(l_row_.size() + u_step_.size() + diag_.size());
+  }
+
+ private:
+  Options opt_;
+  int m_ = 0;
+
+  // Elimination order: step k pivoted on (row pivot_row_[k], position
+  // pivot_pos_[k]) with pivot value diag_[k].
+  std::vector<int> pivot_row_, pivot_pos_;
+  std::vector<double> diag_;
+  // L: row operations per step, applied ascending in ftran.
+  std::vector<int> l_start_, l_row_;
+  std::vector<double> l_val_;
+  // U: pivot-row entries per step, referencing later elimination steps.
+  std::vector<int> u_start_, u_step_;
+  std::vector<double> u_val_;
+
+  // Eta file: eta e scales position eta_pos_[e] by 1/eta_piv_[e] and
+  // eliminates entries (eta_idx_, eta_val_) in [eta_start_[e], eta_start_[e+1]).
+  std::vector<int> eta_start_, eta_idx_, eta_pos_;
+  std::vector<double> eta_val_, eta_piv_;
+
+  std::vector<int> deficient_pos_, unpivoted_rows_;
+
+  mutable std::vector<double> work_, work2_;  ///< solve scratch (size m)
+};
+
+}  // namespace rfp::lp::sparse

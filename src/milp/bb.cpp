@@ -40,7 +40,29 @@ struct Node {
   int depth = 0;
   double branch_frac = 0.0;  ///< fractional part of the branched variable at
                              ///< the parent (pseudo-cost bookkeeping)
+  /// Parent's optimal basis (sparse LP engine): both children share one
+  /// snapshot; it is released once this node's own relaxation is solved.
+  std::shared_ptr<const lp::sparse::Basis> start_basis;
 };
+
+/// LP options with the MILP's stop flag threaded in and the time limit
+/// clamped to `remaining_seconds` (<= 0: no extra cap). Paper-scale LP
+/// solves run for seconds to minutes, so truncation and cancellation must
+/// act inside the pivot loop, not at the next node boundary.
+lp::LpSolver::Options cappedLpOptions(const MilpSolver::Options& opt, double remaining_seconds) {
+  lp::LpSolver::Options lopt = opt.lp;
+  if (!lopt.core.stop) lopt.core.stop = opt.stop;
+  if (remaining_seconds > 0)
+    lopt.core.time_limit_seconds =
+        lopt.core.time_limit_seconds > 0
+            ? std::min(lopt.core.time_limit_seconds, remaining_seconds)
+            : remaining_seconds;
+  return lopt;
+}
+
+[[nodiscard]] double clampedRemaining(const Deadline& deadline) {
+  return deadline.limit() > 0 ? std::max(0.01, deadline.remaining()) : 0.0;
+}
 
 /// Min-heap entry ordered by dual bound (best-bound-first).
 struct HeapEntry {
@@ -56,7 +78,7 @@ struct HeapEntry {
 class Search {
  public:
   Search(const lp::Model& model, const MilpSolver::Options& opt)
-      : model_(model), opt_(opt), simplex_(opt.lp) {
+      : model_(model), opt_(opt), lp_solver_(opt.lp) {
     const int n = model.numVars();
     base_lb_.resize(static_cast<std::size_t>(n));
     base_ub_.resize(static_cast<std::size_t>(n));
@@ -72,12 +94,15 @@ class Search {
   MipResult run(std::optional<std::vector<double>> warm_start) {
     Stopwatch watch;
     Deadline deadline(opt_.time_limit_seconds);
+    deadline_ = &deadline;
     MipResult res;
 
     if (warm_start && model_.isFeasible(*warm_start, opt_.int_tol)) {
       incumbent_ = *warm_start;
       incumbent_obj_ = signedObj(model_.evalObjective(*warm_start));
     }
+
+    res.lp_engine = lp_solver_.resolveEngine(model_);
 
     nodes_.push_back(Node{});  // root
     heap_.push(HeapEntry{-lp::kInfinity, seq_++, 0});
@@ -92,8 +117,13 @@ class Search {
       }
       HeapEntry top = heap_.top();
       heap_.pop();
-      // Prune against the incumbent before solving.
-      if (hasIncumbent() && top.bound >= incumbent_obj_ - absGapSlack()) continue;
+      // Prune against the incumbent before solving (releasing the pruned
+      // node's basis snapshot — at paper scale each holds ~hundreds of KB
+      // and thousands of nodes can be pruned without ever being processed).
+      if (hasIncumbent() && top.bound >= incumbent_obj_ - absGapSlack()) {
+        nodes_[static_cast<std::size_t>(top.node)].start_basis.reset();
+        continue;
+      }
 
       // Depth-first plunge from the selected node.
       int current = top.node;
@@ -109,12 +139,16 @@ class Search {
     }
 
     // ---- final status assembly ----
+    truncated = truncated || dropped_node_;
     res.seconds = watch.seconds();
     double bound;
     if (truncated) {
       // The dual bound is the weakest unexplored node bound (root nodes carry
-      // -inf until their parent LP is solved, so this is conservative).
-      bound = heap_.empty() ? incumbent_obj_ : heap_.top().bound;
+      // -inf until their parent LP is solved, so this is conservative). A
+      // dropped subtree leaves the dual bound unknown entirely: without
+      // this, a drained heap would report gap 0 and claim optimality.
+      bound = dropped_node_ ? -lp::kInfinity
+                            : (heap_.empty() ? incumbent_obj_ : heap_.top().bound);
     } else {
       bound = hasIncumbent() ? incumbent_obj_ : lp::kInfinity;
     }
@@ -134,6 +168,9 @@ class Search {
       res.best_bound = userObj(bound);
     }
     res.lp_iterations = lp_iterations_;
+    res.lp_solves = lp_solves_;
+    res.lp_warm_hits = lp_warm_hits_;
+    res.lp_refactorizations = lp_refactorizations_;
     return res;
   }
 
@@ -170,14 +207,32 @@ class Search {
     std::vector<double> lb, ub;
     materializeBounds(node_index, lb, ub);
 
-    lp::LpResult rel = simplex_.solve(model_, lb, ub);
+    // Reoptimize from the parent's optimal basis (sparse engine; the basis
+    // is usually a handful of pivots from the child optimum). Take a local
+    // copy: nodes_ may reallocate when children are pushed below.
+    std::shared_ptr<const lp::sparse::Basis> start_basis =
+        std::move(nodes_[static_cast<std::size_t>(node_index)].start_basis);
+
+    lp::LpResult rel =
+        lp::LpSolver(cappedLpOptions(opt_, clampedRemaining(*deadline_)))
+            .solve(model_, lb, ub, opt_.lp_warm_start ? start_basis.get() : nullptr);
     lp_iterations_ += rel.iterations;
+    lp_refactorizations_ += rel.refactorizations;
+    lp_warm_hits_ += rel.warm_started ? 1 : 0;
+    ++lp_solves_;
     if (rel.status == lp::LpStatus::kInfeasible) return -1;
     if (rel.status == lp::LpStatus::kUnbounded) {
       if (node_index == 0) root_unbounded = true;
       return -1;
     }
-    if (rel.status != lp::LpStatus::kOptimal) return -1;  // limit hit: drop node
+    if (rel.status != lp::LpStatus::kOptimal) {
+      // Limit hit (or the sparse engine refused to certify its point): the
+      // subtree is dropped unexplored, so any final answer is a truncation,
+      // not a proof — without this a discarded subtree could hide the true
+      // optimum behind a kOptimal/kInfeasible claim.
+      dropped_node_ = true;
+      return -1;
+    }
 
     const double bound = signedObj(rel.objective);
     if (hasIncumbent() && bound >= incumbent_obj_ - absGapSlack()) return -1;
@@ -216,12 +271,15 @@ class Search {
     const double xv = rel.x[static_cast<std::size_t>(frac)];
     const int depth = nodes_[static_cast<std::size_t>(node_index)].depth;
 
-    // Down child (ub := floor) and up child (lb := ceil).
+    // Down child (ub := floor) and up child (lb := ceil); both reoptimize
+    // from this node's optimal basis (one shared snapshot).
     const double frac_part = xv - std::floor(xv);
     const int down = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{node_index, {frac, false, std::floor(xv)}, bound, depth + 1, frac_part});
+    nodes_.push_back(
+        Node{node_index, {frac, false, std::floor(xv)}, bound, depth + 1, frac_part, rel.basis});
     const int up = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{node_index, {frac, true, std::ceil(xv)}, bound, depth + 1, frac_part});
+    nodes_.push_back(
+        Node{node_index, {frac, true, std::ceil(xv)}, bound, depth + 1, frac_part, rel.basis});
 
     // Plunge into the child closer to the LP value; queue the other.
     const bool go_down = (xv - std::floor(xv)) <= 0.5;
@@ -317,7 +375,7 @@ class Search {
 
   const lp::Model& model_;
   MilpSolver::Options opt_;
-  lp::SimplexSolver simplex_;
+  lp::LpSolver lp_solver_;
   bool minimize_ = true;
   std::vector<PseudoCost> pseudo_costs_;
 
@@ -326,9 +384,14 @@ class Search {
   std::priority_queue<HeapEntry> heap_;
   long seq_ = 0;
   long lp_iterations_ = 0;
+  long lp_solves_ = 0;
+  long lp_warm_hits_ = 0;
+  long lp_refactorizations_ = 0;
+  bool dropped_node_ = false;  ///< a node LP hit a limit; results are truncations
 
   std::vector<double> incumbent_;
   double incumbent_obj_ = lp::kInfinity;
+  const Deadline* deadline_ = nullptr;  ///< run()'s deadline, for node LP caps
 };
 
 }  // namespace
@@ -336,11 +399,15 @@ class Search {
 MipResult MilpSolver::solve(const lp::Model& model,
                             std::optional<std::vector<double>> warm_start) const {
   if (!model.hasIntegerVars()) {
-    // Pure LP: solve the relaxation directly.
-    lp::SimplexSolver simplex(options_.lp);
-    lp::LpResult rel = simplex.solve(model);
+    // Pure LP: solve the relaxation directly (with the MILP-level budget and
+    // stop flag threaded into the pivot loop).
+    lp::LpSolver solver(cappedLpOptions(options_, options_.time_limit_seconds));
+    lp::LpResult rel = solver.solve(model);
     MipResult res;
     res.lp_iterations = rel.iterations;
+    res.lp_engine = rel.engine;
+    res.lp_solves = 1;
+    res.lp_refactorizations = rel.refactorizations;
     res.seconds = rel.seconds;
     switch (rel.status) {
       case lp::LpStatus::kOptimal:
@@ -358,7 +425,11 @@ MipResult MilpSolver::solve(const lp::Model& model,
   }
   // Working copy: presolve tightens its variable bounds; cover cuts append
   // rows. Both transformations preserve every integer-feasible point, so a
-  // warm start remains valid and optimality claims are unaffected.
+  // warm start remains valid and optimality claims are unaffected. The
+  // wall-clock budget covers presolve + cuts + search: root work at paper
+  // scale is LP-solve-heavy, so the search receives whatever remains.
+  Stopwatch root_watch;
+  const Deadline cut_deadline(options_.time_limit_seconds);
   lp::Model work = model;
 
   if (options_.enable_presolve) {
@@ -378,10 +449,17 @@ MipResult MilpSolver::solve(const lp::Model& model,
       work.setVarBounds(j, lb[static_cast<std::size_t>(j)], ub[static_cast<std::size_t>(j)]);
   }
 
+  long cut_solves = 0, cut_iters = 0, cut_refacs = 0;
   if (options_.enable_cover_cuts) {
-    lp::SimplexSolver simplex(options_.lp);
     for (int round = 0; round < options_.cut_rounds; ++round) {
-      const lp::LpResult rel = simplex.solve(work);
+      if (cut_deadline.expired() ||
+          (options_.stop && options_.stop->load(std::memory_order_relaxed)))
+        break;
+      const lp::LpResult rel =
+          lp::LpSolver(cappedLpOptions(options_, clampedRemaining(cut_deadline))).solve(work);
+      ++cut_solves;
+      cut_iters += rel.iterations;
+      cut_refacs += rel.refactorizations;
       if (rel.status != lp::LpStatus::kOptimal) break;
       const std::vector<CoverCut> cuts = separateCoverCuts(work, rel.x);
       if (cuts.empty()) break;
@@ -393,8 +471,19 @@ MipResult MilpSolver::solve(const lp::Model& model,
     }
   }
 
-  Search search(work, options_);
-  return search.run(std::move(warm_start));
+  Options search_opt = options_;
+  if (search_opt.time_limit_seconds > 0)
+    search_opt.time_limit_seconds =
+        std::max(0.01, search_opt.time_limit_seconds - root_watch.seconds());
+  Search search(work, search_opt);
+  MipResult res = search.run(std::move(warm_start));
+  res.seconds = root_watch.seconds();  // include presolve + cut time
+  // Cut-separation LPs are real (cold) LP work: report them, or the
+  // telemetry under-counts solves and inflates the warm-start hit rate.
+  res.lp_solves += cut_solves;
+  res.lp_iterations += cut_iters;
+  res.lp_refactorizations += cut_refacs;
+  return res;
 }
 
 }  // namespace rfp::milp

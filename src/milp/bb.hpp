@@ -2,7 +2,12 @@
 //
 // This replaces the commercial branch-and-cut solver used by the paper
 // (DESIGN.md §3). Features:
-//  * LP relaxation via the bounded-variable simplex (src/lp),
+//  * LP relaxation via lp::LpSolver — the dense bounded-variable simplex on
+//    small models, the sparse revised simplex (lp/sparse/) at scale,
+//  * with the sparse engine, child nodes reoptimize from the parent node's
+//    optimal basis instead of solving each relaxation cold (the tree solves
+//    thousands of near-identical LPs; a warm solve is typically a handful
+//    of pivots),
 //  * hybrid node selection: best-bound with depth-first "plunging",
 //  * most-fractional / pseudo-cost branching,
 //  * rounding primal heuristic to find incumbents early,
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/lp_solver.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
@@ -39,6 +45,11 @@ struct MipResult {
   long nodes = 0;
   long lp_iterations = 0;
   double seconds = 0.0;
+  // LP substrate telemetry (surfaced through the driver's SolveResponse).
+  lp::LpEngine lp_engine = lp::LpEngine::kDense;  ///< engine the relaxations used
+  long lp_solves = 0;           ///< relaxations solved (root + nodes)
+  long lp_warm_hits = 0;        ///< solves that adopted a parent basis
+  long lp_refactorizations = 0; ///< sparse engine: total basis refactorizations
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -64,7 +75,13 @@ class MilpSolver {
     /// incumbent stays kFeasible, never kOptimal unless the gap closed).
     /// The pointee must outlive solve(). Used by driver portfolios.
     std::atomic<bool>* stop = nullptr;
-    lp::SimplexSolver::Options lp;
+    /// LP substrate: engine selection (auto picks dense or sparse by model
+    /// size), shared tolerances/limits, and sparse-engine knobs.
+    lp::LpSolver::Options lp;
+    /// Reoptimize child nodes from the parent's optimal basis (sparse
+    /// engine only; the dense engine always solves cold). Off is only
+    /// useful for A/B tests — results are identical either way.
+    bool lp_warm_start = true;
   };
 
   MilpSolver() = default;

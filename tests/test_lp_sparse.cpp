@@ -1,0 +1,520 @@
+// Tests for the sparse LP substrate: the Markowitz LU kernel, the revised
+// simplex against the dense solver (unit cases and randomized property
+// tests), basis warm starts, engine auto-selection, and branch & bound
+// running dense-vs-sparse and warm-vs-cold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/builders.hpp"
+#include "fp/formulation.hpp"
+#include "lp/lp_solver.hpp"
+#include "lp/simplex.hpp"
+#include "lp/sparse/csc.hpp"
+#include "lp/sparse/lu.hpp"
+#include "lp/sparse/revised_simplex.hpp"
+#include "milp/bb.hpp"
+#include "model/generator.hpp"
+#include "partition/columnar.hpp"
+#include "support/rng.hpp"
+
+namespace rfp::lp {
+namespace {
+
+using sparse::BasisLu;
+using sparse::CscMatrix;
+using sparse::RevisedSimplexSolver;
+
+// ---- LU kernel -------------------------------------------------------------
+
+/// Dense multiply B x (columns of `a` or unit slacks per `basic`).
+std::vector<double> multiplyBasis(const CscMatrix& a, const std::vector<int>& basic,
+                                  const std::vector<double>& x) {
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  for (int p = 0; p < a.rows; ++p) {
+    const int b = basic[static_cast<std::size_t>(p)];
+    const double xp = x[static_cast<std::size_t>(p)];
+    if (b >= a.cols) {
+      y[static_cast<std::size_t>(b - a.cols)] += xp;
+    } else {
+      for (int k = a.ptr[static_cast<std::size_t>(b)]; k < a.ptr[static_cast<std::size_t>(b) + 1]; ++k)
+        y[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] +=
+            a.val[static_cast<std::size_t>(k)] * xp;
+    }
+  }
+  return y;
+}
+
+Model randomSparseModel(Rng& rng, int n, int rows) {
+  Model m;
+  for (int j = 0; j < n; ++j) m.addContinuous(0, 10, "v");
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    bool any = false;
+    for (int j = 0; j < n; ++j) {
+      if (rng.nextBelow(3) != 0) continue;
+      const long c = rng.nextInt(-5, 6);
+      if (c != 0) {
+        e += static_cast<double>(c) * Var{j};
+        any = true;
+      }
+    }
+    if (!any) e += 1.0 * Var{static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)))};
+    m.addConstr(e, Sense::kLessEqual, 100.0);
+  }
+  return m;
+}
+
+TEST(SparseLu, FtranBtranSolveRandomBases) {
+  Rng rng(2001);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 3 + static_cast<int>(rng.nextBelow(10));
+    const int rows = 3 + static_cast<int>(rng.nextBelow(12));
+    const Model m = randomSparseModel(rng, n, rows);
+    const CscMatrix a = CscMatrix::fromModel(m);
+    // Random basis: each row position picks its own slack or a random
+    // structural column (duplicates allowed — repair is reported then).
+    std::vector<int> basic(static_cast<std::size_t>(rows));
+    for (int p = 0; p < rows; ++p)
+      basic[static_cast<std::size_t>(p)] =
+          rng.nextBool(0.4) ? static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)))
+                            : n + p;
+    BasisLu lu;
+    if (!lu.factorize(a, basic)) {
+      // Singular: the reported repair must itself factorize.
+      ASSERT_EQ(lu.deficientPositions().size(), lu.unpivotedRows().size());
+      for (std::size_t i = 0; i < lu.deficientPositions().size(); ++i)
+        basic[static_cast<std::size_t>(lu.deficientPositions()[i])] = n + lu.unpivotedRows()[i];
+      ASSERT_TRUE(lu.factorize(a, basic)) << "trial " << trial;
+    }
+    // FTRAN: B (B^-1 b) == b.
+    std::vector<double> b(static_cast<std::size_t>(rows));
+    for (double& v : b) v = static_cast<double>(rng.nextInt(-9, 9));
+    std::vector<double> w = b;
+    lu.ftran(w);
+    const std::vector<double> back = multiplyBasis(a, basic, w);
+    for (int i = 0; i < rows; ++i)
+      EXPECT_NEAR(back[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-7)
+          << "trial " << trial << " row " << i;
+    // BTRAN: (B^-T c)^T B == c^T, i.e. for every position p the dual times
+    // column p recovers c[p].
+    std::vector<double> c(static_cast<std::size_t>(rows));
+    for (double& v : c) v = static_cast<double>(rng.nextInt(-9, 9));
+    std::vector<double> y = c;
+    lu.btran(y);
+    for (int p = 0; p < rows; ++p) {
+      const int col = basic[static_cast<std::size_t>(p)];
+      double dot = 0.0;
+      if (col >= a.cols) {
+        dot = y[static_cast<std::size_t>(col - a.cols)];
+      } else {
+        for (int k = a.ptr[static_cast<std::size_t>(col)]; k < a.ptr[static_cast<std::size_t>(col) + 1]; ++k)
+          dot += a.val[static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])];
+      }
+      EXPECT_NEAR(dot, c[static_cast<std::size_t>(p)], 1e-7) << "trial " << trial << " pos " << p;
+    }
+  }
+}
+
+TEST(SparseLu, EtaUpdateMatchesRefactorization) {
+  // Replace one basic column, once via pushEta and once by refactorizing;
+  // both must produce the same B^-1 b.
+  Model m;
+  for (int j = 0; j < 4; ++j) m.addContinuous(0, 10, "v");
+  m.addConstr(2.0 * Var{0} + 1.0 * Var{1}, Sense::kLessEqual, 5);
+  m.addConstr(1.0 * Var{1} + 3.0 * Var{2}, Sense::kLessEqual, 7);
+  m.addConstr(1.0 * Var{0} + 1.0 * Var{3}, Sense::kLessEqual, 9);
+  const CscMatrix a = CscMatrix::fromModel(m);
+  std::vector<int> basic{0, 1, 4 + 2};  // x0, x1, slack2
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basic));
+
+  // Enter x3 (column 3) at position 2.
+  std::vector<double> alpha(3, 0.0);
+  for (int k = a.ptr[3]; k < a.ptr[4]; ++k) alpha[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = a.val[static_cast<std::size_t>(k)];
+  lu.ftran(alpha);
+  ASSERT_GT(std::abs(alpha[2]), 1e-9);
+  lu.pushEta(2, alpha);
+
+  std::vector<int> basic2{0, 1, 3};
+  BasisLu lu2;
+  ASSERT_TRUE(lu2.factorize(a, basic2));
+
+  const std::vector<double> b{1.0, -2.0, 3.0};
+  std::vector<double> via_eta = b, via_fresh = b;
+  lu.ftran(via_eta);
+  lu2.ftran(via_fresh);
+  for (int p = 0; p < 3; ++p) EXPECT_NEAR(via_eta[static_cast<std::size_t>(p)], via_fresh[static_cast<std::size_t>(p)], 1e-9);
+}
+
+// ---- revised simplex unit cases (mirroring the dense suite) ----------------
+
+TEST(SparseSimplex, TextbookMaximization) {
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x), Sense::kLessEqual, 4);
+  m.addConstr(2.0 * y, Sense::kLessEqual, 12);
+  m.addConstr(3.0 * x + 2.0 * y, Sense::kLessEqual, 18);
+  m.setObjective(3.0 * x + 5.0 * y, ObjSense::kMaximize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.engine, LpEngine::kSparse);
+  EXPECT_NEAR(r.objective, 36.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-7);
+}
+
+TEST(SparseSimplex, EqualityAndGreaterRows) {
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  const Var z = m.addContinuous(0, 3, "z");
+  m.addConstr(LinExpr(x) + y + z, Sense::kEqual, 10);
+  m.addConstr(LinExpr(x) - y, Sense::kGreaterEqual, 2);
+  m.setObjective(2.0 * x + 3.0 * y + z, ObjSense::kMinimize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 17.0, 1e-7);
+}
+
+TEST(SparseSimplex, BoundFlipsWithFiniteUpperBounds) {
+  Model m;
+  const Var x = m.addContinuous(0, 1, "x");
+  const Var y = m.addContinuous(0, 1, "y");
+  const Var z = m.addContinuous(0, 1, "z");
+  m.addConstr(LinExpr(x) + y + z, Sense::kLessEqual, 2.5);
+  m.setObjective(LinExpr(x) + y + z, ObjSense::kMaximize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.5, 1e-7);
+}
+
+TEST(SparseSimplex, NegativeLowerBounds) {
+  Model m;
+  const Var x = m.addContinuous(-5, 0, "x");
+  const Var y = m.addContinuous(-4, 4, "y");
+  m.addConstr(LinExpr(x) + 2.0 * y, Sense::kGreaterEqual, -3);
+  m.setObjective(LinExpr(x) + y, ObjSense::kMinimize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-7);
+}
+
+TEST(SparseSimplex, DetectsInfeasibility) {
+  Model m;
+  const Var x = m.addContinuous(0, 1, "x");
+  const Var y = m.addContinuous(0, 1, "y");
+  m.addConstr(LinExpr(x) + y, Sense::kGreaterEqual, 3);
+  EXPECT_EQ(RevisedSimplexSolver().solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(SparseSimplex, DetectsUnboundedness) {
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x) - y, Sense::kLessEqual, 1);
+  m.setObjective(LinExpr(x) + y, ObjSense::kMaximize);
+  EXPECT_EQ(RevisedSimplexSolver().solve(m).status, LpStatus::kUnbounded);
+}
+
+TEST(SparseSimplex, DegenerateProblemTerminates) {
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x) - y, Sense::kLessEqual, 0);
+  m.addConstr(2.0 * x - y, Sense::kLessEqual, 0);
+  m.addConstr(3.0 * x - y, Sense::kLessEqual, 0);
+  m.addConstr(LinExpr(x) + y, Sense::kLessEqual, 4);
+  m.setObjective(2.0 * x + y, ObjSense::kMaximize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+}
+
+TEST(SparseSimplex, FreeVariableViaInfiniteBounds) {
+  // min x st x >= -7, x free: the sparse engine supports free columns
+  // (the dense solver requires finite lower bounds).
+  Model m;
+  const Var x = m.addContinuous(-kInfinity, kInfinity, "x");
+  m.addConstr(LinExpr(x), Sense::kGreaterEqual, -7);
+  m.setObjective(LinExpr(x), ObjSense::kMinimize);
+  const LpResult r = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -7.0, 1e-7);
+}
+
+// ---- dense/sparse agreement property ---------------------------------------
+
+TEST(SparseSimplexProperty, AgreesWithDenseOnRandomLps) {
+  Rng rng(90210);
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    const int n = 1 + static_cast<int>(rng.nextBelow(8));
+    const int rows = 1 + static_cast<int>(rng.nextBelow(10));
+    Model m;
+    std::vector<Var> vars;
+    for (int j = 0; j < n; ++j) {
+      const double lb = static_cast<double>(rng.nextInt(-5, 5));
+      const double ub =
+          rng.nextBelow(4) == 0 ? kInfinity : lb + static_cast<double>(rng.nextBelow(10));
+      vars.push_back(m.addContinuous(lb, ub, "v"));
+    }
+    for (int i = 0; i < rows; ++i) {
+      LinExpr e;
+      bool any = false;
+      for (int j = 0; j < n; ++j) {
+        const long c = rng.nextInt(-4, 5);
+        if (c != 0) {
+          e += static_cast<double>(c) * vars[static_cast<std::size_t>(j)];
+          any = true;
+        }
+      }
+      if (!any) e += 1.0 * vars[0];
+      const Sense s = rng.nextBelow(3) == 0 ? Sense::kEqual
+                      : rng.nextBool()      ? Sense::kLessEqual
+                                            : Sense::kGreaterEqual;
+      m.addConstr(e, s, static_cast<double>(rng.nextInt(-10, 15)));
+    }
+    LinExpr obj;
+    for (int j = 0; j < n; ++j)
+      obj += static_cast<double>(rng.nextInt(-9, 10)) * vars[static_cast<std::size_t>(j)];
+    m.setObjective(obj, rng.nextBool() ? ObjSense::kMaximize : ObjSense::kMinimize);
+
+    const LpResult dense = SimplexSolver().solve(m);
+    const LpResult sparse = RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(dense.status, sparse.status) << "trial " << trial;
+    switch (dense.status) {
+      case LpStatus::kOptimal:
+        ++optimal;
+        EXPECT_NEAR(sparse.objective, dense.objective, 1e-6 * (1 + std::abs(dense.objective)))
+            << "trial " << trial;
+        EXPECT_TRUE(m.isFeasible(sparse.x, 1e-6)) << "trial " << trial;
+        break;
+      case LpStatus::kInfeasible: ++infeasible; break;
+      case LpStatus::kUnbounded: ++unbounded; break;
+      default: break;
+    }
+  }
+  // The generator must actually exercise all three outcomes.
+  EXPECT_GE(optimal, 30);
+  EXPECT_GE(infeasible, 30);
+  EXPECT_GE(unbounded, 3);
+}
+
+// ---- warm starts -----------------------------------------------------------
+
+TEST(SparseSimplex, WarmStartReoptimizesInFewerIterations) {
+  Rng rng(555);
+  int exercised = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 8 + static_cast<int>(rng.nextBelow(10));
+    Model m = randomSparseModel(rng, n, n + 5);
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) obj += static_cast<double>(rng.nextInt(1, 9)) * Var{j};
+    m.setObjective(obj, ObjSense::kMaximize);
+
+    const LpResult first = RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(first.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_NE(first.basis, nullptr);
+    EXPECT_FALSE(first.warm_started);
+
+    // Tighten one variable's upper bound (a branch & bound style change).
+    const int j = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    m.setVarBounds(j, m.var(j).lb, std::max(m.var(j).lb, m.var(j).ub / 2.0));
+    const LpResult cold = RevisedSimplexSolver().solve(m);
+    std::vector<double> lb(static_cast<std::size_t>(n)), ub(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lb[static_cast<std::size_t>(k)] = m.var(k).lb;
+      ub[static_cast<std::size_t>(k)] = m.var(k).ub;
+    }
+    const LpResult warm = RevisedSimplexSolver().solve(m, lb, ub, first.basis.get());
+    ASSERT_EQ(cold.status, warm.status) << "trial " << trial;
+    if (cold.status != LpStatus::kOptimal) continue;
+    EXPECT_TRUE(warm.warm_started) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * (1 + std::abs(cold.objective)))
+        << "trial " << trial;
+    EXPECT_LE(warm.iterations, cold.iterations) << "trial " << trial;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 20);
+}
+
+TEST(SparseSimplex, StaleBasisShapeFallsBackToColdStart) {
+  Model m;
+  m.addContinuous(0, 1, "x");
+  m.addConstr(LinExpr(Var{0}), Sense::kLessEqual, 1);
+  m.setObjective(LinExpr(Var{0}), ObjSense::kMaximize);
+  sparse::Basis stale;  // wrong shape on purpose
+  stale.rows = 99;
+  stale.cols = 99;
+  const std::vector<double> lb{0.0}, ub{1.0};
+  const LpResult r = RevisedSimplexSolver().solve(m, lb, ub, &stale);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_FALSE(r.warm_started);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+// ---- LpSolver dispatch -----------------------------------------------------
+
+TEST(LpSolverDispatch, AutoPicksDenseForSmallAndSparseForLarge) {
+  Model small;
+  small.addContinuous(0, 1, "x");
+  small.addConstr(LinExpr(Var{0}), Sense::kLessEqual, 1);
+  LpSolver auto_solver;
+  EXPECT_EQ(auto_solver.resolveEngine(small), LpEngine::kDense);
+
+  LpSolver::Options tiny_limit;
+  tiny_limit.auto_dense_limit_mib = 1e-9;
+  EXPECT_EQ(LpSolver(tiny_limit).resolveEngine(small), LpEngine::kSparse);
+
+  LpSolver::Options pinned;
+  pinned.engine = LpEngine::kSparse;
+  const LpResult r = LpSolver(pinned).solve(small);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.engine, LpEngine::kSparse);
+}
+
+TEST(LpSolverDispatch, MemoryEstimatesScaleAsDocumented) {
+  Rng rng(12);
+  const Model m = randomSparseModel(rng, 40, 120);
+  // Dense: (m+1)(n+2m+2) doubles; sparse: 96 B/nonzero + 160 B/variable
+  // (documented in lp_solver.cpp) — assert the exact formulas so a unit slip
+  // (KiB/GiB confusion would mis-gate max_lp_gib) is caught.
+  const long nnz = sparse::countNonzeros(m);
+  EXPECT_GT(nnz, 0);
+  constexpr double kGib = 1024.0 * 1024.0 * 1024.0;
+  EXPECT_NEAR(LpSolver::denseTableauGib(m) * kGib,
+              (120.0 + 1) * (40.0 + 2 * 120 + 2) * 8.0, 1.0);
+  EXPECT_NEAR(LpSolver::sparseFootprintGib(m) * kGib,
+              96.0 * static_cast<double>(nnz) + 160.0 * (40 + 120), 1.0);
+  EXPECT_LT(LpSolver::sparseFootprintGib(m), LpSolver::denseTableauGib(m));
+}
+
+}  // namespace
+}  // namespace rfp::lp
+
+// ---- branch & bound over the sparse engine ---------------------------------
+
+namespace rfp::milp {
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::ObjSense;
+using lp::Sense;
+using lp::Var;
+
+Model randomBinaryProgram(Rng& rng) {
+  const int n = 4 + static_cast<int>(rng.nextBelow(8));
+  const int rows = 1 + static_cast<int>(rng.nextBelow(4));
+  Model m;
+  for (int j = 0; j < n; ++j) m.addBinary("b");
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) {
+      const long c = rng.nextInt(-4, 6);
+      if (c != 0) e += static_cast<double>(c) * Var{j};
+    }
+    m.addConstr(e, rng.nextBool() ? Sense::kLessEqual : Sense::kGreaterEqual,
+                static_cast<double>(rng.nextInt(0, 12)));
+  }
+  LinExpr obj;
+  for (int j = 0; j < n; ++j) obj += static_cast<double>(rng.nextInt(-10, 10)) * Var{j};
+  m.setObjective(obj, rng.nextBool() ? ObjSense::kMaximize : ObjSense::kMinimize);
+  return m;
+}
+
+TEST(MilpSparseProperty, SparseEngineMatchesDenseEngineOnRandomPrograms) {
+  Rng rng(31415);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Model m = randomBinaryProgram(rng);
+    MilpSolver::Options dense_opt;
+    dense_opt.lp.engine = lp::LpEngine::kDense;
+    MilpSolver::Options sparse_opt;
+    sparse_opt.lp.engine = lp::LpEngine::kSparse;
+    const MipResult rd = MilpSolver(dense_opt).solve(m);
+    const MipResult rs = MilpSolver(sparse_opt).solve(m);
+    ASSERT_EQ(rd.status, rs.status) << "trial " << trial;
+    if (rd.status != MipStatus::kOptimal) continue;
+    ++solved;
+    EXPECT_EQ(rs.lp_engine, lp::LpEngine::kSparse);
+    EXPECT_NEAR(rs.objective, rd.objective, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(m.isFeasible(rs.x, 1e-6)) << "trial " << trial;
+  }
+  EXPECT_GE(solved, 25);
+}
+
+TEST(MilpSparse, WarmStartedTreeIsDeterministicAndCheaper) {
+  // Same model, sparse engine, warm starts on vs off: identical tree
+  // (node-for-node) and optimum, but warm starts must not cost more LP
+  // iterations in aggregate — that is the point of reoptimizing children
+  // from the parent basis.
+  Rng rng(2718);
+  long warm_total = 0, cold_total = 0;
+  int compared = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Model m = randomBinaryProgram(rng);
+    MilpSolver::Options base;
+    base.lp.engine = lp::LpEngine::kSparse;
+    // Heuristics off so both runs expand the same tree deterministically.
+    base.enable_rounding_heuristic = false;
+    MilpSolver::Options warm_opt = base;
+    warm_opt.lp_warm_start = true;
+    MilpSolver::Options cold_opt = base;
+    cold_opt.lp_warm_start = false;
+    const MipResult warm = MilpSolver(warm_opt).solve(m);
+    const MipResult cold = MilpSolver(cold_opt).solve(m);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (warm.status != MipStatus::kOptimal) continue;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    EXPECT_EQ(cold.lp_warm_hits, 0);
+    warm_total += warm.lp_iterations;
+    cold_total += cold.lp_iterations;
+    if (warm.nodes > 1) {
+      EXPECT_GT(warm.lp_warm_hits, 0) << "trial " << trial;
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 5);
+  EXPECT_LE(warm_total, cold_total);
+}
+
+}  // namespace
+}  // namespace rfp::milp
+
+// ---- floorplanning formulation root relaxations ----------------------------
+
+namespace rfp {
+namespace {
+
+TEST(SparseFormulation, RootRelaxationAgreesWithDenseOnGeneratedInstances) {
+  Rng rng(64);
+  const device::Device dev = device::virtex5FX70T();
+  int exercised = 0;
+  for (std::uint64_t seed = 1; seed <= 8 && exercised < 3; ++seed) {
+    model::GeneratorOptions gopt;
+    gopt.num_regions = 3;
+    gopt.num_nets = 2;
+    gopt.seed = seed;
+    const auto problem = model::generateProblem(dev, gopt);
+    if (!problem) continue;
+    const auto part = partition::columnarPartition(dev);
+    ASSERT_TRUE(part.has_value());
+    fp::MilpFormulation formulation(*problem, *part, {});
+    const lp::Model& m = formulation.model();
+
+    const lp::LpResult dense = lp::SimplexSolver().solve(m);
+    const lp::LpResult sparse = lp::sparse::RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(dense.status, sparse.status) << "seed " << seed;
+    if (dense.status != lp::LpStatus::kOptimal) continue;
+    EXPECT_NEAR(sparse.objective, dense.objective, 1e-5 * (1 + std::abs(dense.objective)))
+        << "seed " << seed;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 1) << "generator produced no solvable instance";
+}
+
+}  // namespace
+}  // namespace rfp
