@@ -12,9 +12,16 @@
 // Output: human-readable table plus one JSON document on stdout (between
 // BEGIN-JSON / END-JSON markers) for downstream tooling.
 //
-// Usage: bench_lp_sparse [--smoke]
+// Usage: bench_lp_sparse [--smoke] [--reopt]
 //   --smoke  only the small generated formulation (for CI: seconds, not
 //            minutes, and still fails loudly if an engine regresses).
+//   --reopt  warm node-reoptimization throughput instead of cold solves:
+//            the branch & bound pattern (solve the root, then reoptimize a
+//            sequence of single-bound-change child nodes from the root
+//            basis) timed over the dual fast path vs the primal warm path.
+//            Writes BENCH_lp_reopt.json into the current directory for the
+//            perf trajectory, and fails if the dual path needs more
+//            iterations than the primal path on the same node sequence.
 #include <sys/resource.h>
 
 #include <cmath>
@@ -138,18 +145,337 @@ void writeJson(const std::vector<RunRecord>& records) {
   std::printf("BEGIN-JSON\n%s\nEND-JSON\n", w.str().c_str());
 }
 
+// ---- warm node-reoptimization bench (--reopt) ------------------------------
+
+/// One reoptimization path's aggregate over a node sequence.
+struct ReoptPathStats {
+  double total_seconds = 0.0;
+  long iterations = 0;
+  long primal_pivots = 0;
+  long dual_pivots = 0;
+  long bound_flips = 0;
+  long ft_updates = 0;
+  long refactorizations = 0;
+  long dual_reopts = 0;
+  long optimal = 0, infeasible = 0, other = 0;
+
+  [[nodiscard]] double meanSeconds(int nodes) const {
+    return nodes > 0 ? total_seconds / nodes : 0.0;
+  }
+  [[nodiscard]] double pivotsPerSec() const {
+    const long pivots = primal_pivots + dual_pivots + bound_flips;
+    return total_seconds > 0 ? static_cast<double>(pivots) / total_seconds : 0.0;
+  }
+  [[nodiscard]] double solvesPerSec(int nodes) const {
+    return total_seconds > 0 ? nodes / total_seconds : 0.0;
+  }
+};
+
+struct ReoptRecord {
+  std::string name;
+  int vars = 0, constrs = 0;
+  long nnz = 0;
+  int nodes = 0;
+  double root_seconds = 0.0;
+  long root_iterations = 0;
+  ReoptPathStats primal, dual;
+  bool agree = true;  ///< both paths reached the same per-node verdicts
+
+  [[nodiscard]] double speedup() const {
+    return dual.total_seconds > 0 ? primal.total_seconds / dual.total_seconds : 0.0;
+  }
+};
+
+void accumulate(ReoptPathStats& stats, const lp::LpResult& r, double seconds,
+                std::vector<double>& objectives) {
+  stats.total_seconds += seconds;
+  stats.iterations += r.iterations;
+  stats.primal_pivots += r.primal_pivots;
+  stats.dual_pivots += r.dual_pivots;
+  stats.bound_flips += r.bound_flips;
+  stats.ft_updates += r.ft_updates;
+  stats.refactorizations += r.refactorizations;
+  stats.dual_reopts += r.dual_reopt ? 1 : 0;
+  if (r.status == lp::LpStatus::kOptimal) {
+    ++stats.optimal;
+    objectives.push_back(r.objective);
+  } else if (r.status == lp::LpStatus::kInfeasible) {
+    ++stats.infeasible;
+    objectives.push_back(1e300);  // sentinel: both paths must agree on it
+  } else {
+    ++stats.other;
+    objectives.push_back(-1e300);
+  }
+}
+
+/// Root solve + a branch & bound style dive replayed over both reopt paths.
+///
+/// The dive mirrors what `milp/bb.cpp` plunging does: each node tightens
+/// one fractional integer variable toward its nearest integer (cumulative
+/// bounds) and reoptimizes from the *previous* node's optimal basis. The
+/// dual path runs through the persistent `DualReoptimizer` (live factors,
+/// the B&B default); the primal path replays the identical bound sequence
+/// through warm primal solves (the PR 2 behavior).
+ReoptRecord runReoptBench(const std::string& name, const lp::Model& m, int max_nodes) {
+  ReoptRecord rec;
+  rec.name = name;
+  rec.vars = m.numVars();
+  rec.constrs = m.numConstrs();
+  rec.nnz = lp::sparse::countNonzeros(m);
+
+  const auto csc =
+      std::make_shared<const lp::sparse::CscMatrix>(lp::sparse::CscMatrix::fromModel(m));
+  std::vector<double> lb0(static_cast<std::size_t>(m.numVars()));
+  std::vector<double> ub0(static_cast<std::size_t>(m.numVars()));
+  for (int j = 0; j < m.numVars(); ++j) {
+    lb0[static_cast<std::size_t>(j)] = m.var(j).lb;
+    ub0[static_cast<std::size_t>(j)] = m.var(j).ub;
+  }
+  lp::LpSolver::Options opt;
+  opt.engine = lp::LpEngine::kSparse;
+  opt.core.max_iterations = 2000000;
+  opt.core.time_limit_seconds = 1200;
+  Stopwatch root_watch;
+  const lp::LpResult root = lp::LpSolver(opt).solve(m, lb0, ub0, nullptr, csc.get());
+  rec.root_seconds = root_watch.seconds();
+  rec.root_iterations = root.iterations;
+  if (root.status != lp::LpStatus::kOptimal || !root.basis) {
+    std::printf("%-10s root relaxation did not solve (%s) — skipping reopt\n",
+                name.c_str(), lp::toString(root.status));
+    rec.agree = false;
+    return rec;
+  }
+
+  const auto firstFractional = [&m](const std::vector<double>& x) {
+    for (int j = 0; j < m.numVars(); ++j) {
+      if (m.var(j).type == lp::VarType::kContinuous) continue;
+      const double frac =
+          x[static_cast<std::size_t>(j)] - std::floor(x[static_cast<std::size_t>(j)]);
+      if (frac > 1e-6 && frac < 1.0 - 1e-6) return j;
+    }
+    return -1;
+  };
+
+  // ---- dual path: dive through the persistent reoptimizer ----
+  lp::sparse::DualSimplexSolver::Options dopt;
+  dopt.core = opt.core;
+  dopt.core.time_limit_seconds = 600;
+  lp::sparse::DualReoptimizer reopt(m, csc, dopt);
+  lp::LpSolver::Options fallback_opt = opt;
+  fallback_opt.core.time_limit_seconds = 600;
+  fallback_opt.dual_reopt = false;
+
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> dive;  // bound vectors
+  std::vector<double> dual_obj;
+  std::vector<double> lb = lb0, ub = ub0;
+  std::shared_ptr<const lp::sparse::Basis> basis = root.basis;
+  std::vector<double> x = root.x;
+  while (static_cast<int>(dive.size()) < max_nodes) {
+    const int j = firstFractional(x);
+    if (j < 0) break;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    if (frac <= 0.5)
+      ub[static_cast<std::size_t>(j)] = std::floor(v);  // plunge down
+    else
+      lb[static_cast<std::size_t>(j)] = std::floor(v) + 1.0;  // plunge up
+    dive.emplace_back(lb, ub);
+    Stopwatch watch;
+    lp::LpResult declined;
+    std::optional<lp::LpResult> r = reopt.reoptimize(lb, ub, basis, 600, &declined);
+    if (!r) {
+      r = lp::LpSolver(fallback_opt).solve(m, lb, ub, basis.get(), csc.get());
+      // The abandoned dual attempt's work belongs to the dual path's bill —
+      // the iteration-count regression guard must not compare undercounts.
+      r->iterations += declined.iterations;
+      r->dual_pivots += declined.dual_pivots;
+      r->bound_flips += declined.bound_flips;
+      r->ft_updates += declined.ft_updates;
+      r->refactorizations += declined.refactorizations;
+    }
+    accumulate(rec.dual, *r, watch.seconds(), dual_obj);
+    if (r->status != lp::LpStatus::kOptimal) break;  // dive hit a dead end
+    basis = r->basis;
+    x = r->x;
+  }
+  rec.nodes = static_cast<int>(dive.size());
+  if (dive.empty()) {
+    rec.agree = false;
+    return rec;
+  }
+
+  // ---- primal path: identical bound sequence, warm primal solves ----
+  std::vector<double> primal_obj;
+  basis = root.basis;
+  for (const auto& [dlb, dub] : dive) {
+    Stopwatch watch;
+    const lp::LpResult r =
+        lp::LpSolver(fallback_opt).solve(m, dlb, dub, basis.get(), csc.get());
+    accumulate(rec.primal, r, watch.seconds(), primal_obj);
+    if (r.status != lp::LpStatus::kOptimal) break;
+    basis = r.basis;
+  }
+
+  const std::size_t common = std::min(dual_obj.size(), primal_obj.size());
+  rec.agree = dual_obj.size() == primal_obj.size();
+  for (std::size_t i = 0; i < common; ++i)
+    if (std::abs(dual_obj[i] - primal_obj[i]) > 1e-5 * (1.0 + std::abs(primal_obj[i])))
+      rec.agree = false;
+  return rec;
+}
+
+void printReopt(const ReoptRecord& r) {
+  std::printf("%-10s %d nodes (root %.2fs/%ld iters)\n", r.name.c_str(), r.nodes,
+              r.root_seconds, r.root_iterations);
+  std::printf("  primal-warm: mean=%.4fs solves/s=%.1f pivots/s=%.0f iters=%ld "
+              "(pivots=%ld flips=%ld ft=%ld refac=%ld)\n",
+              r.primal.meanSeconds(r.nodes), r.primal.solvesPerSec(r.nodes),
+              r.primal.pivotsPerSec(), r.primal.iterations, r.primal.primal_pivots,
+              r.primal.bound_flips, r.primal.ft_updates, r.primal.refactorizations);
+  std::printf("  dual-warm:   mean=%.4fs solves/s=%.1f pivots/s=%.0f iters=%ld "
+              "(pivots=%ld flips=%ld ft=%ld refac=%ld dual-reopts=%ld/%d)\n",
+              r.dual.meanSeconds(r.nodes), r.dual.solvesPerSec(r.nodes),
+              r.dual.pivotsPerSec(), r.dual.iterations, r.dual.dual_pivots,
+              r.dual.bound_flips, r.dual.ft_updates, r.dual.refactorizations,
+              r.dual.dual_reopts, r.nodes);
+  std::printf("  speedup (mean node-solve, primal/dual): %.2fx%s\n", r.speedup(),
+              r.agree ? "" : "  [MISMATCH]");
+}
+
+/// `path == nullptr` prints the JSON to stdout only (smoke runs must not
+/// overwrite the tracked full-run snapshot at the repo root).
+void writeReoptJson(const std::vector<ReoptRecord>& records, const char* path) {
+  io::JsonWriter w;
+  w.beginObject();
+  w.key("bench").value("lp_reopt");
+  w.key("runs").beginArray();
+  for (const ReoptRecord& r : records) {
+    w.beginObject();
+    w.key("name").value(r.name);
+    w.key("vars").value(r.vars);
+    w.key("constrs").value(r.constrs);
+    w.key("nnz").value(r.nnz);
+    w.key("nodes").value(r.nodes);
+    w.key("root_seconds").value(r.root_seconds);
+    w.key("root_iterations").value(r.root_iterations);
+    const auto path_obj = [&w, &r](const char* key, const ReoptPathStats& s) {
+      w.key(key).beginObject();
+      w.key("mean_node_seconds").value(s.meanSeconds(r.nodes));
+      w.key("total_seconds").value(s.total_seconds);
+      w.key("solves_per_sec").value(s.solvesPerSec(r.nodes));
+      w.key("pivots_per_sec").value(s.pivotsPerSec());
+      w.key("iterations").value(s.iterations);
+      w.key("primal_pivots").value(s.primal_pivots);
+      w.key("dual_pivots").value(s.dual_pivots);
+      w.key("bound_flips").value(s.bound_flips);
+      w.key("ft_updates").value(s.ft_updates);
+      w.key("refactorizations").value(s.refactorizations);
+      w.key("dual_reopts").value(s.dual_reopts);
+      w.key("optimal").value(s.optimal);
+      w.key("infeasible").value(s.infeasible);
+      w.endObject();
+    };
+    path_obj("primal_warm", r.primal);
+    path_obj("dual_warm", r.dual);
+    w.key("speedup_mean_node_solve").value(r.speedup());
+    w.key("agree").value(r.agree);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  if (path) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path);
+    } else {
+      std::printf("WARNING: could not write %s\n", path);
+    }
+  }
+  std::printf("BEGIN-JSON\n%s\nEND-JSON\n", w.str().c_str());
+}
+
+int runReoptMode(bool smoke, const device::Device& dev,
+                 const partition::ColumnarPartition& part) {
+  std::vector<ReoptRecord> records;
+  bool ok = true;
+
+  {
+    model::GeneratorOptions gopt;
+    gopt.num_regions = 3;
+    gopt.num_nets = 2;
+    for (gopt.seed = 1; gopt.seed < 32; ++gopt.seed)
+      if (model::generateProblem(dev, gopt)) break;
+    const auto small = model::generateProblem(dev, gopt);
+    if (!small) {
+      std::fprintf(stderr, "generator failed\n");
+      return 1;
+    }
+    fp::MilpFormulation form(*small, part, {});
+    const ReoptRecord rec = runReoptBench("gen-small", form.model(), 12);
+    printReopt(rec);
+    ok = ok && rec.agree && rec.nodes > 0;
+    // Satellite guard: the dual fast path must not need more iterations
+    // than the primal warm path on the same node sequence.
+    if (rec.dual.iterations > rec.primal.iterations) {
+      std::printf("REGRESSION: dual warm reopt used more iterations (%ld) than the "
+                  "primal warm path (%ld) on gen-small\n",
+                  rec.dual.iterations, rec.primal.iterations);
+      ok = false;
+    }
+    records.push_back(rec);
+  }
+
+  if (!smoke) {
+    for (const int reloc : {2, 3}) {
+      model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+      model::addSdrRelocations(sdr, reloc);
+      fp::MilpFormulation form(sdr, part, {});
+      const ReoptRecord rec =
+          runReoptBench("SDR" + std::to_string(reloc), form.model(), 24);
+      printReopt(rec);
+      ok = ok && rec.agree && rec.nodes > 0;
+      // At paper scale wall time is the verdict (dual pivots are far
+      // cheaper than primal ones — no per-node refactorizations — so raw
+      // iteration counts are not comparable). The headline acceptance
+      // claim is a >= 2x mean node-solve improvement on the SDR2 dive;
+      // SDR3's hyper-degenerate nodes defeat dual Devex row pricing, so
+      // there the dual engine's job is to bail out cheaply (effort cap +
+      // circuit breaker) and agree with the primal path — dual steepest
+      // edge row pricing is the ROADMAP follow-up that should win it back.
+      if (reloc == 2 && rec.speedup() < 2.0) {
+        std::printf("REGRESSION: dual warm reopt speedup %.2fx < 2x on %s\n",
+                    rec.speedup(), rec.name.c_str());
+        ok = false;
+      }
+      records.push_back(rec);
+    }
+  }
+
+  writeReoptJson(records, smoke ? nullptr : "BENCH_lp_reopt.json");
+  std::printf("%s\n", ok ? "BENCH OK" : "BENCH FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  std::vector<RunRecord> records;
-  bool ok = true;
+  bool smoke = false;
+  bool reopt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--reopt") == 0) reopt = true;
+  }
   const device::Device dev = device::virtex5FX70T();
   const auto part = partition::columnarPartition(dev);
   if (!part) {
     std::fprintf(stderr, "device not partitionable\n");
     return 1;
   }
+  if (reopt) return runReoptMode(smoke, dev, *part);
+  std::vector<RunRecord> records;
+  bool ok = true;
 
   // ---- head-to-head where both engines fit: a generated formulation ----
   model::GeneratorOptions gopt;

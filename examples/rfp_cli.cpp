@@ -146,11 +146,16 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   }
   std::printf("solver=%s status=%s nodes=%ld time=%.2fs\n", driver::toString(res.backend),
               driver::toString(res.status), res.nodes, res.seconds);
-  if (res.lp.solves > 0)
+  if (res.lp.solves > 0) {
     std::printf("lp: engine=%s solves=%ld iterations=%ld refactorizations=%ld "
                 "warm-start-hit-rate=%.2f\n",
                 res.lp.engine.c_str(), res.lp.solves, res.lp.iterations,
                 res.lp.refactorizations, res.lp.warmStartHitRate());
+    std::printf("lp: pivots primal=%ld dual=%ld bound-flips=%ld ft-updates=%ld "
+                "dual-reopt-rate=%.2f\n",
+                res.lp.primal_pivots, res.lp.dual_pivots, res.lp.bound_flips,
+                res.lp.ft_updates, res.lp.dualReoptRate());
+  }
   std::printf("wasted_frames=%ld wire_length=%.1f fc_areas=%d/%d\n\n", res.costs.wasted_frames,
               res.costs.wire_length, res.plan.placedFcCount(), problem.totalFcAreas());
   std::printf("%s", render::ascii(problem, res.plan).c_str());

@@ -85,6 +85,11 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
     out.lp.iterations = res.lp_iterations;
     out.lp.warm_start_hits = res.lp_warm_hits;
     out.lp.refactorizations = res.lp_refactorizations;
+    out.lp.primal_pivots = res.lp_primal_pivots;
+    out.lp.dual_pivots = res.lp_dual_pivots;
+    out.lp.bound_flips = res.lp_bound_flips;
+    out.lp.ft_updates = res.lp_ft_updates;
+    out.lp.dual_reopts = res.lp_dual_reopts;
   }
   out.detail = std::string(toString(backend)) + ": " + res.detail;
   return out;

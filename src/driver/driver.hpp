@@ -86,9 +86,20 @@ struct LpStats {
   long iterations = 0;          ///< total simplex iterations
   long warm_start_hits = 0;     ///< solves that adopted a parent basis
   long refactorizations = 0;    ///< sparse engine: basis refactorizations
+  // Pivot-class breakdown (sparse engine): how the node LPs were actually
+  // reoptimized, and how often the factors were patched (Forrest–Tomlin)
+  // instead of rebuilt.
+  long primal_pivots = 0;       ///< basis changes made by the primal simplex
+  long dual_pivots = 0;         ///< basis changes made by the dual simplex
+  long bound_flips = 0;         ///< bound-to-bound moves without a basis change
+  long ft_updates = 0;          ///< Forrest–Tomlin factor updates applied
+  long dual_reopts = 0;         ///< node solves answered by the dual fast path
 
   [[nodiscard]] double warmStartHitRate() const noexcept {
     return solves > 0 ? static_cast<double>(warm_start_hits) / static_cast<double>(solves) : 0.0;
+  }
+  [[nodiscard]] double dualReoptRate() const noexcept {
+    return solves > 0 ? static_cast<double>(dual_reopts) / static_cast<double>(solves) : 0.0;
   }
 };
 

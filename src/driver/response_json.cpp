@@ -24,6 +24,12 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     w.key("refactorizations").value(response.lp.refactorizations);
     w.key("warm_start_hits").value(response.lp.warm_start_hits);
     w.key("warm_start_hit_rate").value(response.lp.warmStartHitRate());
+    w.key("primal_pivots").value(response.lp.primal_pivots);
+    w.key("dual_pivots").value(response.lp.dual_pivots);
+    w.key("bound_flips").value(response.lp.bound_flips);
+    w.key("ft_updates").value(response.lp.ft_updates);
+    w.key("dual_reopts").value(response.lp.dual_reopts);
+    w.key("dual_reopt_rate").value(response.lp.dualReoptRate());
     w.endObject();
   }
   w.key("detail").value(response.detail);

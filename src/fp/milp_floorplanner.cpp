@@ -50,6 +50,11 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     result.lp_iterations += mip.lp_iterations;
     result.lp_warm_hits += mip.lp_warm_hits;
     result.lp_refactorizations += mip.lp_refactorizations;
+    result.lp_primal_pivots += mip.lp_primal_pivots;
+    result.lp_dual_pivots += mip.lp_dual_pivots;
+    result.lp_bound_flips += mip.lp_bound_flips;
+    result.lp_ft_updates += mip.lp_ft_updates;
+    result.lp_dual_reopts += mip.lp_dual_reopts;
   };
 
   const auto part = partition::columnarPartition(problem.dev());

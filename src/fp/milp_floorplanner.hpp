@@ -67,6 +67,11 @@ struct FpResult {
   long lp_iterations = 0;
   long lp_warm_hits = 0;
   long lp_refactorizations = 0;
+  long lp_primal_pivots = 0;
+  long lp_dual_pivots = 0;
+  long lp_bound_flips = 0;
+  long lp_ft_updates = 0;
+  long lp_dual_reopts = 0;  ///< node solves answered by the dual fast path
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == FpStatus::kOptimal || status == FpStatus::kFeasible;

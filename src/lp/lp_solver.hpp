@@ -7,11 +7,20 @@
 //    simple on small models, but its working set is (m+1) x (n+2m) doubles:
 //    an SDR2-scale floorplanning formulation (~40k rows) would need ~25 GiB.
 //  * kSparse — the revised simplex over CSC storage with a Markowitz-
-//    factorized basis (lp/sparse/). Memory scales with the nonzero count
-//    (~10 MB for the same SDR2 formulation) and it accepts basis warm
-//    starts, which branch & bound uses to reoptimize child nodes.
+//    factorized, Forrest–Tomlin-updated basis (lp/sparse/). Memory scales
+//    with the nonzero count (~10 MB for the same SDR2 formulation) and it
+//    accepts basis warm starts, which branch & bound uses to reoptimize
+//    child nodes.
 //  * kAuto   — kDense while the dense tableau stays under
 //    `auto_dense_limit_mib`, kSparse above it.
+//
+// Warm reoptimization rides a fast path: when a warm basis is supplied (a
+// branch & bound child differing from its parent only in variable bounds)
+// the bounded-variable *dual* simplex runs first — the parent basis stays
+// dual feasible under bound changes, so a handful of dual pivots usually
+// restores optimality — and the primal engine is the fallback whenever no
+// dual-feasible start exists. Callers can also pass a cached CSC matrix so
+// a tree of solves shares one build.
 //
 // The per-engine memory estimates are also exported so admission gates
 // (MilpFloorplannerOptions::max_lp_gib) can budget against the engine that
@@ -22,6 +31,7 @@
 
 #include "lp/simplex.hpp"
 #include "lp/sparse/basis.hpp"
+#include "lp/sparse/dual_simplex.hpp"
 #include "lp/sparse/revised_simplex.hpp"
 
 namespace rfp::lp {
@@ -35,8 +45,19 @@ class LpSolver {
     double auto_dense_limit_mib = 64.0;
     /// Tolerances and limits shared by both engines.
     SimplexSolver::Options core;
-    /// Sparse-only knobs (see lp/sparse/revised_simplex.hpp).
+    /// Sparse-only knobs. Refactorization triggers on Forrest–Tomlin
+    /// stability failures and factor fill growth, plus this hard
+    /// update-count cap (<= 0 disables the cap; warm reoptimizations
+    /// finish far below it, so the B&B hot path is refactorization-free
+    /// either way).
     int refactor_interval = 100;
+    /// Primal pricing rule of the sparse engine.
+    sparse::Pricing pricing = sparse::Pricing::kSteepestEdge;
+    /// With a warm basis on the sparse engine, reoptimize with the dual
+    /// simplex first and fall back to the primal when no dual-feasible
+    /// start exists. Off forces every solve through the primal engine
+    /// (A/B tests; results are identical either way).
+    bool dual_reopt = true;
     sparse::BasisLu::Options lu;
   };
 
@@ -47,11 +68,16 @@ class LpSolver {
   [[nodiscard]] LpResult solve(const Model& model) const;
 
   /// Solves with per-variable bound overrides. `warm` (a basis from an
-  /// earlier sparse solve) is honoured by the sparse engine and ignored by
-  /// the dense one; `LpResult::warm_started` reports what happened.
+  /// earlier sparse solve) is honoured by the sparse engines and ignored by
+  /// the dense one; `LpResult::warm_started` reports what happened, and
+  /// `LpResult::dual_reopt` whether the dual fast path produced the result.
+  /// `csc`, when non-null, must be the CSC form of `model`'s constraint
+  /// matrix — branch & bound builds it once per tree and passes it to every
+  /// node solve.
   [[nodiscard]] LpResult solve(const Model& model, std::span<const double> lb,
                                std::span<const double> ub,
-                               const sparse::Basis* warm = nullptr) const;
+                               const sparse::Basis* warm = nullptr,
+                               const sparse::CscMatrix* csc = nullptr) const;
 
   /// The engine `solve` would use for this model (never kAuto).
   [[nodiscard]] LpEngine resolveEngine(const Model& model) const;
@@ -60,7 +86,7 @@ class LpSolver {
   [[nodiscard]] static double denseTableauGib(const Model& model);
 
   /// Nonzero-based working-set estimate of the sparse engine: CSC storage
-  /// plus LU fill and eta-file headroom per nonzero, plus the per-variable
+  /// plus LU fill and update headroom per nonzero, plus the per-variable
   /// working vectors. Deliberately conservative (real use is lower).
   [[nodiscard]] static double sparseFootprintGib(const Model& model);
 

@@ -53,6 +53,14 @@ struct LpResult {
   LpEngine engine = LpEngine::kDense;  ///< engine that produced this result
   long refactorizations = 0;       ///< sparse engine: basis refactorizations
   bool warm_started = false;       ///< a caller-provided basis was adopted
+  // Pivot-class telemetry (sparse engines; the dense tableau leaves zeros).
+  long primal_pivots = 0;   ///< basis changes made by the primal simplex
+  long dual_pivots = 0;     ///< basis changes made by the dual simplex
+  long bound_flips = 0;     ///< bound-to-bound moves without a basis change
+  long ft_updates = 0;      ///< Forrest–Tomlin factor updates applied
+  /// True when the dual simplex produced this result (warm reoptimization
+  /// fast path); false for primal solves and dual-infeasible fallbacks.
+  bool dual_reopt = false;
   /// Sparse engine, on optimality: the optimal basis, reusable as a warm
   /// start for a nearby solve (branch & bound child nodes). Opaque.
   std::shared_ptr<const sparse::Basis> basis;

@@ -1,8 +1,17 @@
 #include "lp/sparse/csc.hpp"
 
+#include <atomic>
+
 namespace rfp::lp::sparse {
 
+namespace {
+std::atomic<long> g_build_count{0};
+}  // namespace
+
+long CscMatrix::buildCount() noexcept { return g_build_count.load(std::memory_order_relaxed); }
+
 CscMatrix CscMatrix::fromModel(const Model& model) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   CscMatrix a;
   a.rows = model.numConstrs();
   a.cols = model.numVars();

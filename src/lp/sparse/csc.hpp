@@ -25,6 +25,11 @@ struct CscMatrix {
   /// Builds the structural constraint matrix of `model` (duplicate terms in
   /// a row are summed, exact zeros kept out).
   [[nodiscard]] static CscMatrix fromModel(const Model& model);
+
+  /// Process-wide count of `fromModel` builds. Branch & bound shares one
+  /// matrix across a tree's node solves; tests assert via this counter that
+  /// a tree builds it exactly once instead of once per solve.
+  [[nodiscard]] static long buildCount() noexcept;
 };
 
 /// Nonzero count of `model`'s constraint matrix without building it; feeds

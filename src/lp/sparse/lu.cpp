@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "support/check.hpp"
 
@@ -13,6 +14,8 @@ struct Entry {
   int row;
   double val;
 };
+
+[[nodiscard]] std::size_t zu(int v) noexcept { return static_cast<std::size_t>(v); }
 
 }  // namespace
 
@@ -27,60 +30,61 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
   l_start_.clear();
   l_row_.clear();
   l_val_.clear();
-  u_start_.clear();
-  u_step_.clear();
-  u_val_.clear();
-  eta_start_.clear();
-  eta_idx_.clear();
-  eta_pos_.clear();
-  eta_val_.clear();
-  eta_piv_.clear();
+  ft_tgt_.clear();
+  ft_src_.clear();
+  ft_mult_.clear();
+  update_count_ = 0;
   deficient_pos_.clear();
   unpivoted_rows_.clear();
-  work_.assign(static_cast<std::size_t>(m), 0.0);
-  work2_.assign(static_cast<std::size_t>(m), 0.0);
+  work_.assign(zu(m), 0.0);
+  work2_.assign(zu(m), 0.0);
+  upd_val_.assign(zu(m), 0.0);
+  upd_mark_.assign(zu(m), 0);
+
+  // Transient U rows in basis-position column references; remapped to slots
+  // and scattered into the dynamic row/column structures at the end.
+  std::vector<int> tu_start, tu_pos;
+  std::vector<double> tu_val;
 
   // ---- working copy of the basis matrix, column-wise -----------------------
   // Columns are kept exact (only active rows); row patterns may carry stale
   // position entries which are skipped lazily via col_done / membership.
-  std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(m));
-  std::vector<std::vector<int>> rowpat(static_cast<std::size_t>(m));
-  std::vector<int> rcount(static_cast<std::size_t>(m), 0);
+  std::vector<std::vector<Entry>> cols(zu(m));
+  std::vector<std::vector<int>> rowpat(zu(m));
+  std::vector<int> rcount(zu(m), 0);
   for (int p = 0; p < m; ++p) {
-    const int b = basic[static_cast<std::size_t>(p)];
+    const int b = basic[zu(p)];
     if (b >= a.cols) {
       const int r = b - a.cols;
       RFP_CHECK_MSG(r >= 0 && r < m, "basis references slack of unknown row " << r);
-      cols[static_cast<std::size_t>(p)].push_back(Entry{r, 1.0});
+      cols[zu(p)].push_back(Entry{r, 1.0});
     } else {
       RFP_CHECK_MSG(b >= 0, "basis position " << p << " is unset");
-      for (int k = a.ptr[static_cast<std::size_t>(b)]; k < a.ptr[static_cast<std::size_t>(b) + 1]; ++k)
-        cols[static_cast<std::size_t>(p)].push_back(
-            Entry{a.idx[static_cast<std::size_t>(k)], a.val[static_cast<std::size_t>(k)]});
+      for (int k = a.ptr[zu(b)]; k < a.ptr[zu(b) + 1]; ++k)
+        cols[zu(p)].push_back(Entry{a.idx[zu(k)], a.val[zu(k)]});
     }
-    for (const Entry& e : cols[static_cast<std::size_t>(p)]) {
-      rowpat[static_cast<std::size_t>(e.row)].push_back(p);
-      ++rcount[static_cast<std::size_t>(e.row)];
+    for (const Entry& e : cols[zu(p)]) {
+      rowpat[zu(e.row)].push_back(p);
+      ++rcount[zu(e.row)];
     }
   }
 
-  std::vector<char> row_done(static_cast<std::size_t>(m), 0);
-  std::vector<char> col_done(static_cast<std::size_t>(m), 0);
+  std::vector<char> row_done(zu(m), 0);
+  std::vector<char> col_done(zu(m), 0);
 
   // Bucket queue of candidate columns by current length; entries go stale
   // when a column's length changes (it is re-pushed at the new length) and
   // are skipped on pop.
-  std::vector<std::vector<int>> bucket(static_cast<std::size_t>(m) + 1);
-  for (int p = 0; p < m; ++p)
-    bucket[cols[static_cast<std::size_t>(p)].size()].push_back(p);
+  std::vector<std::vector<int>> bucket(zu(m) + 1);
+  for (int p = 0; p < m; ++p) bucket[cols[zu(p)].size()].push_back(p);
 
   // Scatter workspace for column updates.
-  std::vector<double> wval(static_cast<std::size_t>(m), 0.0);
-  std::vector<int> wstamp(static_cast<std::size_t>(m), -1);
+  std::vector<double> wval(zu(m), 0.0);
+  std::vector<int> wstamp(zu(m), -1);
   std::vector<int> touched;
   int epoch = 0;
 
-  const auto columnLen = [&](int p) { return cols[static_cast<std::size_t>(p)].size(); };
+  const auto columnLen = [&](int p) { return cols[zu(p)].size(); };
 
   int steps = 0;
   std::vector<int> popped;  // candidates taken off the buckets this step
@@ -92,10 +96,10 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
     popped.clear();
     int examined = 0;
     bool relaxed = false;  // second pass with the relative threshold dropped
-    for (std::size_t c = 0; c <= static_cast<std::size_t>(m);) {
+    for (std::size_t c = 0; c <= zu(m);) {
       if (bucket[c].empty()) {
         ++c;
-        if (c > static_cast<std::size_t>(m) && best_pos < 0 && !relaxed && !popped.empty()) {
+        if (c > zu(m) && best_pos < 0 && !relaxed && !popped.empty()) {
           // Nothing met the stability threshold; retry the popped candidates
           // accepting any pivot above the absolute floor.
           relaxed = true;
@@ -107,20 +111,20 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
       }
       const int p = bucket[c].back();
       bucket[c].pop_back();
-      if (col_done[static_cast<std::size_t>(p)] || columnLen(p) != c) continue;  // stale
+      if (col_done[zu(p)] || columnLen(p) != c) continue;  // stale
       if (c == 0) continue;  // structurally empty: left for the deficiency report
       popped.push_back(p);
       double colmax = 0.0;
-      for (const Entry& e : cols[static_cast<std::size_t>(p)]) colmax = std::max(colmax, std::abs(e.val));
+      for (const Entry& e : cols[zu(p)]) colmax = std::max(colmax, std::abs(e.val));
       const double floor =
           std::max(opt_.abs_pivot_tol, relaxed ? 0.0 : opt_.rel_pivot_tol * colmax);
       int cand_row = -1;
       double cand_val = 0.0;
       long cand_cost = -1;
-      for (const Entry& e : cols[static_cast<std::size_t>(p)]) {
+      for (const Entry& e : cols[zu(p)]) {
         if (std::abs(e.val) < floor) continue;
-        const long cost = (static_cast<long>(c) - 1) *
-                          (static_cast<long>(rcount[static_cast<std::size_t>(e.row)]) - 1);
+        const long cost =
+            (static_cast<long>(c) - 1) * (static_cast<long>(rcount[zu(e.row)]) - 1);
         if (cand_row < 0 || cost < cand_cost ||
             (cost == cand_cost && std::abs(e.val) > std::abs(cand_val))) {
           cand_row = e.row;
@@ -148,8 +152,8 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
     // ---- elimination step -------------------------------------------------
     const int pi = best_row, pj = best_pos;
     const double pivval = best_val;
-    row_done[static_cast<std::size_t>(pi)] = 1;
-    col_done[static_cast<std::size_t>(pj)] = 1;
+    row_done[zu(pi)] = 1;
+    col_done[zu(pj)] = 1;
     pivot_row_.push_back(pi);
     pivot_pos_.push_back(pj);
     diag_.push_back(pivval);
@@ -157,20 +161,20 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
     // L multipliers from the pivot column.
     const int l_first = static_cast<int>(l_row_.size());
     l_start_.push_back(l_first);
-    for (const Entry& e : cols[static_cast<std::size_t>(pj)]) {
+    for (const Entry& e : cols[zu(pj)]) {
       if (e.row == pi) continue;
       l_row_.push_back(e.row);
       l_val_.push_back(e.val / pivval);
-      --rcount[static_cast<std::size_t>(e.row)];
+      --rcount[zu(e.row)];
     }
     const int l_last = static_cast<int>(l_row_.size());
-    cols[static_cast<std::size_t>(pj)].clear();
+    cols[zu(pj)].clear();
 
     // U row: remaining entries of the pivot row, with column updates.
-    u_start_.push_back(static_cast<int>(u_step_.size()));
-    for (const int jp : rowpat[static_cast<std::size_t>(pi)]) {
-      if (jp == pj || col_done[static_cast<std::size_t>(jp)]) continue;
-      std::vector<Entry>& col = cols[static_cast<std::size_t>(jp)];
+    tu_start.push_back(static_cast<int>(tu_pos.size()));
+    for (const int jp : rowpat[zu(pi)]) {
+      if (jp == pj || col_done[zu(jp)]) continue;
+      std::vector<Entry>& col = cols[zu(jp)];
       double upv = 0.0;
       bool found = false;
       for (const Entry& e : col)
@@ -179,39 +183,39 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
           found = true;
           break;
         }
-      if (!found) continue;  // stale pattern entry (cancelled earlier)
-      u_step_.push_back(jp);  // stores positions; remapped to steps below
-      u_val_.push_back(upv);
+      if (!found) continue;   // stale pattern entry (cancelled earlier)
+      tu_pos.push_back(jp);   // stores positions; remapped to slots below
+      tu_val.push_back(upv);
 
       // col := col - upv * (L multipliers), dropping the pivot row entry.
       ++epoch;
       touched.clear();
       for (const Entry& e : col) {
         if (e.row == pi) continue;
-        wval[static_cast<std::size_t>(e.row)] = e.val;
-        wstamp[static_cast<std::size_t>(e.row)] = epoch;
+        wval[zu(e.row)] = e.val;
+        wstamp[zu(e.row)] = epoch;
         touched.push_back(e.row);
       }
       for (int t = l_first; t < l_last; ++t) {
-        const int r = l_row_[static_cast<std::size_t>(t)];
-        const double delta = l_val_[static_cast<std::size_t>(t)] * upv;
-        if (wstamp[static_cast<std::size_t>(r)] == epoch) {
-          wval[static_cast<std::size_t>(r)] -= delta;
+        const int r = l_row_[zu(t)];
+        const double delta = l_val_[zu(t)] * upv;
+        if (wstamp[zu(r)] == epoch) {
+          wval[zu(r)] -= delta;
         } else {
-          wstamp[static_cast<std::size_t>(r)] = epoch;
-          wval[static_cast<std::size_t>(r)] = -delta;
+          wstamp[zu(r)] = epoch;
+          wval[zu(r)] = -delta;
           touched.push_back(r);
-          rowpat[static_cast<std::size_t>(r)].push_back(jp);
-          ++rcount[static_cast<std::size_t>(r)];
+          rowpat[zu(r)].push_back(jp);
+          ++rcount[zu(r)];
         }
       }
       col.clear();
       for (const int r : touched) {
-        const double v = wval[static_cast<std::size_t>(r)];
+        const double v = wval[zu(r)];
         if (std::abs(v) > opt_.drop_tol)
           col.push_back(Entry{r, v});
         else
-          --rcount[static_cast<std::size_t>(r)];  // cancelled out
+          --rcount[zu(r)];  // cancelled out
       }
       bucket[col.size()].push_back(jp);
     }
@@ -220,109 +224,194 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
 
   if (steps < m) {
     for (int p = 0; p < m; ++p)
-      if (!col_done[static_cast<std::size_t>(p)]) deficient_pos_.push_back(p);
+      if (!col_done[zu(p)]) deficient_pos_.push_back(p);
     for (int r = 0; r < m; ++r)
-      if (!row_done[static_cast<std::size_t>(r)]) unpivoted_rows_.push_back(r);
+      if (!row_done[zu(r)]) unpivoted_rows_.push_back(r);
     return false;
   }
   l_start_.push_back(static_cast<int>(l_row_.size()));
-  u_start_.push_back(static_cast<int>(u_step_.size()));
+  tu_start.push_back(static_cast<int>(tu_pos.size()));
 
-  // Remap U column references from basis positions to elimination steps.
-  std::vector<int> pos_to_step(static_cast<std::size_t>(m), -1);
-  for (int k = 0; k < m; ++k) pos_to_step[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])] = k;
-  for (int& s : u_step_) s = pos_to_step[static_cast<std::size_t>(s)];
+  // ---- freeze the factorization into slot structures -----------------------
+  // Slot k = elimination step k; the initial order is the identity.
+  order_.resize(zu(m));
+  order_pos_.resize(zu(m));
+  pos_to_slot_.assign(zu(m), -1);
+  for (int k = 0; k < m; ++k) {
+    order_[zu(k)] = k;
+    order_pos_[zu(k)] = k;
+    pos_to_slot_[zu(pivot_pos_[zu(k)])] = k;
+  }
+  u_rows_.assign(zu(m), {});
+  u_cols_.assign(zu(m), {});
+  u_nnz_ = static_cast<long>(tu_pos.size());
+  for (int k = 0; k < m; ++k) {
+    for (int t = tu_start[zu(k)]; t < tu_start[zu(k) + 1]; ++t) {
+      const int cslot = pos_to_slot_[zu(tu_pos[zu(t)])];
+      const double v = tu_val[zu(t)];
+      u_rows_[zu(k)].push_back(UEntry{cslot, v});
+      u_cols_[zu(cslot)].push_back(UEntry{k, v});
+    }
+  }
+  base_nnz_ = static_cast<long>(l_row_.size()) + u_nnz_ + m;
   return true;
 }
 
-void BasisLu::ftran(std::vector<double>& v) const {
+void BasisLu::ftran(std::vector<double>& v, Spike* spike) const {
   const int m = m_;
   RFP_CHECK(static_cast<int>(v.size()) == m);
   // L pass in elimination order (row space).
   for (int k = 0; k < m; ++k) {
-    const double piv = v[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+    const double piv = v[zu(pivot_row_[zu(k)])];
     if (piv == 0.0) continue;
-    for (int t = l_start_[static_cast<std::size_t>(k)]; t < l_start_[static_cast<std::size_t>(k) + 1]; ++t)
-      v[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(t)])] -=
-          l_val_[static_cast<std::size_t>(t)] * piv;
+    for (int t = l_start_[zu(k)]; t < l_start_[zu(k) + 1]; ++t)
+      v[zu(l_row_[zu(t)])] -= l_val_[zu(t)] * piv;
   }
-  // U back-substitution into step space.
-  std::vector<double>& step = work_;
+  // Rows to slots.
+  std::vector<double>& y = work_;
+  for (int k = 0; k < m; ++k) y[zu(k)] = v[zu(pivot_row_[zu(k)])];
+  // Forrest–Tomlin row operations, oldest first.
+  const std::size_t etas = ft_tgt_.size();
+  for (std::size_t e = 0; e < etas; ++e)
+    y[zu(ft_tgt_[e])] -= ft_mult_[e] * y[zu(ft_src_[e])];
+  if (spike) spike->values = y;
+  // U back-substitution over the elimination order (in place: every row's
+  // off-diagonals reference slots later in the order, already finalized).
   for (int k = m - 1; k >= 0; --k) {
-    double s = v[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
-    for (int t = u_start_[static_cast<std::size_t>(k)]; t < u_start_[static_cast<std::size_t>(k) + 1]; ++t)
-      s -= u_val_[static_cast<std::size_t>(t)] * step[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(t)])];
-    step[static_cast<std::size_t>(k)] = s / diag_[static_cast<std::size_t>(k)];
+    const int s = order_[zu(k)];
+    double acc = y[zu(s)];
+    for (const UEntry& e : u_rows_[zu(s)]) acc -= e.val * y[zu(e.slot)];
+    y[zu(s)] = acc / diag_[zu(s)];
   }
-  // Steps to basis positions.
-  for (int k = 0; k < m; ++k)
-    v[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])] = step[static_cast<std::size_t>(k)];
-  // Eta file, oldest first (position space).
-  const int etas = etaCount();
-  for (int e = 0; e < etas; ++e) {
-    const int p = eta_pos_[static_cast<std::size_t>(e)];
-    const double vp = v[static_cast<std::size_t>(p)] / eta_piv_[static_cast<std::size_t>(e)];
-    if (vp != 0.0)
-      for (int t = eta_start_[static_cast<std::size_t>(e)]; t < eta_start_[static_cast<std::size_t>(e) + 1]; ++t)
-        v[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(t)])] -=
-            eta_val_[static_cast<std::size_t>(t)] * vp;
-    v[static_cast<std::size_t>(p)] = vp;
-  }
+  // Slots to basis positions.
+  for (int k = 0; k < m; ++k) v[zu(pivot_pos_[zu(k)])] = y[zu(k)];
 }
 
 void BasisLu::btran(std::vector<double>& v) const {
   const int m = m_;
   RFP_CHECK(static_cast<int>(v.size()) == m);
-  // Eta transposes, newest first (position space): only component p changes.
-  for (int e = etaCount() - 1; e >= 0; --e) {
-    const int p = eta_pos_[static_cast<std::size_t>(e)];
-    double s = 0.0;
-    for (int t = eta_start_[static_cast<std::size_t>(e)]; t < eta_start_[static_cast<std::size_t>(e) + 1]; ++t)
-      s += eta_val_[static_cast<std::size_t>(t)] *
-           v[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(t)])];
-    v[static_cast<std::size_t>(p)] = (v[static_cast<std::size_t>(p)] - s) / eta_piv_[static_cast<std::size_t>(e)];
-  }
-  // U^T forward pass in step space with scatter updates.
-  std::vector<double>& cp = work_;
-  for (int k = 0; k < m; ++k)
-    cp[static_cast<std::size_t>(k)] = v[static_cast<std::size_t>(pivot_pos_[static_cast<std::size_t>(k)])];
+  // Positions to slots.
+  std::vector<double>& y = work_;
+  for (int k = 0; k < m; ++k) y[zu(k)] = v[zu(pivot_pos_[zu(k)])];
+  // U^T forward substitution over the elimination order.
   for (int k = 0; k < m; ++k) {
-    const double z = cp[static_cast<std::size_t>(k)] / diag_[static_cast<std::size_t>(k)];
-    cp[static_cast<std::size_t>(k)] = z;
-    if (z == 0.0) continue;
-    for (int t = u_start_[static_cast<std::size_t>(k)]; t < u_start_[static_cast<std::size_t>(k) + 1]; ++t)
-      cp[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(t)])] -=
-          u_val_[static_cast<std::size_t>(t)] * z;
+    const int s = order_[zu(k)];
+    double acc = y[zu(s)];
+    for (const UEntry& e : u_cols_[zu(s)]) acc -= e.val * y[zu(e.slot)];
+    y[zu(s)] = acc / diag_[zu(s)];
   }
-  // Steps to rows, then the transposed L ops newest-first.
+  // Transposed Forrest–Tomlin row operations, newest first.
+  for (std::size_t e = ft_tgt_.size(); e-- > 0;)
+    y[zu(ft_src_[e])] -= ft_mult_[e] * y[zu(ft_tgt_[e])];
+  // Slots to rows, then the transposed L ops newest-first.
   std::vector<double>& out = work2_;
-  for (int k = 0; k < m; ++k)
-    out[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])] = cp[static_cast<std::size_t>(k)];
+  for (int k = 0; k < m; ++k) out[zu(pivot_row_[zu(k)])] = y[zu(k)];
   for (int k = m - 1; k >= 0; --k) {
     double s = 0.0;
-    for (int t = l_start_[static_cast<std::size_t>(k)]; t < l_start_[static_cast<std::size_t>(k) + 1]; ++t)
-      s += l_val_[static_cast<std::size_t>(t)] * out[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(t)])];
-    out[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])] -= s;
+    for (int t = l_start_[zu(k)]; t < l_start_[zu(k) + 1]; ++t)
+      s += l_val_[zu(t)] * out[zu(l_row_[zu(t)])];
+    out[zu(pivot_row_[zu(k)])] -= s;
   }
   v = out;
 }
 
-void BasisLu::pushEta(int position, const std::vector<double>& alpha) {
+bool BasisLu::updateColumn(int position, const Spike& spike) {
   RFP_CHECK(position >= 0 && position < m_);
-  const double piv = alpha[static_cast<std::size_t>(position)];
-  RFP_CHECK_MSG(piv != 0.0, "eta update with zero pivot at position " << position);
-  if (eta_start_.empty()) eta_start_.push_back(0);
-  for (int i = 0; i < m_; ++i) {
-    if (i == position) continue;
-    const double v = alpha[static_cast<std::size_t>(i)];
-    if (std::abs(v) > 1e-14) {
-      eta_idx_.push_back(i);
-      eta_val_.push_back(v);
+  RFP_CHECK(static_cast<int>(spike.values.size()) == m_);
+  const std::vector<double>& w = spike.values;
+  const int t = pos_to_slot_[zu(position)];
+
+  // Drop the old column t of U (entries (r, t) live in rows before t).
+  for (const UEntry& ce : u_cols_[zu(t)]) {
+    std::vector<UEntry>& row = u_rows_[zu(ce.slot)];
+    for (std::size_t i = 0; i < row.size(); ++i)
+      if (row[i].slot == t) {
+        row[i] = row.back();
+        row.pop_back();
+        --u_nnz_;
+        break;
+      }
+  }
+  u_cols_[zu(t)].clear();
+
+  // The old row t becomes a row spike at the (new) last elimination
+  // position; gather it into the scatter workspace and drop it from U.
+  std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                      std::greater<>>
+      heap;  // (order position, col slot)
+  for (const UEntry& re : u_rows_[zu(t)]) {
+    upd_val_[zu(re.slot)] = re.val;
+    upd_mark_[zu(re.slot)] = 1;
+    heap.emplace(order_pos_[zu(re.slot)], re.slot);
+    std::vector<UEntry>& col = u_cols_[zu(re.slot)];
+    for (std::size_t i = 0; i < col.size(); ++i)
+      if (col[i].slot == t) {
+        col[i] = col.back();
+        col.pop_back();
+        --u_nnz_;
+        break;
+      }
+  }
+  u_rows_[zu(t)].clear();
+
+  // Eliminate the row spike left to right; each elimination may fill
+  // columns further right (pushed lazily) and folds the source row's spike-
+  // column entry into the new diagonal. The operations are recorded and
+  // replayed by every later ftran/btran.
+  double d = w[zu(t)];
+  while (!heap.empty()) {
+    const int j = heap.top().second;
+    heap.pop();
+    if (!upd_mark_[zu(j)]) continue;  // duplicate heap entry
+    upd_mark_[zu(j)] = 0;
+    const double val = upd_val_[zu(j)];
+    if (std::abs(val) <= opt_.drop_tol) continue;
+    const double mult = val / diag_[zu(j)];
+    ft_tgt_.push_back(t);
+    ft_src_.push_back(j);
+    ft_mult_.push_back(mult);
+    d -= mult * w[zu(j)];
+    for (const UEntry& e : u_rows_[zu(j)]) {
+      if (upd_mark_[zu(e.slot)]) {
+        upd_val_[zu(e.slot)] -= mult * e.val;
+      } else {
+        upd_mark_[zu(e.slot)] = 1;
+        upd_val_[zu(e.slot)] = -mult * e.val;
+        heap.emplace(order_pos_[zu(e.slot)], e.slot);
+      }
     }
   }
-  eta_pos_.push_back(position);
-  eta_piv_.push_back(piv);
-  eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+
+  // Stability: the new diagonal must not be dwarfed by the spike it came
+  // from, or subsequent solves lose the corresponding digits.
+  double wmax = 0.0;
+  for (int k = 0; k < m_; ++k) wmax = std::max(wmax, std::abs(w[zu(k)]));
+  if (std::abs(d) < std::max(opt_.abs_pivot_tol, opt_.ft_stability_tol * wmax))
+    return false;  // factorization spoiled; caller refactorizes
+  diag_[zu(t)] = d;
+
+  // The spike becomes the new column t (all other slots precede t once it
+  // moves to the end of the order, so every entry is above the diagonal).
+  for (int j = 0; j < m_; ++j) {
+    if (j == t) continue;
+    const double v = w[zu(j)];
+    if (std::abs(v) <= opt_.drop_tol) continue;
+    u_cols_[zu(t)].push_back(UEntry{j, v});
+    u_rows_[zu(j)].push_back(UEntry{t, v});
+    ++u_nnz_;
+  }
+
+  // Cyclic permutation: slot t moves to the end of the elimination order.
+  const int from = order_pos_[zu(t)];
+  for (int k = from; k + 1 < m_; ++k) {
+    order_[zu(k)] = order_[zu(k + 1)];
+    order_pos_[zu(order_[zu(k)])] = k;
+  }
+  order_[zu(m_ - 1)] = t;
+  order_pos_[zu(t)] = m_ - 1;
+
+  ++update_count_;
+  return true;
 }
 
 }  // namespace rfp::lp::sparse

@@ -1,4 +1,4 @@
-// Sparse LU factorization of a simplex basis, with product-form updates.
+// Sparse LU factorization of a simplex basis, with Forrest–Tomlin updates.
 //
 // `factorize` runs a Markowitz-pivoted Gaussian elimination on the basis
 // matrix B (columns of A for basic structural variables, implicit unit
@@ -8,11 +8,17 @@
 // which Markowitz eliminates first with zero fill, so the factor stays near
 // the size of the basic structural columns.
 //
-// Between refactorizations the basis changes one column at a time;
-// `pushEta` records the change as a product-form eta matrix built from the
-// FTRAN-solved entering column. `ftran`/`btran` apply the LU factors plus
-// the eta file. The solver refactorizes periodically (the eta file grows
-// and loses accuracy) and whenever a numerical-stability check trips.
+// Between refactorizations the basis changes one column at a time.
+// `updateColumn` applies the Forrest–Tomlin update: the spiked column
+// (captured during the entering column's FTRAN, after the L and row-eta
+// passes but before the U solve) replaces a column of U, the spiked pivot
+// is cyclically permuted to the end of the elimination order, and the
+// resulting row spike is eliminated into a short list of recorded row
+// operations. Unlike the product-form eta file this modifies U in place, so
+// FTRAN/BTRAN cost grows only with genuine fill. Refactorization triggers:
+// a failed stability check, factor fill growth (`shouldRefactorize`), and
+// whatever update-count cap the simplex layers on top — short solves (warm
+// branch & bound reoptimizations) run refactorization-free.
 #pragma once
 
 #include <vector>
@@ -28,6 +34,13 @@ class BasisLu {
     double rel_pivot_tol = 0.05;   ///< pivot must be >= rel * max|column|
     int search_columns = 8;        ///< Markowitz candidate columns per pivot
     double drop_tol = 1e-13;       ///< fill-in below this is discarded
+    /// Forrest–Tomlin stability: the updated diagonal must be at least this
+    /// fraction of the spike's largest entry, or the update is refused and
+    /// the caller must refactorize.
+    double ft_stability_tol = 1e-9;
+    /// Factor-growth refactorization hint: `shouldRefactorize` fires when
+    /// the updated factors hold this many times the fresh factor's nonzeros.
+    double ft_fill_factor = 3.0;
   };
 
   BasisLu() = default;
@@ -35,10 +48,10 @@ class BasisLu {
 
   /// Factorizes the basis selected by `basic` (size A.rows): entries
   /// < A.cols are structural columns of A, A.cols + i is the slack of row i.
-  /// Discards any existing factorization and eta file. Returns false when
-  /// the basis is singular; `deficientPositions()` / `unpivotedRows()` then
-  /// describe a repair: replacing the variable at deficient position k with
-  /// the slack of unpivoted row k yields a nonsingular basis.
+  /// Discards any existing factorization and update history. Returns false
+  /// when the basis is singular; `deficientPositions()` / `unpivotedRows()`
+  /// then describe a repair: replacing the variable at deficient position k
+  /// with the slack of unpivoted row k yields a nonsingular basis.
   bool factorize(const CscMatrix& a, const std::vector<int>& basic);
 
   [[nodiscard]] const std::vector<int>& deficientPositions() const noexcept {
@@ -48,45 +61,82 @@ class BasisLu {
     return unpivoted_rows_;
   }
 
-  /// v := B^-1 v. Input indexed by rows, output by basis positions.
-  void ftran(std::vector<double>& v) const;
+  /// Partially solved entering column captured during `ftran`, consumed by
+  /// `updateColumn`. Opaque to callers.
+  struct Spike {
+    std::vector<double> values;  ///< slot space, size rows()
+  };
+
+  /// v := B^-1 v. Input indexed by rows, output by basis positions. When
+  /// `spike` is non-null it captures the state `updateColumn` needs to apply
+  /// a Forrest–Tomlin update for this column.
+  void ftran(std::vector<double>& v, Spike* spike = nullptr) const;
   /// v := B^-T v. Input indexed by basis positions, output by rows.
   void btran(std::vector<double>& v) const;
 
-  /// Records the basis change "alpha = B^-1 (entering column) replaces the
-  /// variable at `position`" as an eta matrix. |alpha[position]| must be
-  /// nonzero (the solver's ratio test guarantees a pivot-tolerance floor).
-  void pushEta(int position, const std::vector<double>& alpha);
+  /// Forrest–Tomlin update: the basis column at `position` is replaced by
+  /// the entering column whose FTRAN produced `spike`. Returns false when
+  /// the update would be numerically unstable — the factorization is then
+  /// spoiled and the caller must refactorize before the next solve.
+  [[nodiscard]] bool updateColumn(int position, const Spike& spike);
 
-  [[nodiscard]] int etaCount() const noexcept { return static_cast<int>(eta_pos_.size()); }
+  /// Updates applied since the last factorize.
+  [[nodiscard]] int updateCount() const noexcept { return update_count_; }
+
+  /// True when accumulated update fill has outgrown the fresh factors
+  /// enough that refactorizing would pay for itself.
+  [[nodiscard]] bool shouldRefactorize() const noexcept {
+    return update_count_ > 0 &&
+           static_cast<double>(u_nnz_ + static_cast<long>(ft_src_.size())) >
+               opt_.ft_fill_factor * static_cast<double>(base_nnz_ < 16 ? 16 : base_nnz_);
+  }
+
   [[nodiscard]] int rows() const noexcept { return m_; }
   [[nodiscard]] long factorNonzeros() const noexcept {
-    return static_cast<long>(l_row_.size() + u_step_.size() + diag_.size());
+    return static_cast<long>(l_row_.size()) + u_nnz_ + m_ +
+           static_cast<long>(ft_src_.size());
   }
 
  private:
+  struct UEntry {
+    int slot;
+    double val;
+  };
+
   Options opt_;
   int m_ = 0;
 
-  // Elimination order: step k pivoted on (row pivot_row_[k], position
-  // pivot_pos_[k]) with pivot value diag_[k].
-  std::vector<int> pivot_row_, pivot_pos_;
-  std::vector<double> diag_;
-  // L: row operations per step, applied ascending in ftran.
+  // L from the factorization: row operations per elimination step, applied
+  // ascending in ftran (row space). Static between refactorizations.
   std::vector<int> l_start_, l_row_;
   std::vector<double> l_val_;
-  // U: pivot-row entries per step, referencing later elimination steps.
-  std::vector<int> u_start_, u_step_;
-  std::vector<double> u_val_;
 
-  // Eta file: eta e scales position eta_pos_[e] by 1/eta_piv_[e] and
-  // eliminates entries (eta_idx_, eta_val_) in [eta_start_[e], eta_start_[e+1]).
-  std::vector<int> eta_start_, eta_idx_, eta_pos_;
-  std::vector<double> eta_val_, eta_piv_;
+  // Pivots live in stable "slots" (slot k = elimination step k of the last
+  // factorize); Forrest–Tomlin updates reorder slots without renumbering.
+  std::vector<int> pivot_row_;   ///< slot -> matrix row
+  std::vector<int> pivot_pos_;   ///< slot -> basis position
+  std::vector<double> diag_;     ///< slot -> U diagonal
+  std::vector<int> order_;       ///< elimination order as a list of slots
+  std::vector<int> order_pos_;   ///< slot -> index in order_
+  std::vector<int> pos_to_slot_; ///< basis position -> slot
+
+  // U off-diagonals, kept both row-wise and column-wise (updates edit both).
+  std::vector<std::vector<UEntry>> u_rows_;  ///< per row slot: (col slot, val)
+  std::vector<std::vector<UEntry>> u_cols_;  ///< per col slot: (row slot, val)
+  long u_nnz_ = 0;
+  long base_nnz_ = 0;  ///< L+U nonzeros right after factorize (growth baseline)
+
+  // Forrest–Tomlin row operations, applied in order between the L pass and
+  // the U solve in ftran (transposed, newest first, in btran).
+  std::vector<int> ft_tgt_, ft_src_;
+  std::vector<double> ft_mult_;
+  int update_count_ = 0;
 
   std::vector<int> deficient_pos_, unpivoted_rows_;
 
   mutable std::vector<double> work_, work2_;  ///< solve scratch (size m)
+  std::vector<double> upd_val_;               ///< update scratch (size m)
+  std::vector<char> upd_mark_;
 };
 
 }  // namespace rfp::lp::sparse

@@ -3,268 +3,106 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lp/sparse/simplex_state.hpp"
 #include "support/check.hpp"
 
 namespace rfp::lp::sparse {
 
 namespace {
 
-constexpr double kInf = kInfinity;
-
-[[nodiscard]] bool finiteLo(double v) noexcept { return v > -kInf / 2; }
-[[nodiscard]] bool finiteUp(double v) noexcept { return v < kInf / 2; }
-
-/// One solve's working state. Variables are indexed 0..n-1 (structural) and
-/// n..n+m-1 (slack of row j-n); basic variables are addressed by their row
-/// position in the basis.
+/// One solve's working state over the shared StandardForm/BasisState
+/// machinery (simplex_state.hpp).
 class Worker {
  public:
   Worker(const Model& model, std::span<const double> lb, std::span<const double> ub,
-         const RevisedSimplexSolver::Options& opt)
-      : opt_(opt), a_(CscMatrix::fromModel(model)) {
-    n_ = model.numVars();
-    m_ = model.numConstrs();
-    nn_ = n_ + m_;
-    lo_.resize(static_cast<std::size_t>(nn_));
-    up_.resize(static_cast<std::size_t>(nn_));
-    for (int j = 0; j < n_; ++j) {
-      lo_[static_cast<std::size_t>(j)] = lb[static_cast<std::size_t>(j)];
-      up_[static_cast<std::size_t>(j)] = ub[static_cast<std::size_t>(j)];
-    }
-    rhs_.resize(static_cast<std::size_t>(m_));
-    for (int i = 0; i < m_; ++i) {
-      const Constraint& c = model.constr(i);
-      rhs_[static_cast<std::size_t>(i)] = c.rhs;
-      const int s = n_ + i;
-      switch (c.sense) {
-        case Sense::kLessEqual:
-          lo_[static_cast<std::size_t>(s)] = 0.0;
-          up_[static_cast<std::size_t>(s)] = kInf;
-          break;
-        case Sense::kGreaterEqual:
-          lo_[static_cast<std::size_t>(s)] = -kInf;
-          up_[static_cast<std::size_t>(s)] = 0.0;
-          break;
-        case Sense::kEqual:
-          lo_[static_cast<std::size_t>(s)] = 0.0;
-          up_[static_cast<std::size_t>(s)] = 0.0;
-          break;
-      }
-    }
-    // Phase-2 costs in minimization sense (slacks cost nothing).
-    cost_.assign(static_cast<std::size_t>(nn_), 0.0);
-    const double dir = (model.objSense() == ObjSense::kMinimize) ? 1.0 : -1.0;
-    for (const auto& [v, c] : model.objective().terms())
-      cost_[static_cast<std::size_t>(v)] += dir * c;
-
-    lu_ = BasisLu(opt_.lu);
-    weights_.assign(static_cast<std::size_t>(nn_), 1.0);
-    alpha_.resize(static_cast<std::size_t>(m_));
-    rho_.resize(static_cast<std::size_t>(m_));
-    cb_.resize(static_cast<std::size_t>(m_));
-    xb_.resize(static_cast<std::size_t>(m_));
+         const CscMatrix* csc, const RevisedSimplexSolver::Options& opt)
+      : opt_(opt), f_(model, lb, ub, csc) {
+    bs_.lu = BasisLu(opt_.lu);
+    weights_.assign(uz(f_.nn), 1.0);
+    alpha_.resize(uz(f_.m));
+    rho_.resize(uz(f_.m));
+    tau_.resize(uz(f_.m));
+    cb_.resize(uz(f_.m));
   }
 
   LpStatus run(const Basis* warm, LpResult& out, const Deadline& deadline) {
-    if (!adoptWarmBasis(warm)) slackBasis();
-    out.warm_started = warm_started_;
-    refactorize();
-    computeXb();
+    if (!bs_.adoptWarmBasis(f_, warm)) bs_.slackBasis(f_);
+    out.warm_started = bs_.warm_started;
+    bs_.refactorize(f_);
+    bs_.computeXb(f_);
 
     long iters = 0;
     LpStatus status = LpStatus::kIterLimit;
     // Outer recovery loop: after phase 2 claims optimality, the basics are
     // recomputed through a fresh factorization; residual infeasibility
-    // (accumulated eta-file drift) sends the solve back to phase 1.
+    // (accumulated factor drift) sends the solve back to phase 1.
     bool verified = false;
     for (int round = 0; round < 3 && !verified; ++round) {
       status = iterate(/*phase1=*/true, iters, deadline);
-      if (status == LpStatus::kInfeasible && lu_.etaCount() > 0) {
+      if (status == LpStatus::kInfeasible && bs_.lu.updateCount() > 0) {
         // Infeasibility claims get the same skepticism as optimality ones:
         // re-derive the basics through fresh factors before pruning a
         // branch & bound subtree on the verdict.
-        refactorize();
-        computeXb();
+        bs_.refactorize(f_);
+        bs_.computeXb(f_);
         status = iterate(/*phase1=*/true, iters, deadline);
       }
       if (status != LpStatus::kOptimal) break;
       status = iterate(/*phase1=*/false, iters, deadline);
       if (status != LpStatus::kOptimal) break;
-      if (lu_.etaCount() > 0) refactorize();  // fresh factors for the final check
-      computeXb();
-      verified = maxBasicViolation() <= 10.0 * opt_.core.feas_tol;
+      if (bs_.lu.updateCount() > 0) bs_.refactorize(f_);  // fresh factors for the final check
+      bs_.computeXb(f_);
+      verified = bs_.maxBasicViolation(f_) <= 10.0 * opt_.core.feas_tol;
     }
     // Never report an unverified point as optimal: if the re-check kept
     // failing, degrade to a truncation status so callers (branch & bound)
     // drop the result instead of pruning against a bogus bound.
     if (status == LpStatus::kOptimal && !verified) status = LpStatus::kIterLimit;
     out.iterations = iters;
-    out.refactorizations = refactorizations_;
+    out.refactorizations = bs_.refactorizations;
+    out.primal_pivots = primal_pivots_;
+    out.bound_flips = bound_flips_;
+    out.ft_updates = ft_updates_;
     if (status != LpStatus::kOptimal) return status;
 
     // Extract the primal point (structural variables only).
-    std::vector<double> val(static_cast<std::size_t>(nn_), 0.0);
-    for (int p = 0; p < m_; ++p)
-      val[static_cast<std::size_t>(basic_[static_cast<std::size_t>(p)])] =
-          xb_[static_cast<std::size_t>(p)];
-    out.x.assign(static_cast<std::size_t>(n_), 0.0);
-    for (int j = 0; j < n_; ++j)
-      out.x[static_cast<std::size_t>(j)] =
-          status_[static_cast<std::size_t>(j)] == VarStatus::kBasic
-              ? val[static_cast<std::size_t>(j)]
-              : nonbasicValue(j);
-
-    auto snapshot = std::make_shared<Basis>();
-    snapshot->basic = basic_;
-    snapshot->status = status_;
-    snapshot->rows = m_;
-    snapshot->cols = n_;
-    out.basis = std::move(snapshot);
+    out.x.assign(uz(f_.n), 0.0);
+    for (int j = 0; j < f_.n; ++j)
+      if (bs_.status[uz(j)] != VarStatus::kBasic) out.x[uz(j)] = bs_.nonbasicValue(f_, j);
+    for (int p = 0; p < f_.m; ++p) {
+      const int b = bs_.basic[uz(p)];
+      if (b < f_.n) out.x[uz(b)] = bs_.xb[uz(p)];
+    }
+    out.basis = bs_.snapshot(f_);
     return LpStatus::kOptimal;
   }
 
  private:
-  // ---- basis management ----------------------------------------------------
-
-  void slackBasis() {
-    basic_.resize(static_cast<std::size_t>(m_));
-    status_.assign(static_cast<std::size_t>(nn_), VarStatus::kAtLower);
-    for (int j = 0; j < n_; ++j) status_[static_cast<std::size_t>(j)] = defaultStatus(j);
-    for (int i = 0; i < m_; ++i) {
-      basic_[static_cast<std::size_t>(i)] = n_ + i;
-      status_[static_cast<std::size_t>(n_) + static_cast<std::size_t>(i)] = VarStatus::kBasic;
-    }
-  }
-
-  [[nodiscard]] VarStatus defaultStatus(int j) const {
-    if (finiteLo(lo_[static_cast<std::size_t>(j)])) return VarStatus::kAtLower;
-    if (finiteUp(up_[static_cast<std::size_t>(j)])) return VarStatus::kAtUpper;
-    return VarStatus::kFree;
-  }
-
-  bool adoptWarmBasis(const Basis* warm) {
-    if (!warm || !warm->shapeMatches(m_, n_)) return false;
-    int basics = 0;
-    for (const VarStatus s : warm->status) basics += s == VarStatus::kBasic;
-    if (basics != m_) return false;
-    for (int p = 0; p < m_; ++p) {
-      const int b = warm->basic[static_cast<std::size_t>(p)];
-      if (b < 0 || b >= nn_ || warm->status[static_cast<std::size_t>(b)] != VarStatus::kBasic)
-        return false;
-    }
-    basic_ = warm->basic;
-    status_ = warm->status;
-    // Bounds may have changed since the basis was taken (branch & bound
-    // tightens them): re-anchor nonbasic statuses to bounds that still exist.
-    for (int j = 0; j < nn_; ++j) {
-      VarStatus& s = status_[static_cast<std::size_t>(j)];
-      if (s == VarStatus::kAtLower && !finiteLo(lo_[static_cast<std::size_t>(j)]))
-        s = finiteUp(up_[static_cast<std::size_t>(j)]) ? VarStatus::kAtUpper : VarStatus::kFree;
-      else if (s == VarStatus::kAtUpper && !finiteUp(up_[static_cast<std::size_t>(j)]))
-        s = finiteLo(lo_[static_cast<std::size_t>(j)]) ? VarStatus::kAtLower : VarStatus::kFree;
-      else if (s == VarStatus::kFree && (finiteLo(lo_[static_cast<std::size_t>(j)]) ||
-                                         finiteUp(up_[static_cast<std::size_t>(j)])))
-        s = defaultStatus(j);
-    }
-    warm_started_ = true;
-    return true;
-  }
-
-  void refactorize() {
-    if (!lu_.factorize(a_, basic_)) {
-      // Singular basis (possible for a warm start under new bounds): swap
-      // each deficient position for the slack of a distinct unpivoted row —
-      // the completed pivot set plus unit columns is provably nonsingular.
-      const std::vector<int> dp = lu_.deficientPositions();
-      const std::vector<int> ur = lu_.unpivotedRows();
-      RFP_CHECK(dp.size() == ur.size());
-      for (std::size_t i = 0; i < dp.size(); ++i) {
-        const int pos = dp[i];
-        const int displaced = basic_[static_cast<std::size_t>(pos)];
-        status_[static_cast<std::size_t>(displaced)] = defaultStatus(displaced);
-        const int slack = n_ + ur[i];
-        basic_[static_cast<std::size_t>(pos)] = slack;
-        status_[static_cast<std::size_t>(slack)] = VarStatus::kBasic;
-      }
-      RFP_CHECK_MSG(lu_.factorize(a_, basic_), "basis repair failed to factorize");
-    }
-    ++refactorizations_;
-  }
-
-  [[nodiscard]] double nonbasicValue(int j) const {
-    switch (status_[static_cast<std::size_t>(j)]) {
-      case VarStatus::kAtLower: return lo_[static_cast<std::size_t>(j)];
-      case VarStatus::kAtUpper: return up_[static_cast<std::size_t>(j)];
-      default: return 0.0;
-    }
-  }
-
-  /// xB := B^-1 (b - N x_N), from scratch.
-  void computeXb() {
-    std::vector<double>& b = xb_;
-    b = rhs_;
-    for (int j = 0; j < nn_; ++j) {
-      if (status_[static_cast<std::size_t>(j)] == VarStatus::kBasic) continue;
-      const double v = nonbasicValue(j);
-      if (v == 0.0) continue;
-      if (j >= n_) {
-        b[static_cast<std::size_t>(j - n_)] -= v;
-      } else {
-        for (int k = a_.ptr[static_cast<std::size_t>(j)]; k < a_.ptr[static_cast<std::size_t>(j) + 1]; ++k)
-          b[static_cast<std::size_t>(a_.idx[static_cast<std::size_t>(k)])] -=
-              a_.val[static_cast<std::size_t>(k)] * v;
-      }
-    }
-    lu_.ftran(b);
-  }
-
-  [[nodiscard]] double maxBasicViolation() const {
-    double worst = 0.0;
-    for (int p = 0; p < m_; ++p) {
-      const int b = basic_[static_cast<std::size_t>(p)];
-      const double v = xb_[static_cast<std::size_t>(p)];
-      worst = std::max(worst, lo_[static_cast<std::size_t>(b)] - v);
-      worst = std::max(worst, v - up_[static_cast<std::size_t>(b)]);
-    }
-    return worst;
-  }
-
-  // ---- column access -------------------------------------------------------
-
-  [[nodiscard]] double columnDot(const std::vector<double>& y, int j) const {
-    if (j >= n_) return y[static_cast<std::size_t>(j - n_)];
-    double s = 0.0;
-    for (int k = a_.ptr[static_cast<std::size_t>(j)]; k < a_.ptr[static_cast<std::size_t>(j) + 1]; ++k)
-      s += a_.val[static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(a_.idx[static_cast<std::size_t>(k)])];
-    return s;
-  }
-
-  void scatterColumn(int j, std::vector<double>& v) const {
-    std::fill(v.begin(), v.end(), 0.0);
-    if (j >= n_) {
-      v[static_cast<std::size_t>(j - n_)] = 1.0;
-      return;
-    }
-    for (int k = a_.ptr[static_cast<std::size_t>(j)]; k < a_.ptr[static_cast<std::size_t>(j) + 1]; ++k)
-      v[static_cast<std::size_t>(a_.idx[static_cast<std::size_t>(k)])] = a_.val[static_cast<std::size_t>(k)];
-  }
-
   // ---- the simplex loop ----------------------------------------------------
+  //
+  // Pricing weights start at all ones for both rules: Devex's reference
+  // framework and *projected* steepest edge both take the starting basis as
+  // the reference. (Seeding steepest edge with exact column norms instead
+  // was measured slower on the big-M floorplanning formulations — huge
+  // norms starve exactly the columns worth entering.)
 
   /// True when basic position p currently violates a bound beyond feas_tol.
   enum class Feas { kOk, kBelow, kAbove };
   [[nodiscard]] Feas classify(int p) const {
-    const int b = basic_[static_cast<std::size_t>(p)];
-    const double v = xb_[static_cast<std::size_t>(p)];
-    if (v < lo_[static_cast<std::size_t>(b)] - opt_.core.feas_tol) return Feas::kBelow;
-    if (v > up_[static_cast<std::size_t>(b)] + opt_.core.feas_tol) return Feas::kAbove;
+    const int b = bs_.basic[uz(p)];
+    const double v = bs_.xb[uz(p)];
+    if (v < f_.lo[uz(b)] - opt_.core.feas_tol) return Feas::kBelow;
+    if (v > f_.up[uz(b)] + opt_.core.feas_tol) return Feas::kAbove;
     return Feas::kOk;
   }
 
   LpStatus iterate(bool phase1, long& iters, const Deadline& deadline) {
     int degenerate_streak = 0;
     int consecutive_recoveries = 0;
-    std::fill(weights_.begin(), weights_.end(), 1.0);  // fresh Devex framework
+    // Devex restarts its reference framework per phase; steepest-edge
+    // weights describe basis geometry, which phases share.
+    if (opt_.pricing == Pricing::kDevex)
+      std::fill(weights_.begin(), weights_.end(), 1.0);
     while (true) {
       if (++iters > opt_.core.max_iterations) return LpStatus::kIterLimit;
       if ((iters & 7) == 0 &&
@@ -276,30 +114,29 @@ class Worker {
       // as soon as every basic variable is inside its bounds.
       bool any_infeasible = false;
       if (phase1) {
-        for (int p = 0; p < m_; ++p) {
-          const Feas f = classify(p);
-          cb_[static_cast<std::size_t>(p)] = f == Feas::kBelow ? -1.0 : (f == Feas::kAbove ? 1.0 : 0.0);
-          any_infeasible = any_infeasible || f != Feas::kOk;
+        for (int p = 0; p < f_.m; ++p) {
+          const Feas fe = classify(p);
+          cb_[uz(p)] = fe == Feas::kBelow ? -1.0 : (fe == Feas::kAbove ? 1.0 : 0.0);
+          any_infeasible = any_infeasible || fe != Feas::kOk;
         }
         if (!any_infeasible) return LpStatus::kOptimal;
       } else {
-        for (int p = 0; p < m_; ++p)
-          cb_[static_cast<std::size_t>(p)] = cost_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(p)])];
+        for (int p = 0; p < f_.m; ++p) cb_[uz(p)] = f_.cost[uz(bs_.basic[uz(p)])];
       }
 
       // Duals and pricing.
       rho_ = cb_;
-      lu_.btran(rho_);  // rho_ now holds y (row space)
+      bs_.lu.btran(rho_);  // rho_ now holds y (row space)
       const bool bland = degenerate_streak > opt_.core.bland_after_degenerate;
       int enter = -1;
       double enter_d = 0.0;
       double best_score = 0.0;
-      for (int j = 0; j < nn_; ++j) {
-        if (status_[static_cast<std::size_t>(j)] == VarStatus::kBasic) continue;
-        if (lo_[static_cast<std::size_t>(j)] == up_[static_cast<std::size_t>(j)]) continue;  // fixed
-        const double cj = phase1 ? 0.0 : cost_[static_cast<std::size_t>(j)];
-        const double d = cj - columnDot(rho_, j);
-        const VarStatus s = status_[static_cast<std::size_t>(j)];
+      for (int j = 0; j < f_.nn; ++j) {
+        if (bs_.status[uz(j)] == VarStatus::kBasic) continue;
+        if (f_.lo[uz(j)] == f_.up[uz(j)]) continue;  // fixed
+        const double cj = phase1 ? 0.0 : f_.cost[uz(j)];
+        const double d = cj - f_.columnDot(rho_, j);
+        const VarStatus s = bs_.status[uz(j)];
         const bool eligible = (s == VarStatus::kAtLower && d < -opt_.core.cost_tol) ||
                               (s == VarStatus::kAtUpper && d > opt_.core.cost_tol) ||
                               (s == VarStatus::kFree && std::abs(d) > opt_.core.cost_tol);
@@ -309,7 +146,7 @@ class Worker {
           enter_d = d;
           break;  // Bland: first eligible index
         }
-        const double score = d * d / weights_[static_cast<std::size_t>(j)];
+        const double score = d * d / weights_[uz(j)];
         if (enter < 0 || score > best_score) {
           enter = j;
           enter_d = d;
@@ -320,50 +157,49 @@ class Worker {
         return phase1 && any_infeasible ? LpStatus::kInfeasible : LpStatus::kOptimal;
 
       const double dir =
-          status_[static_cast<std::size_t>(enter)] == VarStatus::kAtUpper
+          bs_.status[uz(enter)] == VarStatus::kAtUpper
               ? -1.0
-              : (status_[static_cast<std::size_t>(enter)] == VarStatus::kFree && enter_d > 0 ? -1.0
-                                                                                            : 1.0);
-      scatterColumn(enter, alpha_);
-      lu_.ftran(alpha_);
+              : (bs_.status[uz(enter)] == VarStatus::kFree && enter_d > 0 ? -1.0 : 1.0);
+      f_.scatterColumn(enter, alpha_);
+      bs_.lu.ftran(alpha_, &spike_);
 
       // ---- bounded ratio test (phase-aware) ----
-      const double lo_e = lo_[static_cast<std::size_t>(enter)];
-      const double up_e = up_[static_cast<std::size_t>(enter)];
-      double t_best = (finiteLo(lo_e) && finiteUp(up_e)) ? up_e - lo_e : kInf;  // bound flip
+      const double lo_e = f_.lo[uz(enter)];
+      const double up_e = f_.up[uz(enter)];
+      double t_best = (finiteLo(lo_e) && finiteUp(up_e)) ? up_e - lo_e : kInfinity;
       int block = -1;
       bool leave_upper = false;
       double best_mag = 0.0;
-      for (int p = 0; p < m_; ++p) {
-        const double apv = alpha_[static_cast<std::size_t>(p)];
+      for (int p = 0; p < f_.m; ++p) {
+        const double apv = alpha_[uz(p)];
         if (std::abs(apv) <= opt_.core.pivot_tol) continue;
         const double delta = -dir * apv;  // d xB_p / dt
-        const int b = basic_[static_cast<std::size_t>(p)];
-        const double v = xb_[static_cast<std::size_t>(p)];
+        const int b = bs_.basic[uz(p)];
+        const double v = bs_.xb[uz(p)];
         double t;
         bool at_upper;
-        const Feas f = phase1 ? classify(p) : Feas::kOk;
-        if (f == Feas::kBelow) {
+        const Feas fe = phase1 ? classify(p) : Feas::kOk;
+        if (fe == Feas::kBelow) {
           // Infeasible basics block only where they regain feasibility.
           if (delta <= 0) continue;
-          t = (lo_[static_cast<std::size_t>(b)] - v) / delta;
+          t = (f_.lo[uz(b)] - v) / delta;
           at_upper = false;
-        } else if (f == Feas::kAbove) {
+        } else if (fe == Feas::kAbove) {
           if (delta >= 0) continue;
-          t = (v - up_[static_cast<std::size_t>(b)]) / (-delta);
+          t = (v - f_.up[uz(b)]) / (-delta);
           at_upper = true;
         } else if (delta > 0) {
-          if (!finiteUp(up_[static_cast<std::size_t>(b)])) continue;
-          t = (up_[static_cast<std::size_t>(b)] - v) / delta;
+          if (!finiteUp(f_.up[uz(b)])) continue;
+          t = (f_.up[uz(b)] - v) / delta;
           at_upper = true;
         } else {
-          if (!finiteLo(lo_[static_cast<std::size_t>(b)])) continue;
-          t = (v - lo_[static_cast<std::size_t>(b)]) / (-delta);
+          if (!finiteLo(f_.lo[uz(b)])) continue;
+          t = (v - f_.lo[uz(b)]) / (-delta);
           at_upper = false;
         }
         t = std::max(0.0, t);
         const bool tie = t < t_best + 1e-12 && block >= 0;
-        const bool better = bland ? (t < t_best - 1e-12 || (tie && b < basic_[static_cast<std::size_t>(block)]))
+        const bool better = bland ? (t < t_best - 1e-12 || (tie && b < bs_.basic[uz(block)]))
                                   : (t < t_best - 1e-12 || (tie && std::abs(apv) > best_mag));
         if (better) {
           t_best = t;
@@ -374,39 +210,39 @@ class Worker {
       }
 
       if (block < 0) {
-        if (t_best >= kInf / 2) {
+        if (t_best >= kInfinity / 2) {
           // Phase 1 cannot be unbounded below; reaching here means the
           // factorization drifted — recover once, then give up.
           if (!phase1) return LpStatus::kUnbounded;
           if (consecutive_recoveries++ < 2) {
-            refactorize();
-            computeXb();
+            bs_.refactorize(f_);
+            bs_.computeXb(f_);
             continue;
           }
           return LpStatus::kInfeasible;
         }
         // Bound flip: the entering variable crosses to its other bound.
-        for (int p = 0; p < m_; ++p)
-          xb_[static_cast<std::size_t>(p)] -= dir * t_best * alpha_[static_cast<std::size_t>(p)];
-        status_[static_cast<std::size_t>(enter)] =
-            status_[static_cast<std::size_t>(enter)] == VarStatus::kAtUpper ? VarStatus::kAtLower
-                                                                            : VarStatus::kAtUpper;
+        for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= dir * t_best * alpha_[uz(p)];
+        bs_.status[uz(enter)] = bs_.status[uz(enter)] == VarStatus::kAtUpper
+                                    ? VarStatus::kAtLower
+                                    : VarStatus::kAtUpper;
+        ++bound_flips_;
         degenerate_streak = 0;
         consecutive_recoveries = 0;
         continue;
       }
 
       // Numerical cross-check: the pivot element via the row (BTRAN) and the
-      // column (FTRAN) computations must agree; disagreement means the eta
-      // file has degraded — refactorize and redo this iteration.
+      // column (FTRAN) computations must agree; disagreement means the
+      // factors have degraded — refactorize and redo this iteration.
       scatterUnit(block, rho_);
-      lu_.btran(rho_);  // rho_ now holds the pivot row multipliers
-      const double pivot_col = alpha_[static_cast<std::size_t>(block)];
-      const double pivot_row = columnDot(rho_, enter);
+      bs_.lu.btran(rho_);  // rho_ now holds the pivot row multipliers
+      const double pivot_col = alpha_[uz(block)];
+      const double pivot_row = f_.columnDot(rho_, enter);
       if (std::abs(pivot_row - pivot_col) > 1e-7 * (1.0 + std::abs(pivot_col))) {
         if (consecutive_recoveries++ < 2) {
-          refactorize();
-          computeXb();
+          bs_.refactorize(f_);
+          bs_.computeXb(f_);
           continue;
         }
         // Accept the pivot anyway; the outer recovery loop re-verifies.
@@ -415,79 +251,98 @@ class Worker {
 
       degenerate_streak = (t_best < 1e-10) ? degenerate_streak + 1 : 0;
 
-      // ---- apply the pivot ----
-      const int leaving = basic_[static_cast<std::size_t>(block)];
-      const double enter_val = nonbasicValue(enter) + dir * t_best;
-      for (int p = 0; p < m_; ++p)
-        xb_[static_cast<std::size_t>(p)] -= dir * t_best * alpha_[static_cast<std::size_t>(p)];
-      status_[static_cast<std::size_t>(leaving)] =
-          leave_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
-      basic_[static_cast<std::size_t>(block)] = enter;
-      status_[static_cast<std::size_t>(enter)] = VarStatus::kBasic;
-      xb_[static_cast<std::size_t>(block)] = enter_val;
-
-      // Devex reference-framework update from the pivot row (already in rho_).
-      if (!bland) {
-        const double arq2 = pivot_col * pivot_col;
-        const double wq = weights_[static_cast<std::size_t>(enter)];
-        for (int j = 0; j < nn_; ++j) {
-          if (status_[static_cast<std::size_t>(j)] == VarStatus::kBasic) continue;
-          if (j == leaving) {
-            weights_[static_cast<std::size_t>(j)] = std::max(wq / arq2, 1.0);
-            continue;
-          }
-          const double ar = columnDot(rho_, j);
-          if (ar == 0.0) continue;
-          weights_[static_cast<std::size_t>(j)] =
-              std::max(weights_[static_cast<std::size_t>(j)], ar * ar / arq2 * wq);
-        }
-        if (weights_[static_cast<std::size_t>(leaving)] > 1e12)
-          std::fill(weights_.begin(), weights_.end(), 1.0);
+      // Steepest edge needs tau = B^-T (B^-1 a_q) through the old factors.
+      const bool pse = !bland && opt_.pricing == Pricing::kSteepestEdge;
+      if (pse) {
+        tau_ = alpha_;
+        bs_.lu.btran(tau_);
       }
 
-      lu_.pushEta(block, alpha_);
-      if (lu_.etaCount() >= opt_.refactor_interval) {
-        refactorize();
-        computeXb();
+      // ---- apply the pivot ----
+      const int leaving = bs_.basic[uz(block)];
+      const double enter_val = bs_.nonbasicValue(f_, enter) + dir * t_best;
+      for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= dir * t_best * alpha_[uz(p)];
+      bs_.status[uz(leaving)] = leave_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      bs_.basic[uz(block)] = enter;
+      bs_.status[uz(enter)] = VarStatus::kBasic;
+      bs_.xb[uz(block)] = enter_val;
+      ++primal_pivots_;
+
+      // Reference-weight update from the pivot row (already in rho_).
+      if (!bland) {
+        const double arq = pivot_col;
+        const double arq2 = arq * arq;
+        const double wq = weights_[uz(enter)];
+        for (int j = 0; j < f_.nn; ++j) {
+          if (bs_.status[uz(j)] == VarStatus::kBasic) continue;
+          if (j == leaving) {
+            weights_[uz(j)] = std::max(wq / arq2, 1.0);
+            continue;
+          }
+          const double ar = f_.columnDot(rho_, j);
+          if (ar == 0.0) continue;
+          const double r = ar / arq;
+          if (pse) {
+            // Forrest–Goldfarb: gamma_j' = gamma_j - 2 r (a_j . tau) + r^2
+            // gamma_q, floored at the exact lower bound 1 + r^2.
+            const double g =
+                weights_[uz(j)] - 2.0 * r * f_.columnDot(tau_, j) + r * r * wq;
+            weights_[uz(j)] = std::max(g, 1.0 + r * r);
+          } else {
+            weights_[uz(j)] = std::max(weights_[uz(j)], r * r * wq);
+          }
+        }
+        if (weights_[uz(leaving)] > 1e12) std::fill(weights_.begin(), weights_.end(), 1.0);
+      }
+
+      if (!bs_.lu.updateColumn(block, spike_)) {
+        // Unstable update: the factorization is spoiled — rebuild it.
+        bs_.refactorize(f_);
+        bs_.computeXb(f_);
+      } else {
+        ++ft_updates_;
+        if ((opt_.refactor_interval > 0 &&
+             bs_.lu.updateCount() >= opt_.refactor_interval) ||
+            bs_.lu.shouldRefactorize()) {
+          bs_.refactorize(f_);
+          bs_.computeXb(f_);
+        }
       }
     }
   }
 
   static void scatterUnit(int p, std::vector<double>& v) {
     std::fill(v.begin(), v.end(), 0.0);
-    v[static_cast<std::size_t>(p)] = 1.0;
+    v[uz(p)] = 1.0;
   }
 
   RevisedSimplexSolver::Options opt_;
-  CscMatrix a_;
-  int n_ = 0, m_ = 0, nn_ = 0;
-  std::vector<double> lo_, up_, rhs_, cost_;
+  StandardForm f_;
+  BasisState bs_;
+  long primal_pivots_ = 0;
+  long bound_flips_ = 0;
+  long ft_updates_ = 0;
 
-  std::vector<int> basic_;
-  std::vector<VarStatus> status_;
-  std::vector<double> xb_;
-  BasisLu lu_;
-  long refactorizations_ = 0;
-  bool warm_started_ = false;
-
-  std::vector<double> weights_;       ///< Devex reference weights
-  std::vector<double> alpha_, rho_, cb_;  ///< FTRAN column / BTRAN row / basic costs
+  std::vector<double> weights_;  ///< pricing reference weights (Devex or PSE)
+  std::vector<double> alpha_, rho_, tau_, cb_;
+  BasisLu::Spike spike_;
 };
 
 }  // namespace
 
 LpResult RevisedSimplexSolver::solve(const Model& model) const {
-  std::vector<double> lb(static_cast<std::size_t>(model.numVars()));
-  std::vector<double> ub(static_cast<std::size_t>(model.numVars()));
+  std::vector<double> lb(uz(model.numVars()));
+  std::vector<double> ub(uz(model.numVars()));
   for (int j = 0; j < model.numVars(); ++j) {
-    lb[static_cast<std::size_t>(j)] = model.var(j).lb;
-    ub[static_cast<std::size_t>(j)] = model.var(j).ub;
+    lb[uz(j)] = model.var(j).lb;
+    ub[uz(j)] = model.var(j).ub;
   }
   return solve(model, lb, ub);
 }
 
 LpResult RevisedSimplexSolver::solve(const Model& model, std::span<const double> lb,
-                                     std::span<const double> ub, const Basis* warm) const {
+                                     std::span<const double> ub, const Basis* warm,
+                                     const CscMatrix* csc) const {
   RFP_CHECK(static_cast<int>(lb.size()) == model.numVars());
   RFP_CHECK(static_cast<int>(ub.size()) == model.numVars());
   Stopwatch watch;
@@ -496,17 +351,16 @@ LpResult RevisedSimplexSolver::solve(const Model& model, std::span<const double>
   result.engine = LpEngine::kSparse;
 
   for (int j = 0; j < model.numVars(); ++j) {
-    if (lb[static_cast<std::size_t>(j)] > ub[static_cast<std::size_t>(j)] + 1e-12) {
+    if (lb[uz(j)] > ub[uz(j)] + 1e-12) {
       result.status = LpStatus::kInfeasible;
       result.seconds = watch.seconds();
       return result;
     }
   }
 
-  Worker worker(model, lb, ub, options_);
+  Worker worker(model, lb, ub, csc, options_);
   result.status = worker.run(warm, result, deadline);
-  if (result.status == LpStatus::kOptimal)
-    result.objective = model.evalObjective(result.x);
+  if (result.status == LpStatus::kOptimal) result.objective = model.evalObjective(result.x);
   result.seconds = watch.seconds();
   return result;
 }

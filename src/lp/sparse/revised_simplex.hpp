@@ -14,25 +14,36 @@
 //    flip" without a basis change, matching the dense solver's semantics;
 //  * phase 1 minimizes the total bound violation of the basic variables
 //    (no artificial columns — the slack basis is always available);
-//  * Devex pricing with a reference framework, falling back to Bland's rule
-//    after a run of degenerate pivots (anti-cycling);
-//  * FTRAN/BTRAN through the LU factors plus a product-form eta file;
-//    periodic refactorization, plus a recovery refactorization whenever the
-//    entering column's pivot disagrees between its FTRAN and BTRAN
-//    computations or the ratio-test pivot is too small;
+//  * projected steepest-edge pricing (Forrest–Goldfarb reference weights
+//    updated each pivot through the same FTRAN/BTRAN machinery), with Devex
+//    available as an option and Bland's rule after a run of degenerate
+//    pivots (anti-cycling);
+//  * FTRAN/BTRAN through the LU factors with Forrest–Tomlin updates per
+//    basis change; refactorization is stability- and fill-triggered (plus a
+//    recovery refactorization whenever the entering column's pivot
+//    disagrees between its FTRAN and BTRAN computations);
 //  * warm start from a `Basis` (typically the parent node's optimal basis in
 //    branch & bound): the basis is adopted, repaired if singular, and the
 //    solve resumes from there — usually a handful of pivots instead of a
-//    cold two-phase run.
+//    cold two-phase run. (For pure bound-change reoptimization the dual
+//    simplex, lp/sparse/dual_simplex.hpp, is usually faster still.)
 #pragma once
 
 #include <span>
 
 #include "lp/simplex.hpp"
 #include "lp/sparse/basis.hpp"
+#include "lp/sparse/csc.hpp"
 #include "lp/sparse/lu.hpp"
 
 namespace rfp::lp::sparse {
+
+/// Primal pricing rule of the sparse engine.
+enum class Pricing {
+  kDevex,         ///< reference-framework Devex (no extra BTRAN per pivot)
+  kSteepestEdge,  ///< projected steepest edge (one extra BTRAN per pivot,
+                  ///< usually far fewer pivots)
+};
 
 class RevisedSimplexSolver {
  public:
@@ -41,9 +52,14 @@ class RevisedSimplexSolver {
     /// solver does (feas/cost/pivot tolerances, iteration and time limits,
     /// Bland's-rule switch).
     SimplexSolver::Options core;
-    /// Refactorize after this many eta updates (accuracy and FTRAN/BTRAN
-    /// cost both degrade as the eta file grows).
+    /// Hard cap on Forrest–Tomlin updates between refactorizations, on top
+    /// of the stability and fill-growth triggers; <= 0 disables the cap.
+    /// Warm reoptimizations finish long before hitting it (so the B&B hot
+    /// path runs refactorization-free); on paper-scale *cold* solves a
+    /// periodic refresh measurably beats unbounded update chains, whose
+    /// accumulated drift degrades pricing quality.
     int refactor_interval = 100;
+    Pricing pricing = Pricing::kSteepestEdge;
     BasisLu::Options lu;
   };
 
@@ -55,10 +71,12 @@ class RevisedSimplexSolver {
 
   /// Solves with per-variable bound overrides; `warm`, when non-null and
   /// shape-compatible, seeds the starting basis (`LpResult::warm_started`
-  /// reports whether it was adopted).
+  /// reports whether it was adopted). `csc`, when non-null, must be the CSC
+  /// form of `model`'s constraint matrix — branch & bound builds it once
+  /// per tree and shares it across every node solve.
   [[nodiscard]] LpResult solve(const Model& model, std::span<const double> lb,
-                               std::span<const double> ub,
-                               const Basis* warm = nullptr) const;
+                               std::span<const double> ub, const Basis* warm = nullptr,
+                               const CscMatrix* csc = nullptr) const;
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 

@@ -88,6 +88,24 @@ class Search {
     }
     minimize_ = model.objSense() == lp::ObjSense::kMinimize;
     pseudo_costs_.assign(static_cast<std::size_t>(n), PseudoCost{});
+    // One CSC build per tree: every node solve differs only in bounds, so
+    // the structural matrix is shared across the whole search instead of
+    // being rebuilt per solve (pure constant overhead otherwise).
+    if (lp_solver_.resolveEngine(model) == lp::LpEngine::kSparse) {
+      csc_ = std::make_shared<const lp::sparse::CscMatrix>(
+          lp::sparse::CscMatrix::fromModel(model));
+      if (opt.lp_warm_start && opt.lp.dual_reopt) {
+        // Persistent dual reoptimizer: dive children warm-start from the
+        // live factors of the solve that just produced their parent basis,
+        // skipping both per-node refactorizations.
+        lp::sparse::DualSimplexSolver::Options dopt;
+        dopt.core = opt.lp.core;
+        if (!dopt.core.stop) dopt.core.stop = opt.stop;
+        dopt.refactor_interval = opt.lp.refactor_interval;
+        dopt.lu = opt.lp.lu;
+        reopt_.emplace(model, csc_, dopt);
+      }
+    }
   }
 
 
@@ -171,6 +189,11 @@ class Search {
     res.lp_solves = lp_solves_;
     res.lp_warm_hits = lp_warm_hits_;
     res.lp_refactorizations = lp_refactorizations_;
+    res.lp_primal_pivots = lp_primal_pivots_;
+    res.lp_dual_pivots = lp_dual_pivots_;
+    res.lp_bound_flips = lp_bound_flips_;
+    res.lp_ft_updates = lp_ft_updates_;
+    res.lp_dual_reopts = lp_dual_reopts_;
     return res;
   }
 
@@ -213,12 +236,46 @@ class Search {
     std::shared_ptr<const lp::sparse::Basis> start_basis =
         std::move(nodes_[static_cast<std::size_t>(node_index)].start_basis);
 
-    lp::LpResult rel =
-        lp::LpSolver(cappedLpOptions(opt_, clampedRemaining(*deadline_)))
-            .solve(model_, lb, ub, opt_.lp_warm_start ? start_basis.get() : nullptr);
+    // Dual-first warm reoptimization through the persistent per-tree
+    // reoptimizer; the primal engine is the fallback for cold nodes and for
+    // warm bases the dual engine declines (no dual-feasible start).
+    lp::LpResult rel;
+    bool solved = false;
+    if (reopt_ && opt_.lp_warm_start && start_basis) {
+      // The node deadline: per-LP limit capped by the tree's remaining
+      // time, merged exactly as cappedLpOptions does for the primal path.
+      const double limit =
+          cappedLpOptions(opt_, clampedRemaining(*deadline_)).core.time_limit_seconds;
+      lp::LpResult declined;
+      if (std::optional<lp::LpResult> dual =
+              reopt_->reoptimize(lb, ub, start_basis, limit, &declined)) {
+        rel = *std::move(dual);
+        solved = true;
+      } else {
+        // A dual attempt that gave up still burned pivots and possibly a
+        // refactorization; fold its effort into the telemetry so the
+        // pivot-class counters reflect actual solver work.
+        lp_iterations_ += declined.iterations;
+        lp_dual_pivots_ += declined.dual_pivots;
+        lp_bound_flips_ += declined.bound_flips;
+        lp_ft_updates_ += declined.ft_updates;
+        lp_refactorizations_ += declined.refactorizations;
+      }
+    }
+    if (!solved) {
+      lp::LpSolver::Options lopt = cappedLpOptions(opt_, clampedRemaining(*deadline_));
+      lopt.dual_reopt = false;  // the dual fast path already had its chance
+      rel = lp::LpSolver(lopt).solve(
+          model_, lb, ub, opt_.lp_warm_start ? start_basis.get() : nullptr, csc_.get());
+    }
     lp_iterations_ += rel.iterations;
     lp_refactorizations_ += rel.refactorizations;
     lp_warm_hits_ += rel.warm_started ? 1 : 0;
+    lp_primal_pivots_ += rel.primal_pivots;
+    lp_dual_pivots_ += rel.dual_pivots;
+    lp_bound_flips_ += rel.bound_flips;
+    lp_ft_updates_ += rel.ft_updates;
+    lp_dual_reopts_ += rel.dual_reopt ? 1 : 0;
     ++lp_solves_;
     if (rel.status == lp::LpStatus::kInfeasible) return -1;
     if (rel.status == lp::LpStatus::kUnbounded) {
@@ -387,6 +444,16 @@ class Search {
   long lp_solves_ = 0;
   long lp_warm_hits_ = 0;
   long lp_refactorizations_ = 0;
+  long lp_primal_pivots_ = 0;
+  long lp_dual_pivots_ = 0;
+  long lp_bound_flips_ = 0;
+  long lp_ft_updates_ = 0;
+  long lp_dual_reopts_ = 0;
+  /// Structural CSC matrix shared by every node solve of this tree (sparse
+  /// engine only; null on the dense path).
+  std::shared_ptr<const lp::sparse::CscMatrix> csc_;
+  /// Persistent dual-simplex state shared across this tree's node solves.
+  std::optional<lp::sparse::DualReoptimizer> reopt_;
   bool dropped_node_ = false;  ///< a node LP hit a limit; results are truncations
 
   std::vector<double> incumbent_;
@@ -408,6 +475,10 @@ MipResult MilpSolver::solve(const lp::Model& model,
     res.lp_engine = rel.engine;
     res.lp_solves = 1;
     res.lp_refactorizations = rel.refactorizations;
+    res.lp_primal_pivots = rel.primal_pivots;
+    res.lp_dual_pivots = rel.dual_pivots;
+    res.lp_bound_flips = rel.bound_flips;
+    res.lp_ft_updates = rel.ft_updates;
     res.seconds = rel.seconds;
     switch (rel.status) {
       case lp::LpStatus::kOptimal:
@@ -450,6 +521,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
   }
 
   long cut_solves = 0, cut_iters = 0, cut_refacs = 0;
+  long cut_primal = 0, cut_flips = 0, cut_fts = 0;
   if (options_.enable_cover_cuts) {
     for (int round = 0; round < options_.cut_rounds; ++round) {
       if (cut_deadline.expired() ||
@@ -460,6 +532,9 @@ MipResult MilpSolver::solve(const lp::Model& model,
       ++cut_solves;
       cut_iters += rel.iterations;
       cut_refacs += rel.refactorizations;
+      cut_primal += rel.primal_pivots;
+      cut_flips += rel.bound_flips;
+      cut_fts += rel.ft_updates;
       if (rel.status != lp::LpStatus::kOptimal) break;
       const std::vector<CoverCut> cuts = separateCoverCuts(work, rel.x);
       if (cuts.empty()) break;
@@ -483,6 +558,9 @@ MipResult MilpSolver::solve(const lp::Model& model,
   res.lp_solves += cut_solves;
   res.lp_iterations += cut_iters;
   res.lp_refactorizations += cut_refacs;
+  res.lp_primal_pivots += cut_primal;
+  res.lp_bound_flips += cut_flips;
+  res.lp_ft_updates += cut_fts;
   return res;
 }
 

@@ -50,6 +50,14 @@ struct MipResult {
   long lp_solves = 0;           ///< relaxations solved (root + nodes)
   long lp_warm_hits = 0;        ///< solves that adopted a parent basis
   long lp_refactorizations = 0; ///< sparse engine: total basis refactorizations
+  // Pivot-class telemetry (sparse engine): how the node LPs were actually
+  // reoptimized — dual fast-path pivots vs primal pivots vs pure bound
+  // flips, and Forrest–Tomlin factor updates vs full refactorizations.
+  long lp_primal_pivots = 0;    ///< basis changes made by the primal simplex
+  long lp_dual_pivots = 0;      ///< basis changes made by the dual simplex
+  long lp_bound_flips = 0;      ///< bound-to-bound moves without a basis change
+  long lp_ft_updates = 0;       ///< Forrest–Tomlin factor updates applied
+  long lp_dual_reopts = 0;      ///< node solves answered by the dual fast path
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -80,7 +88,9 @@ class MilpSolver {
     lp::LpSolver::Options lp;
     /// Reoptimize child nodes from the parent's optimal basis (sparse
     /// engine only; the dense engine always solves cold). Off is only
-    /// useful for A/B tests — results are identical either way.
+    /// useful for A/B tests — results are identical either way. Warm node
+    /// solves go through the dual simplex first (lp.dual_reopt) with the
+    /// primal engine as fallback.
     bool lp_warm_start = true;
   };
 

@@ -11,6 +11,7 @@
 #include "lp/lp_solver.hpp"
 #include "lp/simplex.hpp"
 #include "lp/sparse/csc.hpp"
+#include "lp/sparse/dual_simplex.hpp"
 #include "lp/sparse/lu.hpp"
 #include "lp/sparse/revised_simplex.hpp"
 #include "milp/bb.hpp"
@@ -23,6 +24,7 @@ namespace {
 
 using sparse::BasisLu;
 using sparse::CscMatrix;
+using sparse::DualSimplexSolver;
 using sparse::RevisedSimplexSolver;
 
 // ---- LU kernel -------------------------------------------------------------
@@ -116,9 +118,9 @@ TEST(SparseLu, FtranBtranSolveRandomBases) {
   }
 }
 
-TEST(SparseLu, EtaUpdateMatchesRefactorization) {
-  // Replace one basic column, once via pushEta and once by refactorizing;
-  // both must produce the same B^-1 b.
+TEST(SparseLu, ForrestTomlinUpdateMatchesRefactorization) {
+  // Replace one basic column, once via updateColumn and once by
+  // refactorizing; both must produce the same B^-1 b.
   Model m;
   for (int j = 0; j < 4; ++j) m.addContinuous(0, 10, "v");
   m.addConstr(2.0 * Var{0} + 1.0 * Var{1}, Sense::kLessEqual, 5);
@@ -132,19 +134,88 @@ TEST(SparseLu, EtaUpdateMatchesRefactorization) {
   // Enter x3 (column 3) at position 2.
   std::vector<double> alpha(3, 0.0);
   for (int k = a.ptr[3]; k < a.ptr[4]; ++k) alpha[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = a.val[static_cast<std::size_t>(k)];
-  lu.ftran(alpha);
+  BasisLu::Spike spike;
+  lu.ftran(alpha, &spike);
   ASSERT_GT(std::abs(alpha[2]), 1e-9);
-  lu.pushEta(2, alpha);
+  ASSERT_TRUE(lu.updateColumn(2, spike));
+  EXPECT_EQ(lu.updateCount(), 1);
 
   std::vector<int> basic2{0, 1, 3};
   BasisLu lu2;
   ASSERT_TRUE(lu2.factorize(a, basic2));
 
   const std::vector<double> b{1.0, -2.0, 3.0};
-  std::vector<double> via_eta = b, via_fresh = b;
-  lu.ftran(via_eta);
+  std::vector<double> via_update = b, via_fresh = b;
+  lu.ftran(via_update);
   lu2.ftran(via_fresh);
-  for (int p = 0; p < 3; ++p) EXPECT_NEAR(via_eta[static_cast<std::size_t>(p)], via_fresh[static_cast<std::size_t>(p)], 1e-9);
+  for (int p = 0; p < 3; ++p) EXPECT_NEAR(via_update[static_cast<std::size_t>(p)], via_fresh[static_cast<std::size_t>(p)], 1e-9);
+}
+
+TEST(SparseLu, ForrestTomlinSurvivesFiftyUpdates) {
+  // A long chain of Forrest–Tomlin updates must keep FTRAN and BTRAN in
+  // agreement with a fresh factorization of the same basis — this is the
+  // property that lets the simplex stretch refactorization intervals to
+  // stability triggers only.
+  Rng rng(7777);
+  const int n = 60;
+  const int rows = 70;
+  const Model m = randomSparseModel(rng, n, rows);
+  const CscMatrix a = CscMatrix::fromModel(m);
+  std::vector<int> basic(static_cast<std::size_t>(rows));
+  for (int p = 0; p < rows; ++p) basic[static_cast<std::size_t>(p)] = n + p;  // slack basis
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basic));
+
+  std::vector<char> in_basis(static_cast<std::size_t>(n), 0);
+  int updates = 0;
+  for (int attempt = 0; attempt < 400 && updates < 55; ++attempt) {
+    const int c = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    if (in_basis[static_cast<std::size_t>(c)]) continue;
+    std::vector<double> alpha(static_cast<std::size_t>(rows), 0.0);
+    for (int k = a.ptr[static_cast<std::size_t>(c)]; k < a.ptr[static_cast<std::size_t>(c) + 1]; ++k)
+      alpha[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] =
+          a.val[static_cast<std::size_t>(k)];
+    BasisLu::Spike spike;
+    lu.ftran(alpha, &spike);
+    // Pivot on the largest entry (mimicking a stable ratio-test choice).
+    int p_best = -1;
+    for (int p = 0; p < rows; ++p)
+      if (p_best < 0 || std::abs(alpha[static_cast<std::size_t>(p)]) >
+                            std::abs(alpha[static_cast<std::size_t>(p_best)]))
+        p_best = p;
+    if (std::abs(alpha[static_cast<std::size_t>(p_best)]) < 1e-6) continue;
+    ASSERT_TRUE(lu.updateColumn(p_best, spike)) << "update " << updates;
+    const int displaced = basic[static_cast<std::size_t>(p_best)];
+    if (displaced < n) in_basis[static_cast<std::size_t>(displaced)] = 0;
+    basic[static_cast<std::size_t>(p_best)] = c;
+    in_basis[static_cast<std::size_t>(c)] = 1;
+    ++updates;
+
+    if (updates % 10 != 0 && updates < 50) continue;
+    // FTRAN/BTRAN through the updated factors vs a fresh factorization.
+    BasisLu fresh;
+    ASSERT_TRUE(fresh.factorize(a, basic)) << "update " << updates;
+    std::vector<double> b(static_cast<std::size_t>(rows));
+    for (double& v : b) v = static_cast<double>(rng.nextInt(-9, 9));
+    std::vector<double> via_update = b, via_fresh = b;
+    lu.ftran(via_update);
+    fresh.ftran(via_fresh);
+    for (int p = 0; p < rows; ++p)
+      EXPECT_NEAR(via_update[static_cast<std::size_t>(p)],
+                  via_fresh[static_cast<std::size_t>(p)], 1e-6)
+          << "ftran after " << updates << " updates, pos " << p;
+    std::vector<double> cvec(static_cast<std::size_t>(rows));
+    for (double& v : cvec) v = static_cast<double>(rng.nextInt(-9, 9));
+    std::vector<double> bt_update = cvec, bt_fresh = cvec;
+    lu.btran(bt_update);
+    fresh.btran(bt_fresh);
+    for (int p = 0; p < rows; ++p)
+      EXPECT_NEAR(bt_update[static_cast<std::size_t>(p)],
+                  bt_fresh[static_cast<std::size_t>(p)], 1e-6)
+          << "btran after " << updates << " updates, pos " << p;
+  }
+  EXPECT_GE(updates, 50);
+  EXPECT_EQ(lu.updateCount(), updates);
 }
 
 // ---- revised simplex unit cases (mirroring the dense suite) ----------------
@@ -355,6 +426,211 @@ TEST(SparseSimplex, StaleBasisShapeFallsBackToColdStart) {
   EXPECT_NEAR(r.objective, 1.0, 1e-9);
 }
 
+// ---- dual simplex ----------------------------------------------------------
+
+TEST(DualSimplexProperty, AgreesWithDenseAndPrimalAfterBoundTightening) {
+  // The branch & bound pattern: solve, tighten one bound, reoptimize from
+  // the (dual-feasible) optimal basis. The dual engine must accept the warm
+  // start and agree with cold dense and cold primal-sparse solves on every
+  // outcome — including the tightenings that make the LP infeasible.
+  Rng rng(4242);
+  int dual_ran = 0, optimal = 0, infeasible = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    // Mixed-sense rows (equalities included) so that tightening a bound can
+    // genuinely make the LP infeasible, not just move the optimum.
+    const int n = 4 + static_cast<int>(rng.nextBelow(8));
+    const int rows = 3 + static_cast<int>(rng.nextBelow(8));
+    Model m;
+    for (int j = 0; j < n; ++j) {
+      const double lb = static_cast<double>(rng.nextInt(-4, 4));
+      m.addContinuous(lb, lb + 2.0 + static_cast<double>(rng.nextBelow(8)), "v");
+    }
+    for (int i = 0; i < rows; ++i) {
+      LinExpr e;
+      bool any = false;
+      for (int j = 0; j < n; ++j) {
+        const long c = rng.nextInt(-4, 5);
+        if (c != 0) {
+          e += static_cast<double>(c) * Var{j};
+          any = true;
+        }
+      }
+      if (!any) e += 1.0 * Var{0};
+      const Sense s = rng.nextBelow(4) == 0 ? Sense::kEqual
+                      : rng.nextBool()      ? Sense::kLessEqual
+                                            : Sense::kGreaterEqual;
+      m.addConstr(e, s, static_cast<double>(rng.nextInt(-8, 12)));
+    }
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) obj += static_cast<double>(rng.nextInt(-9, 10)) * Var{j};
+    m.setObjective(obj, rng.nextBool() ? ObjSense::kMaximize : ObjSense::kMinimize);
+
+    const LpResult first = RevisedSimplexSolver().solve(m);
+    if (first.status != LpStatus::kOptimal) continue;  // need a parent optimum
+    ASSERT_NE(first.basis, nullptr);
+
+    // One branch-style bound change: clamp one variable hard toward a bound.
+    const int j = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    const double mid = 0.5 * (m.var(j).lb + m.var(j).ub);
+    if (rng.nextBool())
+      m.setVarBounds(j, m.var(j).lb, std::floor(mid));
+    else
+      m.setVarBounds(j, std::ceil(mid), m.var(j).ub);
+    if (m.var(j).lb > m.var(j).ub) continue;  // empty box: nothing to reoptimize
+    std::vector<double> lb(static_cast<std::size_t>(n)), ub(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lb[static_cast<std::size_t>(k)] = m.var(k).lb;
+      ub[static_cast<std::size_t>(k)] = m.var(k).ub;
+    }
+
+    const std::optional<LpResult> dual =
+        DualSimplexSolver().solve(m, lb, ub, *first.basis);
+    const LpResult dense = SimplexSolver().solve(m);
+    const LpResult cold = RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(dense.status, cold.status) << "trial " << trial;
+    if (!dual) continue;  // dual-infeasible warm basis: primal fallback territory
+    ++dual_ran;
+    EXPECT_TRUE(dual->dual_reopt);
+    EXPECT_TRUE(dual->warm_started);
+    ASSERT_EQ(dual->status, dense.status) << "trial " << trial;
+    if (dense.status == LpStatus::kOptimal) {
+      ++optimal;
+      EXPECT_NEAR(dual->objective, dense.objective, 1e-6 * (1 + std::abs(dense.objective)))
+          << "trial " << trial;
+      EXPECT_TRUE(m.isFeasible(dual->x, 1e-6)) << "trial " << trial;
+    } else if (dense.status == LpStatus::kInfeasible) {
+      ++infeasible;
+    }
+  }
+  // A parent-optimal basis is dual feasible by construction, so the dual
+  // engine must actually take these reoptimizations (and see both outcomes).
+  EXPECT_GE(dual_ran, 40);
+  EXPECT_GE(optimal, 20);
+  EXPECT_GE(infeasible, 3);
+}
+
+TEST(DualSimplex, ReoptimizesWithFewPivotsAfterSingleTightening) {
+  // A single bound change should cost the dual engine a handful of pivots,
+  // not a cold-solve-sized iteration count.
+  Rng rng(1357);
+  int exercised = 0;
+  long dual_iters = 0, cold_iters = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 10 + static_cast<int>(rng.nextBelow(8));
+    Model m = randomSparseModel(rng, n, n + 5);
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) obj += static_cast<double>(rng.nextInt(1, 9)) * Var{j};
+    m.setObjective(obj, ObjSense::kMaximize);
+    const LpResult first = RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(first.status, LpStatus::kOptimal);
+    const int j = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    m.setVarBounds(j, m.var(j).lb, std::max(m.var(j).lb, m.var(j).ub / 2.0));
+    std::vector<double> lb(static_cast<std::size_t>(n)), ub(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lb[static_cast<std::size_t>(k)] = m.var(k).lb;
+      ub[static_cast<std::size_t>(k)] = m.var(k).ub;
+    }
+    const std::optional<LpResult> dual = DualSimplexSolver().solve(m, lb, ub, *first.basis);
+    ASSERT_TRUE(dual.has_value()) << "trial " << trial;
+    if (dual->status != LpStatus::kOptimal) continue;
+    const LpResult cold = RevisedSimplexSolver().solve(m);
+    ASSERT_EQ(cold.status, LpStatus::kOptimal);
+    dual_iters += dual->iterations;
+    cold_iters += cold.iterations;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 15);
+  EXPECT_LE(dual_iters, cold_iters);
+}
+
+TEST(DualSimplex, GivesUpOnDualInfeasibleWarmBasis) {
+  // min x + 2y st x + y >= 2 puts x basic and y nonbasic at its lower
+  // bound. Re-solving with the opposite objective makes y's reduced cost
+  // negative with no upper bound to flip to: the dual engine must decline
+  // so the caller falls back to the primal.
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x) + y, Sense::kGreaterEqual, 2);
+  m.setObjective(LinExpr(x) + 2.0 * y, ObjSense::kMinimize);
+  const LpResult first = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  ASSERT_NE(first.basis, nullptr);
+
+  Model m2 = m;
+  m2.setObjective(LinExpr(x) + 2.0 * y, ObjSense::kMaximize);  // now unbounded-ish
+  const std::vector<double> lb{0.0, 0.0};
+  const std::vector<double> ub{kInfinity, kInfinity};
+  EXPECT_FALSE(DualSimplexSolver().solve(m2, lb, ub, *first.basis).has_value());
+}
+
+TEST(DualSimplex, AntiCyclingOnDegenerateReopt) {
+  // The degenerate cluster from the primal suite, reoptimized through the
+  // dual engine after a bound tightening: must terminate and agree with a
+  // cold dense solve.
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x) - y, Sense::kLessEqual, 0);
+  m.addConstr(2.0 * x - y, Sense::kLessEqual, 0);
+  m.addConstr(3.0 * x - y, Sense::kLessEqual, 0);
+  m.addConstr(LinExpr(x) + y, Sense::kLessEqual, 4);
+  m.setObjective(2.0 * x + y, ObjSense::kMaximize);
+  const LpResult first = RevisedSimplexSolver().solve(m);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+
+  m.setVarBounds(0, 0.0, 0.5);  // x <= 0.5
+  const std::vector<double> lb{0.0, 0.0};
+  const std::vector<double> ub{0.5, kInfinity};
+  const std::optional<LpResult> dual = DualSimplexSolver().solve(m, lb, ub, *first.basis);
+  const LpResult dense = SimplexSolver().solve(m);
+  ASSERT_EQ(dense.status, LpStatus::kOptimal);
+  ASSERT_TRUE(dual.has_value());
+  ASSERT_EQ(dual->status, LpStatus::kOptimal);
+  EXPECT_NEAR(dual->objective, dense.objective, 1e-7);
+}
+
+TEST(LpSolverReopt, DualFirstWithPrimalFallbackProducesCorrectResults) {
+  // Through the LpSolver entry point: warm solves take the dual fast path
+  // (dual_reopt flag set) and still agree with the dense engine; with
+  // dual_reopt off the same solves run primal.
+  Rng rng(8642);
+  int dual_hits = 0, exercised = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 6 + static_cast<int>(rng.nextBelow(8));
+    Model m = randomSparseModel(rng, n, n + 3);
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) obj += static_cast<double>(rng.nextInt(1, 9)) * Var{j};
+    m.setObjective(obj, ObjSense::kMaximize);
+    LpSolver::Options sopt;
+    sopt.engine = LpEngine::kSparse;
+    const LpResult first = LpSolver(sopt).solve(m);
+    ASSERT_EQ(first.status, LpStatus::kOptimal);
+    const int j = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    m.setVarBounds(j, m.var(j).lb, std::max(m.var(j).lb, m.var(j).ub / 2.0));
+    std::vector<double> lb(static_cast<std::size_t>(n)), ub(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      lb[static_cast<std::size_t>(k)] = m.var(k).lb;
+      ub[static_cast<std::size_t>(k)] = m.var(k).ub;
+    }
+    const LpResult warm = LpSolver(sopt).solve(m, lb, ub, first.basis.get());
+    LpSolver::Options primal_only = sopt;
+    primal_only.dual_reopt = false;
+    const LpResult primal = LpSolver(primal_only).solve(m, lb, ub, first.basis.get());
+    const LpResult dense = SimplexSolver().solve(m);
+    ASSERT_EQ(warm.status, dense.status) << "trial " << trial;
+    ASSERT_EQ(primal.status, dense.status) << "trial " << trial;
+    EXPECT_FALSE(primal.dual_reopt);
+    dual_hits += warm.dual_reopt ? 1 : 0;
+    if (dense.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(warm.objective, dense.objective, 1e-6 * (1 + std::abs(dense.objective)));
+    EXPECT_NEAR(primal.objective, dense.objective, 1e-6 * (1 + std::abs(dense.objective)));
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 15);
+  EXPECT_GE(dual_hits, 25);  // the fast path must actually be the default
+}
+
 // ---- LpSolver dispatch -----------------------------------------------------
 
 TEST(LpSolverDispatch, AutoPicksDenseForSmallAndSparseForLarge) {
@@ -479,6 +755,61 @@ TEST(MilpSparse, WarmStartedTreeIsDeterministicAndCheaper) {
   }
   EXPECT_GE(compared, 5);
   EXPECT_LE(warm_total, cold_total);
+}
+
+TEST(MilpSparse, ChildNodesReoptimizeThroughDualSimplex) {
+  // With warm starts on (the default), child-node reoptimization must go
+  // through the dual simplex: every tree that branches reports dual-reopt
+  // solves, and the results still match the dense engine.
+  Rng rng(998877);
+  int trees = 0, with_dual = 0;
+  for (int trial = 0; trial < 120 && trees < 15; ++trial) {
+    const Model m = randomBinaryProgram(rng);
+    MilpSolver::Options sparse_opt;
+    sparse_opt.lp.engine = lp::LpEngine::kSparse;
+    const MipResult rs = MilpSolver(sparse_opt).solve(m);
+    if (rs.status != MipStatus::kOptimal || rs.nodes <= 1) continue;
+    ++trees;
+    with_dual += rs.lp_dual_reopts > 0 ? 1 : 0;
+    if (rs.lp_dual_reopts > 0) {
+      EXPECT_GT(rs.lp_dual_pivots + rs.lp_bound_flips, 0);
+    }
+    MilpSolver::Options dense_opt;
+    dense_opt.lp.engine = lp::LpEngine::kDense;
+    const MipResult rd = MilpSolver(dense_opt).solve(m);
+    ASSERT_EQ(rd.status, MipStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(rs.objective, rd.objective, 1e-6) << "trial " << trial;
+  }
+  EXPECT_GE(trees, 8);
+  // A parent-optimal basis is dual feasible under a bound change, so the
+  // fast path should carry (nearly) every branching tree.
+  EXPECT_GE(with_dual, (trees * 3) / 4);
+}
+
+TEST(MilpSparse, CscMatrixBuiltExactlyOncePerTree) {
+  // A fractional knapsack forces branching; the whole tree (root + every
+  // node reoptimization) must share a single CSC build.
+  Model m;
+  const std::vector<double> w{3, 5, 7, 4, 6};
+  const std::vector<double> c{4, 5, 6, 3, 7};
+  LinExpr cap, obj;
+  for (int j = 0; j < 5; ++j) {
+    m.addBinary("b");
+    cap += w[static_cast<std::size_t>(j)] * Var{j};
+    obj += c[static_cast<std::size_t>(j)] * Var{j};
+  }
+  m.addConstr(cap, Sense::kLessEqual, 11);
+  m.setObjective(obj, ObjSense::kMaximize);
+
+  MilpSolver::Options opt;
+  opt.lp.engine = lp::LpEngine::kSparse;
+  opt.enable_cover_cuts = false;  // cut rounds re-solve a mutating model
+  const long before = lp::sparse::CscMatrix::buildCount();
+  const MipResult res = MilpSolver(opt).solve(m);
+  const long built = lp::sparse::CscMatrix::buildCount() - before;
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_GT(res.nodes, 1);  // the instance must actually branch
+  EXPECT_EQ(built, 1) << "every node solve should reuse the tree's CSC build";
 }
 
 }  // namespace
