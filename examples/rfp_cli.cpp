@@ -13,10 +13,17 @@
 //       Floorplan the problem through the rfp::driver dispatch. Options:
 //         --algo NAME            backend: search (default, exact), milp-o,
 //                                milp-ho, heuristic, annealer — or
-//                                "portfolio" to race them concurrently and
+//                                "portfolio" to run them cooperatively
+//                                (shared incumbents, staged deadlines) and
 //                                keep the best/proven result
 //         --threads N            search parallelism (default 4)
 //         --time-limit S         wall-clock deadline for the whole solve
+//         --stage1-fraction F    portfolio: fraction of the deadline granted
+//                                to the incomplete engines before the
+//                                provers inherit the rest (default 0.25;
+//                                0 = flat race)
+//         --no-exchange          portfolio: disable the shared-incumbent
+//                                channel (blind race, for A/B comparisons)
 //         --svg FILE             write the floorplan as SVG
 //         --json FILE            write the solve response + floorplan as JSON
 //   rfp_cli feasibility <device> <problem-file>
@@ -100,6 +107,8 @@ struct SolveArgs {
   std::string algo = "search";
   int threads = 4;
   double time_limit = 0.0;
+  double stage1_fraction = 0.25;
+  bool incumbent_exchange = true;
   std::string svg_path;
   std::string json_path;
 };
@@ -112,6 +121,9 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   driver::SolveRequest request;
   request.num_threads = args.threads;
   request.deadline_seconds = args.time_limit;
+  request.incumbent_exchange = args.incumbent_exchange;
+  request.staged_deadlines = args.stage1_fraction > 0;
+  request.stage1_fraction = args.stage1_fraction;
   // The MILP stages are open-ended without a budget; keep the CLI snappy.
   if (args.time_limit <= 0) request.milp.time_limit_seconds = 60.0;
 
@@ -156,6 +168,19 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
                 res.lp.primal_pivots, res.lp.dual_pivots, res.lp.bound_flips,
                 res.lp.ft_updates, res.lp.dualReoptRate());
   }
+  if (res.incumbent.publishes > 0 || res.incumbent.staged) {
+    std::printf("incumbent: source=%s publishes=%ld adoptions=%ld cutoff-prunes=%ld%s",
+                res.incumbent.source.c_str(), res.incumbent.publishes,
+                res.incumbent.adoptions, res.incumbent.cutoff_prunes,
+                res.incumbent.staged ? "" : "\n");
+    if (res.incumbent.staged)
+      std::printf(" staged stage1=%.2fs\n", res.incumbent.stage1_seconds);
+  }
+  for (const driver::PortfolioMemberStats& m : res.members)
+    std::printf("member: %-9s stage=%d status=%-11s nodes=%ld time=%.2fs published=%ld "
+                "adopted=%ld cutoff-prunes=%ld\n",
+                driver::toString(m.backend), m.stage, driver::toString(m.status), m.nodes,
+                m.seconds, m.published, m.adopted, m.cutoff_prunes);
   std::printf("wasted_frames=%ld wire_length=%.1f fc_areas=%d/%d\n\n", res.costs.wasted_frames,
               res.costs.wire_length, res.plan.placedFcCount(), problem.totalFcAreas());
   std::printf("%s", render::ascii(problem, res.plan).c_str());
@@ -186,6 +211,7 @@ int usage() {
                "  rfp_cli show <device>\n"
                "  rfp_cli solve <device> <problem-file> [--threads N] [--time-limit S]\n"
                "                [--algo search|milp-o|milp-ho|heuristic|annealer|portfolio]\n"
+               "                [--stage1-fraction F] [--no-exchange]\n"
                "                [--svg FILE] [--json FILE]\n"
                "  rfp_cli feasibility <device> <problem-file> [--threads N]\n"
                "<device> is a catalog name (see 'devices') or a description file.\n");
@@ -217,6 +243,10 @@ int main(int argc, char** argv) {
           args.threads = std::stoi(next());
         else if (flag == "--time-limit")
           args.time_limit = std::stod(next());
+        else if (flag == "--stage1-fraction")
+          args.stage1_fraction = std::stod(next());
+        else if (flag == "--no-exchange")
+          args.incumbent_exchange = false;
         else if (flag == "--svg")
           args.svg_path = next();
         else if (flag == "--json")

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "driver/incumbent.hpp"
 #include "fp/heuristic.hpp"
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
@@ -80,11 +82,25 @@ std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& probl
   double best_cost = current_cost;
 
   AnnealResult result;
+  // Publish improving bests mid-run, throttled to the poll cadence so the
+  // channel lock is never contended from the hot move loop. `published_cost`
+  // tracks what the channel last saw from us.
+  double published_cost = std::numeric_limits<double>::infinity();
+  const auto publishBest = [&] {
+    if (!options.incumbent || best_cost >= published_cost) return;
+    published_cost = best_cost;
+    ++result.published;
+    options.incumbent->publish(best, model::evaluate(problem, best), "annealer");
+  };
+  publishBest();  // the greedy start is already a feasible incumbent
+
   double temperature = options.initial_temperature;
   for (long it = 0; it < options.iterations; ++it, temperature *= options.cooling) {
-    if ((it & 255) == 0 &&
-        (deadline.expired() || (options.stop && options.stop->load(std::memory_order_relaxed))))
-      break;
+    if ((it & 255) == 0) {
+      if (deadline.expired() || (options.stop && options.stop->load(std::memory_order_relaxed)))
+        break;
+      publishBest();
+    }
     ++result.iterations;
     // Move: pick a region and a random alternative candidate placement.
     const int n = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(problem.numRegions())));
@@ -117,6 +133,7 @@ std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& probl
     }
   }
 
+  publishBest();  // flush a best found after the last poll point
   result.plan = std::move(best);
   result.costs = model::evaluate(problem, result.plan);
   return result;

@@ -11,6 +11,10 @@
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
 
+namespace rfp::driver {
+class SharedIncumbent;  // driver/incumbent.hpp
+}
+
 namespace rfp::baseline {
 
 struct AnnealerOptions {
@@ -25,6 +29,11 @@ struct AnnealerOptions {
   /// the best floorplan found so far is still returned. The pointee must
   /// outlive the call. Used by driver portfolios.
   std::atomic<bool>* stop = nullptr;
+  /// Incumbent exchange channel (driver portfolios): the starting floorplan
+  /// and every improving best-so-far are published mid-run, so a concurrent
+  /// or subsequent prover can use them as a cutoff long before the annealer
+  /// finishes. The pointee must outlive the call.
+  driver::SharedIncumbent* incumbent = nullptr;
 };
 
 struct AnnealResult {
@@ -32,6 +41,7 @@ struct AnnealResult {
   model::FloorplanCosts costs;
   long accepted_moves = 0;
   long iterations = 0;
+  long published = 0;  ///< incumbents offered to the exchange channel
 };
 
 /// Runs SA starting from a greedy construction. Returns std::nullopt when no

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "driver/incumbent.hpp"
 #include "fp/heuristic.hpp"
 #include "support/timer.hpp"
 
@@ -31,13 +32,14 @@ SolveStatus fromFp(fp::FpStatus s) noexcept {
 }
 
 SolveResponse runSearch(const model::FloorplanProblem& problem, const SolveRequest& request,
-                        std::atomic<bool>* external_stop) {
+                        std::atomic<bool>* external_stop, SharedIncumbent* channel) {
   search::SearchOptions opt = request.search;
   opt.mode = problem.lexicographic() ? search::ObjectiveMode::kLexicographic
                                      : search::ObjectiveMode::kWeighted;
   opt.num_threads = std::max({1, opt.num_threads, request.num_threads});
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
+  if (channel) opt.incumbent = channel;
 
   const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
   SolveResponse out;
@@ -46,14 +48,20 @@ SolveResponse runSearch(const model::FloorplanProblem& problem, const SolveReque
   out.costs = res.costs;
   out.seconds = res.seconds;
   out.nodes = res.nodes;
+  out.incumbent_published = res.published;
+  out.incumbent_adopted = res.adopted;
+  out.cutoff_prunes = res.external_prunes;
   std::ostringstream d;
   d << "search: " << search::toString(res.status) << " nodes=" << res.nodes;
+  if (res.adopted > 0 || res.external_prunes > 0)
+    d << " adopted=" << res.adopted << " cutoff-prunes=" << res.external_prunes;
   out.detail = d.str();
   return out;
 }
 
 SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest& request,
-                      Backend backend, std::atomic<bool>* external_stop) {
+                      Backend backend, std::atomic<bool>* external_stop,
+                      SharedIncumbent* channel) {
   fp::MilpFloorplannerOptions opt = request.milp;
   opt.algorithm = backend == Backend::kMilpO ? fp::Algorithm::kO : fp::Algorithm::kHO;
   opt.lexicographic = problem.lexicographic();
@@ -64,6 +72,7 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
     opt.milp.stop = external_stop;
     opt.heuristic.stop = external_stop;
   }
+  if (channel) opt.incumbent = channel;
 
   const fp::FpResult res = fp::MilpFloorplanner(opt).solve(problem);
   SolveResponse out;
@@ -91,22 +100,27 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
     out.lp.ft_updates = res.lp_ft_updates;
     out.lp.dual_reopts = res.lp_dual_reopts;
   }
+  out.incumbent_published = res.published;
+  out.incumbent_adopted = res.adopted;
+  out.cutoff_prunes = res.external_prunes;
   out.detail = std::string(toString(backend)) + ": " + res.detail;
   return out;
 }
 
 SolveResponse runHeuristic(const model::FloorplanProblem& problem, const SolveRequest& request,
-                           std::atomic<bool>* external_stop) {
+                           std::atomic<bool>* external_stop, SharedIncumbent* channel) {
   Stopwatch watch;
   fp::HeuristicOptions opt = request.heuristic;
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
+  if (channel) opt.incumbent = channel;
   const std::optional<model::Floorplan> plan = fp::constructiveFloorplan(problem, opt);
   SolveResponse out;
   if (plan) {
     out.status = SolveStatus::kFeasible;
     out.plan = *plan;
     out.costs = model::evaluate(problem, out.plan);
+    out.incumbent_published = channel ? 1 : 0;
     out.detail = "heuristic: feasible";
   } else {
     out.detail = "heuristic: no feasible construction";
@@ -116,11 +130,12 @@ SolveResponse runHeuristic(const model::FloorplanProblem& problem, const SolveRe
 }
 
 SolveResponse runAnnealer(const model::FloorplanProblem& problem, const SolveRequest& request,
-                          std::atomic<bool>* external_stop) {
+                          std::atomic<bool>* external_stop, SharedIncumbent* channel) {
   Stopwatch watch;
   baseline::AnnealerOptions opt = request.annealer;
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
+  if (channel) opt.incumbent = channel;
   const std::optional<baseline::AnnealResult> res = baseline::annealFloorplan(problem, opt);
   SolveResponse out;
   if (res) {
@@ -128,6 +143,7 @@ SolveResponse runAnnealer(const model::FloorplanProblem& problem, const SolveReq
     out.plan = res->plan;
     out.costs = res->costs;
     out.nodes = res->iterations;
+    out.incumbent_published = res->published;
     std::ostringstream d;
     d << "annealer: feasible iterations=" << res->iterations
       << " accepted=" << res->accepted_moves;
@@ -152,16 +168,35 @@ bool isProof(const SolveResponse& response) noexcept {
 }
 
 SolveResponse runBackend(const model::FloorplanProblem& problem, const SolveRequest& request,
-                         Backend backend, std::atomic<bool>* external_stop) {
+                         Backend backend, std::atomic<bool>* external_stop,
+                         SharedIncumbent* channel) {
   SolveResponse out;
   switch (backend) {
-    case Backend::kSearch: out = runSearch(problem, request, external_stop); break;
+    case Backend::kSearch: out = runSearch(problem, request, external_stop, channel); break;
     case Backend::kMilpO:
-    case Backend::kMilpHO: out = runMilp(problem, request, backend, external_stop); break;
-    case Backend::kHeuristic: out = runHeuristic(problem, request, external_stop); break;
-    case Backend::kAnnealer: out = runAnnealer(problem, request, external_stop); break;
+    case Backend::kMilpHO:
+      out = runMilp(problem, request, backend, external_stop, channel);
+      break;
+    case Backend::kHeuristic:
+      out = runHeuristic(problem, request, external_stop, channel);
+      break;
+    case Backend::kAnnealer: out = runAnnealer(problem, request, external_stop, channel); break;
   }
   out.backend = backend;
+  // Boundary guarantee: a run that ends with the shared stop flag set was
+  // cancelled, and a cancelled run is not a proof — whatever slipped through
+  // the engine's own truncation handling (e.g. a verdict computed before the
+  // flag was raised, or an LP cut short mid-pivot behind an "exhausted"
+  // tree) is downgraded here. The cancelling winner holds the real proof.
+  if (external_stop && external_stop->load(std::memory_order_relaxed)) {
+    if (out.status == SolveStatus::kOptimal) {
+      out.status = SolveStatus::kFeasible;
+      out.detail += " [cancelled: optimality claim downgraded]";
+    } else if (out.status == SolveStatus::kInfeasible) {
+      out.status = SolveStatus::kNoSolution;
+      out.detail += " [cancelled: infeasibility claim downgraded]";
+    }
+  }
   return out;
 }
 

@@ -8,15 +8,24 @@
 
 #include "driver/driver.hpp"
 
+namespace rfp::driver {
+class SharedIncumbent;  // driver/incumbent.hpp
+}
+
 namespace rfp::driver::detail {
 
 /// Runs `backend` on `problem`. `external_stop`, when non-null, replaces the
 /// stop flag configured in the request's engine options (the portfolio's
-/// shared cancellation). Statuses are normalized so that kOptimal and
-/// kInfeasible are only ever reported as proofs (see isExhaustive()).
+/// shared cancellation); `channel`, when non-null, likewise replaces the
+/// engines' incumbent-exchange pointers. Statuses are normalized so that
+/// kOptimal and kInfeasible are only ever reported as proofs (see
+/// isExhaustive()) — in particular, a run that ends with `external_stop`
+/// set is a cancellation and is downgraded to kFeasible/kNoSolution at this
+/// boundary, whatever the engine reported.
 [[nodiscard]] SolveResponse runBackend(const model::FloorplanProblem& problem,
                                        const SolveRequest& request, Backend backend,
-                                       std::atomic<bool>* external_stop);
+                                       std::atomic<bool>* external_stop,
+                                       SharedIncumbent* channel = nullptr);
 
 /// True when `response` settles the problem for good: a proof of optimality
 /// or infeasibility from an exhaustive backend.

@@ -4,28 +4,54 @@
 // problem is solved with the single-backend dispatch and untouched request
 // options, so the result for problems[i] is the same whatever the pool size
 // — only the wall clock changes.
+//
+// Cancellation: the caller's stop flag is threaded into every dispatched
+// solve (the engines unwind at their next poll point) and problems not yet
+// dispatched are skipped. The overall deadline works the same way, by
+// capping each dispatched solve's own deadline to the remaining batch
+// budget — so in-flight work terminates by the budget without a watchdog
+// thread. Both necessarily break the pool-size-independence guarantee:
+// which solves get truncated depends on dispatch order and contention.
 #include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "driver/backend_runner.hpp"
 #include "driver/driver.hpp"
+#include "support/timer.hpp"
 
 namespace rfp::driver {
 
 std::vector<SolveResponse> Driver::solveBatch(
     const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
-    int pool_threads) const {
+    int pool_threads, std::atomic<bool>* stop, double deadline_seconds) const {
   std::vector<SolveResponse> out(problems.size());
   if (problems.empty()) return out;
 
+  const Deadline overall(deadline_seconds);
   const int threads =
       std::clamp(pool_threads, 1, static_cast<int>(problems.size()));
   std::atomic<std::size_t> next{0};
   const auto body = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < problems.size();
-         i = next.fetch_add(1, std::memory_order_relaxed))
-      out[i] = detail::runBackend(*problems[i], request, request.backend, nullptr);
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (stop && stop->load(std::memory_order_relaxed)) {
+        out[i].detail = "batch: cancelled before dispatch";
+        continue;
+      }
+      if (overall.expired()) {
+        out[i].detail = "batch: deadline exhausted before dispatch";
+        continue;
+      }
+      if (deadline_seconds > 0) {
+        SolveRequest capped = request;
+        capped.deadline_seconds = detail::cappedLimit(
+            request.deadline_seconds, std::max(0.01, overall.remaining()));
+        out[i] = detail::runBackend(*problems[i], capped, request.backend, stop);
+      } else {
+        out[i] = detail::runBackend(*problems[i], request, request.backend, stop);
+      }
+    }
   };
 
   if (threads == 1) {

@@ -8,15 +8,21 @@
 // execution modes:
 //
 //  * single    — dispatch to one backend (Driver::solve),
-//  * portfolio — run several backends concurrently on std::thread; the first
-//    proven-optimal (or proven-infeasible) result cancels the rest via the
-//    engines' cooperative stop flags, and at the deadline the best incumbent
-//    wins (Driver::solvePortfolio),
+//  * portfolio — run several backends on std::thread, cooperating through a
+//    SharedIncumbent exchange channel next to the shared stop flag: the
+//    incomplete engines publish improving floorplans mid-run, the provers
+//    consume them as objective cutoffs and publish back, the first proof
+//    cancels the rest, and at the deadline the best incumbent wins. With a
+//    deadline, the race is staged: the incomplete engines get a short first
+//    slice whose incumbent seeds the provers' cutoff, then the provers
+//    inherit the remaining budget (Driver::solvePortfolio),
 //  * batch     — solve N problems across a thread pool for throughput
 //    (Driver::solveBatch); per-problem results are independent of the pool
-//    size.
+//    size. An external stop flag and an overall deadline cancel the whole
+//    batch cooperatively.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -69,8 +75,29 @@ struct SolveRequest {
   /// Intra-backend parallelism for the exact search (root decomposition);
   /// takes the max with search.num_threads.
   int num_threads = 1;
-  // Per-backend knobs. Engine stop flags are overridden by the portfolio's
-  // shared cancellation flag.
+  /// Portfolio: share incumbents between the backends through a
+  /// SharedIncumbent channel (publish/consume as objective cutoffs). The
+  /// result is never worse than the blind race — an adopted incumbent only
+  /// tightens pruning and arbitration already ranked published plans.
+  bool incumbent_exchange = true;
+  /// Portfolio: staged deadline splitting. With a deadline, an exchange
+  /// channel, and a portfolio mixing incomplete engines with provers, the
+  /// incomplete engines run first on `stage1_fraction * deadline_seconds`
+  /// (they typically finish earlier on their own limits), their best
+  /// incumbent seeds the provers' cutoff, and the provers inherit the whole
+  /// remaining budget. Without a deadline (or with the fraction at 0) every
+  /// backend races concurrently.
+  bool staged_deadlines = true;
+  /// Fraction of `deadline_seconds` granted to the incomplete first stage.
+  double stage1_fraction = 0.25;
+  /// Absolute cap on the first stage's slice (<= 0: none). Members like HO
+  /// rarely finish before their slice expires, so without a cap a generous
+  /// deadline imposes `stage1_fraction * deadline` of latency before any
+  /// prover starts — even on instances the provers settle in seconds.
+  double stage1_max_seconds = 10.0;
+  // Per-backend knobs. Engine stop flags and incumbent channels are
+  // overridden by the portfolio's shared cancellation flag and exchange
+  // channel.
   search::SearchOptions search;
   fp::MilpFloorplannerOptions milp;
   fp::HeuristicOptions heuristic;
@@ -103,6 +130,31 @@ struct LpStats {
   }
 };
 
+/// Incumbent-exchange telemetry of a portfolio solve (defaults outside
+/// portfolio mode or with the exchange disabled).
+struct IncumbentStats {
+  std::string source = "-";  ///< engine that published the final shared best
+  long publishes = 0;        ///< publish attempts on the channel
+  long adoptions = 0;        ///< improving publishes the channel adopted
+  long cutoff_prunes = 0;    ///< prover nodes pruned against an external cutoff
+  bool staged = false;       ///< staged deadline splitting was in effect
+  double stage1_seconds = 0.0;  ///< wall clock of the incomplete first stage
+};
+
+/// Per-member outcome of a portfolio solve. `nodes` is in the member's own
+/// unit (B&B nodes for the exact engines, iterations for the annealer), so
+/// figures from different members must not be summed.
+struct PortfolioMemberStats {
+  Backend backend = Backend::kSearch;
+  SolveStatus status = SolveStatus::kNoSolution;
+  int stage = 0;  ///< 1 = incomplete slice, 2 = prover stage (0 = flat race)
+  double seconds = 0.0;
+  long nodes = 0;
+  long published = 0;      ///< incumbents this member offered to the channel
+  long adopted = 0;        ///< external incumbents this member adopted
+  long cutoff_prunes = 0;  ///< nodes this member pruned on an external cutoff
+};
+
 struct SolveResponse {
   SolveStatus status = SolveStatus::kNoSolution;
   /// Engine that produced this result (the portfolio winner). Only
@@ -112,9 +164,19 @@ struct SolveResponse {
   model::Floorplan plan;               ///< valid when hasSolution()
   model::FloorplanCosts costs;
   double seconds = 0.0;  ///< wall clock of this solve (portfolio: overall)
-  long nodes = 0;        ///< backend-specific work measure (nodes/iterations)
+  /// Backend-specific work measure (B&B nodes / annealer iterations) of the
+  /// backend that produced this result. A portfolio reports the *winner's
+  /// own* count — never a sum across members, whose units differ; the
+  /// per-member figures live in `members`.
+  long nodes = 0;
   std::string detail;    ///< per-backend diagnostics
   LpStats lp;            ///< LP substrate telemetry (MILP backends)
+  // Incumbent-exchange telemetry of this backend's run (portfolio members).
+  long incumbent_published = 0;
+  long incumbent_adopted = 0;
+  long cutoff_prunes = 0;
+  IncumbentStats incumbent;                  ///< portfolio channel summary
+  std::vector<PortfolioMemberStats> members; ///< portfolio: one per member
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
@@ -129,10 +191,14 @@ class Driver {
   [[nodiscard]] SolveResponse solve(const model::FloorplanProblem& problem,
                                     const SolveRequest& request) const;
 
-  /// Portfolio mode: run `request.portfolio` concurrently, one std::thread
-  /// per backend. A proven result (optimal/infeasible from an exhaustive
-  /// backend) cancels the others; otherwise everyone runs to its limit and
-  /// the best incumbent under the problem's objective wins.
+  /// Portfolio mode: run `request.portfolio` on std::thread, one per
+  /// backend, cooperating through a SharedIncumbent channel (see
+  /// SolveRequest::incumbent_exchange). A proven result (optimal/infeasible
+  /// from an exhaustive backend) cancels the others; otherwise everyone runs
+  /// to its limit and the best incumbent under the problem's objective wins.
+  /// With a deadline the race is staged (see SolveRequest::staged_deadlines):
+  /// incomplete engines first on a short slice, provers on the remainder
+  /// with the stage-1 incumbent as their cutoff.
   [[nodiscard]] SolveResponse solvePortfolio(const model::FloorplanProblem& problem,
                                              const SolveRequest& request) const;
 
@@ -141,9 +207,17 @@ class Driver {
   /// `problems` and, for deadline-free requests, independent of the pool
   /// size (a wall-clock deadline can truncate a solve differently under
   /// pool contention).
+  ///
+  /// `stop` (optional) cancels the whole batch cooperatively: in-flight
+  /// solves unwind through the engines' stop flags (overriding any flag
+  /// configured in the request's engine options) and problems not yet
+  /// dispatched return kNoSolution with a "cancelled" detail.
+  /// `deadline_seconds` (<= 0: none) is an overall wall-clock budget for the
+  /// batch: each dispatched solve's own deadline is capped to the remaining
+  /// budget and problems dispatched after expiry return kNoSolution.
   [[nodiscard]] std::vector<SolveResponse> solveBatch(
       const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
-      int pool_threads) const;
+      int pool_threads, std::atomic<bool>* stop = nullptr, double deadline_seconds = 0.0) const;
 };
 
 }  // namespace rfp::driver

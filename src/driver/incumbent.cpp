@@ -1,0 +1,52 @@
+#include "driver/incumbent.hpp"
+
+namespace rfp::driver {
+
+bool SharedIncumbent::publish(const model::Floorplan& plan, const model::FloorplanCosts& costs,
+                              const char* source) {
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  // Validate outside the lock: check() walks the whole grid, and a slow
+  // publisher must not block the provers' cheap snapshot polls.
+  if (!model::check(*problem_, plan).empty()) return false;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (has_best_ && !model::strictlyBetter(*problem_, costs, best_costs_)) return false;
+  best_plan_ = plan;
+  best_costs_ = costs;
+  source_ = source;
+  has_best_ = true;
+  // Release-publish after the guarded fields are written: a consumer that
+  // observes the new version and then takes the lock sees this plan (or a
+  // strictly better successor).
+  version_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+bool SharedIncumbent::snapshotNewer(std::uint64_t* last_seen, model::Floorplan* plan,
+                                    model::FloorplanCosts* costs) const {
+  const std::uint64_t v = version();
+  if (v == 0 || v == *last_seen) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_best_) return false;
+  // Re-read under the lock: the best may have advanced past `v`, and the
+  // copied plan must never be older than the version we report.
+  *last_seen = version();
+  if (plan) *plan = best_plan_;
+  if (costs) *costs = best_costs_;
+  return true;
+}
+
+bool SharedIncumbent::best(model::Floorplan* plan, model::FloorplanCosts* costs) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_best_) return false;
+  if (plan) *plan = best_plan_;
+  if (costs) *costs = best_costs_;
+  return true;
+}
+
+std::string SharedIncumbent::source() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return source_;
+}
+
+}  // namespace rfp::driver

@@ -1,0 +1,94 @@
+// Incumbent exchange channel for cooperating floorplanning engines.
+//
+// A portfolio run used to race its backends completely blind: the only thing
+// they shared was a stop flag. `SharedIncumbent` is the second channel next
+// to that flag — a lock-protected best-so-far floorplan that the incomplete
+// engines (annealer, constructive heuristic, HO) *publish* improving
+// solutions into mid-run, and that the provers (exact search, MILP-O)
+// *consume* as an objective cutoff: any node whose relaxation bound cannot
+// strictly beat the shared incumbent is pruned, and the provers publish
+// their own improvements back.
+//
+// The class deliberately depends on the model layer only, so the engine
+// option structs can hold a pointer to it exactly like they hold the
+// `std::atomic<bool>* stop` cancellation flag. Ordering between plans is
+// `model::strictlyBetter` under the owning problem's objective mode, which
+// is the same predicate the portfolio arbitration uses — an engine can never
+// "win" the channel with a plan the arbitration would rank lower.
+//
+// Concurrency contract: `publish` and the snapshot readers may be called
+// from any thread. The monotonic `version()` counter (bumped on every
+// adopted publish) makes polling cheap: consumers remember the last version
+// they saw and only take the lock when it moved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "model/floorplan.hpp"
+#include "model/problem.hpp"
+
+namespace rfp::driver {
+
+class SharedIncumbent {
+ public:
+  /// The problem defines the objective mode used to order incumbents and is
+  /// used to validate published plans; it must outlive the channel.
+  explicit SharedIncumbent(const model::FloorplanProblem& problem) : problem_(&problem) {}
+
+  SharedIncumbent(const SharedIncumbent&) = delete;
+  SharedIncumbent& operator=(const SharedIncumbent&) = delete;
+
+  /// Offers `plan` to the channel. Adopted (and the version bumped) only
+  /// when the channel is empty or `costs` strictly beats the current best
+  /// under the problem's objective; checker-invalid plans are always
+  /// rejected so consumers can trust every snapshot (the MILP adoption path
+  /// feeds snapshots straight into MilpFormulation::encode, which requires a
+  /// valid plan). `source` labels the publishing engine for telemetry.
+  /// Returns true when adopted.
+  bool publish(const model::Floorplan& plan, const model::FloorplanCosts& costs,
+               const char* source);
+
+  /// Monotonic adoption counter; 0 while the channel is empty. Never
+  /// decreases, and the best cost only improves as it grows.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Copies the current best when it is newer than `*last_seen` (updating
+  /// `*last_seen` to the copied version). Returns false when the channel is
+  /// empty or has not advanced — the fast path is one atomic load.
+  /// `plan`/`costs` may be null to poll cost-only or version-only.
+  bool snapshotNewer(std::uint64_t* last_seen, model::Floorplan* plan,
+                     model::FloorplanCosts* costs) const;
+
+  /// Copies the current best unconditionally. Returns false when empty.
+  bool best(model::Floorplan* plan, model::FloorplanCosts* costs) const;
+
+  // ---- telemetry -----------------------------------------------------------
+
+  /// Total publish attempts (adopted or not).
+  [[nodiscard]] long publishes() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Adopted publishes (== version()).
+  [[nodiscard]] long adoptions() const noexcept {
+    return static_cast<long>(version());
+  }
+  /// Label of the engine that published the current best ("-" while empty).
+  [[nodiscard]] std::string source() const;
+
+ private:
+  const model::FloorplanProblem* problem_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<long> publishes_{0};
+  mutable std::mutex mutex_;
+  model::Floorplan best_plan_;
+  model::FloorplanCosts best_costs_;
+  std::string source_ = "-";
+  bool has_best_ = false;
+};
+
+}  // namespace rfp::driver

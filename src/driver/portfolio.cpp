@@ -1,17 +1,31 @@
-// Portfolio mode: concurrent backends racing on one problem.
+// Portfolio mode: cooperating backends on one problem.
 //
-// Every backend gets the same deadline and a shared cancellation flag. A
-// backend that *proves* its result (optimal or infeasible, exhaustive
-// engines only) sets the flag, which the other engines observe at their next
-// poll point and unwind from — so the portfolio's wall clock tracks the
-// fastest prover, not the slowest member. Without a proof, everyone runs to
-// its own limit and the best incumbent under the problem's objective wins.
+// Every backend gets a shared cancellation flag and (unless disabled) a
+// SharedIncumbent exchange channel: the incomplete engines publish improving
+// floorplans mid-run, the provers consume them as objective cutoffs and
+// publish their own improvements back. A backend that *proves* its result
+// (optimal or infeasible, exhaustive engines only) sets the flag, which the
+// other engines observe at their next poll point and unwind from — so each
+// stage's wall clock tracks its fastest prover, not its slowest member
+// (a staged run additionally pays stage 1's slice, capped by
+// SolveRequest::stage1_max_seconds, before the provers start).
+// Without a proof, everyone runs to its own limit and the best incumbent
+// under the problem's objective wins.
+//
+// With a deadline, the race is staged instead of flat: the incomplete
+// engines (annealer, heuristic, HO) run first on a short slice of the
+// budget, their best incumbent seeds the provers' cutoff through the
+// channel, and the provers inherit the entire remaining budget — the
+// paper's fast-heuristic-feeds-exact-MILP combination as a scheduling
+// policy.
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 #include <thread>
 
 #include "driver/backend_runner.hpp"
 #include "driver/driver.hpp"
+#include "driver/incumbent.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::driver {
@@ -24,6 +38,27 @@ const std::vector<Backend>& defaultPortfolio() {
   static const std::vector<Backend> kDefault = {Backend::kSearch, Backend::kMilpO,
                                                 Backend::kMilpHO, Backend::kAnnealer};
   return kDefault;
+}
+
+/// Runs the members at `indices` concurrently, one thread per member. Each
+/// member that produces a proof raises the shared stop flag.
+void runStage(const model::FloorplanProblem& problem, const SolveRequest& request,
+              const std::vector<Backend>& backends, const std::vector<std::size_t>& indices,
+              std::atomic<bool>& stop, SharedIncumbent* channel,
+              std::vector<SolveResponse>& responses) {
+  // Each thread writes only its own element, and join() publishes the
+  // writes before arbitration reads them — no lock needed.
+  std::vector<std::thread> threads;
+  threads.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    threads.emplace_back([&, i] {
+      responses[i] = detail::runBackend(problem, request, backends[i], &stop, channel);
+      // Cancel the losers only on a proof: an incumbent without one could
+      // still be beaten by a backend that is mid-run.
+      if (detail::isProof(responses[i])) stop.store(true, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
 }
 
 }  // namespace
@@ -40,21 +75,43 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
     return only;
   }
 
+  SharedIncumbent channel(problem);
+  SharedIncumbent* chan = request.incumbent_exchange ? &channel : nullptr;
+
+  // Staged deadline splitting needs a budget to split, a channel to hand the
+  // stage-1 incumbent over, and both member classes present.
+  std::vector<std::size_t> incomplete, provers;
+  for (std::size_t i = 0; i < backends.size(); ++i)
+    (isExhaustive(backends[i]) ? provers : incomplete).push_back(i);
+  const bool staged = request.staged_deadlines && request.deadline_seconds > 0 &&
+                      request.stage1_fraction > 0 && chan != nullptr && !incomplete.empty() &&
+                      !provers.empty();
+
   std::atomic<bool> stop{false};
-  // Each thread writes only its own element, and join() publishes the
-  // writes before arbitration reads them — no lock needed.
   std::vector<SolveResponse> responses(backends.size());
-  std::vector<std::thread> threads;
-  threads.reserve(backends.size());
-  for (std::size_t i = 0; i < backends.size(); ++i) {
-    threads.emplace_back([&, i] {
-      responses[i] = detail::runBackend(problem, request, backends[i], &stop);
-      // Cancel the losers only on a proof: an incumbent without one could
-      // still be beaten by a backend that is mid-run.
-      if (detail::isProof(responses[i])) stop.store(true, std::memory_order_relaxed);
-    });
+  double stage1_seconds = 0.0;
+  if (staged) {
+    // Stage 1: incomplete engines on a slice of the budget (they stop
+    // earlier on their own limits). No proofs can arise here, so the stop
+    // flag stays clear for stage 2.
+    SolveRequest stage1 = request;
+    stage1.deadline_seconds =
+        request.deadline_seconds * std::min(1.0, request.stage1_fraction);
+    if (request.stage1_max_seconds > 0)
+      stage1.deadline_seconds = std::min(stage1.deadline_seconds, request.stage1_max_seconds);
+    runStage(problem, stage1, backends, incomplete, stop, chan, responses);
+    stage1_seconds = watch.seconds();
+
+    // Stage 2: the provers inherit everything that is left; the channel
+    // already holds stage 1's best incumbent as their cutoff.
+    SolveRequest stage2 = request;
+    stage2.deadline_seconds = std::max(0.01, request.deadline_seconds - stage1_seconds);
+    runStage(problem, stage2, backends, provers, stop, chan, responses);
+  } else {
+    std::vector<std::size_t> all(backends.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    runStage(problem, request, backends, all, stop, chan, responses);
   }
-  for (std::thread& t : threads) t.join();
 
   // Arbitration: proof of optimality > proof of infeasibility > best
   // incumbent (problem objective; ties to the earlier portfolio position) >
@@ -77,16 +134,42 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
       if (!winner || model::strictlyBetter(problem, r.costs, winner->costs)) winner = &r;
     }
 
+  // The winner's own work count: summing across members would add B&B nodes
+  // to annealer iterations, a meaningless mixed-unit figure. Per-member
+  // counts stay in `members` (and each member's detail string).
   SolveResponse out = winner ? *winner : SolveResponse{};
-  std::ostringstream detail;
-  detail << "portfolio[" << backends.size() << "] winner=" << (winner ? toString(out.backend) : "-");
-  long nodes = 0;
+  out.members.clear();
   for (std::size_t i = 0; i < backends.size(); ++i) {
-    detail << " | " << responses[i].detail;
-    nodes += responses[i].nodes;
+    PortfolioMemberStats m;
+    m.backend = backends[i];
+    m.status = responses[i].status;
+    m.stage = !staged ? 0 : (isExhaustive(backends[i]) ? 2 : 1);
+    m.seconds = responses[i].seconds;
+    m.nodes = responses[i].nodes;
+    m.published = responses[i].incumbent_published;
+    m.adopted = responses[i].incumbent_adopted;
+    m.cutoff_prunes = responses[i].cutoff_prunes;
+    out.members.push_back(m);
   }
+  if (chan) {
+    out.incumbent.source = chan->source();
+    out.incumbent.publishes = chan->publishes();
+    out.incumbent.adoptions = chan->adoptions();
+    for (const SolveResponse& r : responses) out.incumbent.cutoff_prunes += r.cutoff_prunes;
+  }
+  out.incumbent.staged = staged;
+  out.incumbent.stage1_seconds = stage1_seconds;
+
+  std::ostringstream detail;
+  detail << "portfolio[" << backends.size() << "]";
+  if (staged) detail << " staged(stage1=" << stage1_seconds << "s)";
+  if (chan)
+    detail << " incumbent(source=" << out.incumbent.source
+           << " adoptions=" << out.incumbent.adoptions
+           << " cutoff-prunes=" << out.incumbent.cutoff_prunes << ")";
+  detail << " winner=" << (winner ? toString(out.backend) : "-");
+  for (const SolveResponse& r : responses) detail << " | " << r.detail;
   out.detail = detail.str();
-  out.nodes = nodes;
   out.seconds = watch.seconds();
   return out;
 }

@@ -15,7 +15,36 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
   if (response.hasSolution() || response.status == SolveStatus::kInfeasible)
     w.key("backend").value(toString(response.backend));
   w.key("seconds").value(response.seconds);
+  // The winner's own work count (mixed units across backends are never
+  // summed); per-member figures are in the "portfolio" array.
   w.key("nodes").value(response.nodes);
+  if (!response.members.empty()) {
+    w.key("portfolio").beginArray();
+    for (const PortfolioMemberStats& m : response.members) {
+      w.beginObject();
+      w.key("backend").value(toString(m.backend));
+      w.key("status").value(toString(m.status));
+      if (m.stage > 0) w.key("stage").value(m.stage);
+      w.key("seconds").value(m.seconds);
+      w.key("nodes").value(m.nodes);
+      if (m.published > 0) w.key("published").value(m.published);
+      if (m.adopted > 0) w.key("adopted").value(m.adopted);
+      if (m.cutoff_prunes > 0) w.key("cutoff_prunes").value(m.cutoff_prunes);
+      w.endObject();
+    }
+    w.endArray();
+  }
+  if (response.incumbent.publishes > 0 || response.incumbent.staged) {
+    w.key("incumbent").beginObject();
+    w.key("source").value(response.incumbent.source);
+    w.key("publishes").value(response.incumbent.publishes);
+    w.key("adoptions").value(response.incumbent.adoptions);
+    w.key("cutoff_prunes").value(response.incumbent.cutoff_prunes);
+    w.key("staged").value(response.incumbent.staged);
+    if (response.incumbent.staged)
+      w.key("stage1_seconds").value(response.incumbent.stage1_seconds);
+    w.endObject();
+  }
   if (response.lp.solves > 0) {
     w.key("lp").beginObject();
     w.key("engine").value(response.lp.engine);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "driver/incumbent.hpp"
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/rng.hpp"
@@ -121,7 +122,11 @@ std::optional<model::Floorplan> constructiveFloorplan(const model::FloorplanProb
       }
     }
     auto fp = attempt(problem, order, cands, options.place_fc_areas, shape_skip);
-    if (fp && model::check(problem, *fp).empty()) return fp;
+    if (fp && model::check(problem, *fp).empty()) {
+      if (options.incumbent)
+        options.incumbent->publish(*fp, model::evaluate(problem, *fp), "heuristic");
+      return fp;
+    }
   }
   return std::nullopt;
 }

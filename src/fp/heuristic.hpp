@@ -14,6 +14,10 @@
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
 
+namespace rfp::driver {
+class SharedIncumbent;  // driver/incumbent.hpp
+}
+
 namespace rfp::fp {
 
 struct HeuristicOptions {
@@ -26,6 +30,11 @@ struct HeuristicOptions {
   /// heuristic gives up (as if every remaining restart failed). The pointee
   /// must outlive the call. Used by driver portfolios.
   std::atomic<bool>* stop = nullptr;
+  /// Incumbent exchange channel (driver portfolios): the first feasible
+  /// construction is published before it is returned, so the provers see it
+  /// even when the caller discards or post-processes the result. The pointee
+  /// must outlive the call.
+  driver::SharedIncumbent* incumbent = nullptr;
 };
 
 /// Returns a fully feasible floorplan (model::check passes) or std::nullopt

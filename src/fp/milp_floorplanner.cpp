@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "driver/incumbent.hpp"
 #include "fp/seqpair.hpp"
 #include "lp/lp_solver.hpp"
 #include "lp/sparse/csc.hpp"
@@ -45,6 +46,8 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   FpResult result;
   std::ostringstream detail;
   const auto accumulateLpStats = [&result](const milp::MipResult& mip) {
+    result.adopted += mip.external_adoptions;
+    result.external_prunes += mip.cutoff_prunes;
     if (mip.lp_solves > 0) result.lp_engine = mip.lp_engine;
     result.lp_solves += mip.lp_solves;
     result.lp_iterations += mip.lp_iterations;
@@ -69,11 +72,27 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
   std::optional<SequencePair> sp;
   HeuristicOptions hopt = options_.heuristic;
   if (!hopt.stop) hopt.stop = options_.milp.stop;  // one flag cancels all stages
+  hopt.incumbent = options_.incumbent;  // the construction is a publishable incumbent
   if (options_.time_limit_seconds > 0)
     hopt.time_limit_seconds = hopt.time_limit_seconds > 0
                                   ? std::min(hopt.time_limit_seconds, options_.time_limit_seconds)
                                   : options_.time_limit_seconds;
   warm = constructiveFloorplan(problem, hopt);
+  // O only: a floorplan already in the exchange channel (a faster engine's,
+  // or a staged portfolio's first slice) that beats the construction makes
+  // the better warm start — the paper's heuristic-feeds-exact-MILP
+  // combination. HO keeps its own construction: swapping in the channel
+  // plan would also swap the sequence pair, silently changing HO's
+  // restricted search space (and possibly for the worse, breaking the
+  // portfolio's exchange-never-worse guarantee); the channel plan still
+  // reaches HO through the feasibility-gated mid-run poll below.
+  if (options_.incumbent && options_.algorithm == Algorithm::kO) {
+    model::Floorplan chan_plan;
+    model::FloorplanCosts chan_costs;
+    if (options_.incumbent->best(&chan_plan, &chan_costs) &&
+        (!warm || model::strictlyBetter(problem, chan_costs, model::evaluate(problem, *warm))))
+      warm = std::move(chan_plan);
+  }
   if (options_.algorithm == Algorithm::kHO) {
     if (!warm) {
       result.status = FpStatus::kNoSolution;
@@ -143,6 +162,27 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
       const double remaining = std::max(0.01, deadline.remaining());
       mopt.time_limit_seconds =
           mopt.time_limit_seconds > 0 ? std::min(mopt.time_limit_seconds, remaining) : remaining;
+    }
+    if (options_.incumbent) {
+      // Bridge the floorplan-level channel to the solver's encoded points.
+      // The lambdas bind this stage's formulation; they are only invoked
+      // inside solver.solve(), while `formulation` is alive. A snapshot that
+      // violates this stage's extra rows (waste cap, sequence pair) is
+      // rejected by the solver's feasibility gate, not here.
+      driver::SharedIncumbent* chan = options_.incumbent;
+      const char* source = options_.algorithm == Algorithm::kO ? "milp-o" : "milp-ho";
+      mopt.incumbent_poll = [chan, &formulation,
+                             seen = std::uint64_t{0}]() mutable -> std::optional<std::vector<double>> {
+        model::Floorplan plan;
+        if (!chan->snapshotNewer(&seen, &plan, nullptr)) return std::nullopt;
+        return formulation.encode(plan);
+      };
+      mopt.incumbent_publish = [chan, &formulation, &problem, &result,
+                                source](const std::vector<double>& x) {
+        const model::Floorplan plan = formulation.extract(x);
+        ++result.published;
+        chan->publish(plan, model::evaluate(problem, plan), source);
+      };
     }
     milp::MilpSolver solver(mopt);
     milp::MipResult mip = solver.solve(formulation.model(), std::move(encoded));

@@ -22,6 +22,10 @@
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
 
+namespace rfp::driver {
+class SharedIncumbent;  // driver/incumbent.hpp
+}
+
 namespace rfp::fp {
 
 enum class Algorithm { kO, kHO };
@@ -52,6 +56,14 @@ struct MilpFloorplannerOptions {
   /// solve on the sparse engine. The gate still protects the dense path
   /// when the engine selection is pinned to kDense. <= 0: no cap.
   double max_lp_gib = 1.0;
+  /// Incumbent exchange channel (driver portfolios). For O, a published
+  /// plan better than the heuristic's is adopted as the warm start (HO
+  /// keeps its own construction — its sequence pair defines the restricted
+  /// space and must not silently change); each MILP stage polls the channel
+  /// at node boundaries — encoding snapshots into the stage's model as
+  /// feasibility-gated cutoffs — and every improving incumbent the stages
+  /// find is published back. The pointee must outlive solve().
+  driver::SharedIncumbent* incumbent = nullptr;
 };
 
 struct FpResult {
@@ -72,6 +84,10 @@ struct FpResult {
   long lp_bound_flips = 0;
   long lp_ft_updates = 0;
   long lp_dual_reopts = 0;  ///< node solves answered by the dual fast path
+  // Incumbent-exchange telemetry (zero without a channel).
+  long published = 0;        ///< incumbents offered to the channel
+  long adopted = 0;          ///< external incumbents adopted as cutoffs
+  long external_prunes = 0;  ///< MILP nodes pruned against an external cutoff
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == FpStatus::kOptimal || status == FpStatus::kFeasible;

@@ -133,6 +133,7 @@ class Search {
         truncated = true;
         break;
       }
+      adoptExternalIncumbent(res);
       HeapEntry top = heap_.top();
       heap_.pop();
       // Prune against the incumbent before solving (releasing the pruned
@@ -140,6 +141,7 @@ class Search {
       // and thousands of nodes can be pruned without ever being processed).
       if (hasIncumbent() && top.bound >= incumbent_obj_ - absGapSlack()) {
         nodes_[static_cast<std::size_t>(top.node)].start_basis.reset();
+        if (incumbent_external_) ++res.cutoff_prunes;
         continue;
       }
 
@@ -150,6 +152,7 @@ class Search {
           truncated = true;
           break;
         }
+        if (dive > 0) adoptExternalIncumbent(res);  // dives outlive the heap poll
         ++res.nodes;
         current = processNode(current, res, root_unbounded);
       }
@@ -157,7 +160,12 @@ class Search {
     }
 
     // ---- final status assembly ----
-    truncated = truncated || dropped_node_;
+    // A run that ends with the external stop flag set never claims a proof,
+    // even when every node happened to be processed before the flag was
+    // observed: the flag means another engine settled the problem, and a
+    // cancelled run racing it must not hand arbitration a second "proof"
+    // whose final LPs may have been cut short mid-pivot.
+    truncated = truncated || dropped_node_ || externallyStopped();
     res.seconds = watch.seconds();
     double bound;
     if (truncated) {
@@ -207,6 +215,27 @@ class Search {
   }
   [[nodiscard]] double absGapSlack() const {
     return hasIncumbent() ? opt_.gap_tol * std::max(1.0, std::abs(incumbent_obj_)) : 0.0;
+  }
+
+  /// Polls the incumbent-exchange callback and adopts its point as the
+  /// objective cutoff when it is integer-feasible for this (possibly cut-
+  /// and presolve-augmented) model and beats the current incumbent. Cover
+  /// cuts and presolve preserve every integer-feasible point, so a genuinely
+  /// feasible external plan passes; HO's sequence-pair rows legitimately
+  /// reject plans outside the restricted space.
+  void adoptExternalIncumbent(MipResult& res) {
+    if (!opt_.incumbent_poll) return;
+    std::optional<std::vector<double>> x = opt_.incumbent_poll();
+    if (!x || !model_.isFeasible(*x, opt_.int_tol)) return;
+    const double obj = signedObj(model_.evalObjective(*x));
+    if (hasIncumbent() && obj >= incumbent_obj_ - 1e-12) return;
+    incumbent_ = std::move(*x);
+    roundIntegers(incumbent_);
+    incumbent_obj_ = obj;
+    incumbent_external_ = true;
+    ++res.external_adoptions;
+    if (opt_.log_progress)
+      RFP_LOG_INFO("milp: adopted external incumbent " << userObj(incumbent_obj_));
   }
 
   void materializeBounds(int node, std::vector<double>& lb, std::vector<double>& ub) const {
@@ -292,7 +321,10 @@ class Search {
     }
 
     const double bound = signedObj(rel.objective);
-    if (hasIncumbent() && bound >= incumbent_obj_ - absGapSlack()) return -1;
+    if (hasIncumbent() && bound >= incumbent_obj_ - absGapSlack()) {
+      if (incumbent_external_) ++res.cutoff_prunes;
+      return -1;
+    }
 
     // Pseudo-cost update: this node's LP bound vs the parent bound measures
     // the objective degradation of the branch that created it.
@@ -317,6 +349,8 @@ class Search {
         incumbent_ = rel.x;
         roundIntegers(incumbent_);
         incumbent_obj_ = bound;
+        incumbent_external_ = false;
+        if (opt_.incumbent_publish) opt_.incumbent_publish(incumbent_);
         if (opt_.log_progress)
           RFP_LOG_INFO("milp: incumbent " << userObj(incumbent_obj_) << " at node " << res.nodes);
       }
@@ -421,6 +455,8 @@ class Search {
     if (!hasIncumbent() || obj < incumbent_obj_ - 1e-12) {
       incumbent_ = std::move(cand);
       incumbent_obj_ = obj;
+      incumbent_external_ = false;
+      if (opt_.incumbent_publish) opt_.incumbent_publish(incumbent_);
       if (opt_.log_progress) RFP_LOG_INFO("milp: rounding incumbent " << userObj(obj));
     }
   }
@@ -458,8 +494,18 @@ class Search {
 
   std::vector<double> incumbent_;
   double incumbent_obj_ = lp::kInfinity;
+  bool incumbent_external_ = false;  ///< current incumbent came from the channel
   const Deadline* deadline_ = nullptr;  ///< run()'s deadline, for node LP caps
 };
+
+/// Boundary guard for the non-search return paths (pure LP, root presolve):
+/// a solve that ends with the external stop flag set is a cancellation, and
+/// a cancelled run must never hand the caller a proof.
+void downgradeIfCancelled(MipResult& res, const MilpSolver::Options& opt) {
+  if (!opt.stop || !opt.stop->load(std::memory_order_relaxed)) return;
+  if (res.status == MipStatus::kOptimal) res.status = MipStatus::kFeasible;
+  else if (res.status == MipStatus::kInfeasible) res.status = MipStatus::kNoSolution;
+}
 
 }  // namespace
 
@@ -492,6 +538,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
       case lp::LpStatus::kUnbounded: res.status = MipStatus::kUnbounded; break;
       default: res.status = MipStatus::kNoSolution; break;
     }
+    downgradeIfCancelled(res, options_);
     return res;
   }
   // Working copy: presolve tightens its variable bounds; cover cuts append
@@ -514,6 +561,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
     if (pr.infeasible) {
       MipResult res;
       res.status = MipStatus::kInfeasible;
+      downgradeIfCancelled(res, options_);
       return res;
     }
     for (int j = 0; j < work.numVars(); ++j)

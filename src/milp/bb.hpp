@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +59,9 @@ struct MipResult {
   long lp_bound_flips = 0;      ///< bound-to-bound moves without a basis change
   long lp_ft_updates = 0;       ///< Forrest–Tomlin factor updates applied
   long lp_dual_reopts = 0;      ///< node solves answered by the dual fast path
+  // Incumbent-exchange telemetry (zero without the callbacks below).
+  long external_adoptions = 0;  ///< external incumbents adopted as the cutoff
+  long cutoff_prunes = 0;       ///< nodes pruned against an external cutoff
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -81,8 +85,23 @@ class MilpSolver {
     /// Cooperative external cancellation: when non-null and set, the solve
     /// terminates at the next node boundary with a truncated status (an
     /// incumbent stays kFeasible, never kOptimal unless the gap closed).
-    /// The pointee must outlive solve(). Used by driver portfolios.
+    /// A run that ends with the flag set never claims kOptimal/kInfeasible:
+    /// a cancelled run is not a proof. The pointee must outlive solve().
+    /// Used by driver portfolios.
     std::atomic<bool>* stop = nullptr;
+    /// Incumbent exchange (driver portfolios), phrased over encoded model
+    /// points so the solver stays floorplan-agnostic — the fp layer wraps a
+    /// SharedIncumbent with MilpFormulation encode/extract.
+    ///
+    /// `incumbent_poll` is called at node boundaries; when it returns a
+    /// point that is integer-feasible for this model and beats the current
+    /// incumbent objective, it is adopted as the cutoff (pruning every node
+    /// whose relaxation bound cannot beat it). Cheap no-change polls are the
+    /// wrapper's job (version-counter check).
+    std::function<std::optional<std::vector<double>>()> incumbent_poll;
+    /// Called with every improving incumbent the search itself finds
+    /// (integral LP optima and rounding-heuristic hits).
+    std::function<void(const std::vector<double>&)> incumbent_publish;
     /// LP substrate: engine selection (auto picks dense or sparse by model
     /// size), shared tolerances/limits, and sparse-engine knobs.
     lp::LpSolver::Options lp;

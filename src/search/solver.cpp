@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "driver/incumbent.hpp"
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/check.hpp"
@@ -73,6 +74,14 @@ struct Shared {
   std::mutex mutex;
   model::Floorplan best_plan;
   bool has_plan = false;
+  // Incumbent-exchange bookkeeping. `best_is_external` tags whether the
+  // current best_key was seeded by the channel (so prunes against it can be
+  // attributed); it is advisory — a racy read only misattributes telemetry,
+  // never correctness.
+  std::atomic<bool> best_is_external{false};
+  std::atomic<long> external_prunes{0};
+  std::atomic<long> published{0};
+  std::atomic<long> adopted{0};
 };
 
 /// Lexicographic key: wasted frames in the high 32 bits, wire length scaled
@@ -87,6 +96,42 @@ std::uint64_t lexKey(long waste, double wl) {
 /// Weighted key: Eq. 14 objective scaled to integers.
 std::uint64_t weightedKey(double objective) {
   return static_cast<std::uint64_t>(std::min(std::max(0.0, objective) * 1e15, 1e18));
+}
+
+/// Cost key of a finished floorplan under the active objective mode — the
+/// same mapping recordSolution() applies to the search's own solutions, so
+/// external incumbents and internal ones are ranked identically.
+std::uint64_t costKey(const SearchOptions& opt, const model::FloorplanCosts& costs) {
+  return opt.mode == ObjectiveMode::kLexicographic
+             ? lexKey(costs.wasted_frames, opt.optimize_wirelength ? costs.wire_length : 0.0)
+             : weightedKey(costs.objective);
+}
+
+/// Polls the incumbent channel and adopts a newer external plan as the
+/// shared search incumbent when it beats the current best key. Adopted plans
+/// participate exactly like search-found ones: they seed the bound-pruning
+/// cutoff and are returned when nothing better is found.
+void adoptExternalIncumbent(const Instance& inst, Shared& shared, std::uint64_t* seen) {
+  if (!inst.opt.incumbent) return;
+  model::Floorplan plan;
+  model::FloorplanCosts costs;
+  if (!inst.opt.incumbent->snapshotNewer(seen, &plan, &costs)) return;
+  const std::uint64_t key = costKey(inst.opt, costs);
+  bool lowered = false;
+  std::uint64_t cur = shared.best_key.load(std::memory_order_relaxed);
+  while (key < cur)
+    if (shared.best_key.compare_exchange_weak(cur, key)) {
+      lowered = true;
+      break;
+    }
+  if (!lowered) return;  // ties keep the resident plan — equal keys rank equal
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  if (key <= shared.best_key.load() || !shared.has_plan) {
+    shared.best_plan = std::move(plan);
+    shared.has_plan = true;
+    shared.best_is_external.store(true, std::memory_order_relaxed);
+    shared.adopted.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 /// Weighted-HPWL over nets counting only placed pins — admissible lower
@@ -138,11 +183,13 @@ class Worker {
  private:
   [[nodiscard]] bool aborted() {
     if (shared_.stop.load(std::memory_order_relaxed)) return true;
-    if ((local_nodes_ & 255) == 0 &&
-        (deadline_.expired() ||
-         (inst_.opt.stop && inst_.opt.stop->load(std::memory_order_relaxed)))) {
-      shared_.stop.store(true);
-      return true;
+    if ((local_nodes_ & 255) == 0) {
+      if (deadline_.expired() ||
+          (inst_.opt.stop && inst_.opt.stop->load(std::memory_order_relaxed))) {
+        shared_.stop.store(true);
+        return true;
+      }
+      adoptExternalIncumbent(inst_, shared_, &incumbent_seen_);
     }
     return false;
   }
@@ -201,9 +248,12 @@ class Worker {
       need_[t] += k_fc * s.covered[t] - (1 + k_fc) * inst_.req[static_cast<std::size_t>(n)][t];
     }
 
-    if (quickFcCheckAll() &&
-        boundKey(depth + 1) < shared_.best_key.load(std::memory_order_relaxed))
-      descendRegions(depth + 1);
+    if (quickFcCheckAll()) {
+      if (boundKey(depth + 1) < shared_.best_key.load(std::memory_order_relaxed))
+        descendRegions(depth + 1);
+      else if (shared_.best_is_external.load(std::memory_order_relaxed))
+        ++local_external_prunes_;
+    }
 
     for (std::size_t t = 0; t < nt; ++t) {
       used_[t] -= s.covered[t];
@@ -263,8 +313,11 @@ class Worker {
                             inst_.candidates[static_cast<std::size_t>(n)].min_waste;
       if (inst_.opt.waste_budget >= 0 && waste_lb > inst_.opt.waste_budget) break;
       if (inst_.opt.mode == ObjectiveMode::kLexicographic &&
-          lexKey(waste_lb, 0.0) >= best)
+          lexKey(waste_lb, 0.0) >= best) {
+        if (shared_.best_is_external.load(std::memory_order_relaxed))
+          ++local_external_prunes_;
         break;
+      }
       for (const int y : s.ys) {
         if (occ_.overlaps(Rect{s.x, y, s.w, s.h})) continue;
         placeRegion(depth, n, s, y);
@@ -365,21 +418,26 @@ class Worker {
       if (fc_placed_[i]) plan.fc_areas[i].rect = fc_rects_[i];
     }
     const model::FloorplanCosts costs = model::evaluate(inst_.prob(), plan);
-    const std::uint64_t key =
-        inst_.opt.mode == ObjectiveMode::kLexicographic
-            ? lexKey(costs.wasted_frames,
-                     inst_.opt.optimize_wirelength ? costs.wire_length : 0.0)
-            : weightedKey(costs.objective);
+    const std::uint64_t key = costKey(inst_.opt, costs);
 
+    bool adopted_own = false;
     std::uint64_t cur = shared_.best_key.load(std::memory_order_relaxed);
     while (key < cur && !shared_.best_key.compare_exchange_weak(cur, key)) {
     }
     if (key <= cur || !shared_.has_plan) {
       std::lock_guard<std::mutex> lock(shared_.mutex);
       if (key <= shared_.best_key.load() || !shared_.has_plan) {
-        shared_.best_plan = std::move(plan);
+        shared_.best_plan = plan;  // keep `plan` for the publish below
         shared_.has_plan = true;
+        shared_.best_is_external.store(false, std::memory_order_relaxed);
+        adopted_own = true;
       }
+    }
+    // Publish outside the mutex: the channel re-validates and takes its own
+    // lock, and a slow publish must not stall sibling workers.
+    if (adopted_own && inst_.opt.incumbent) {
+      shared_.published.fetch_add(1, std::memory_order_relaxed);
+      inst_.opt.incumbent->publish(plan, costs, "search");
     }
     if (inst_.opt.feasibility_only) shared_.stop.store(true);
   }
@@ -393,7 +451,11 @@ class Worker {
   }
 
  public:
-  void finish() { flushNodes(); }
+  void finish() {
+    flushNodes();
+    shared_.external_prunes.fetch_add(local_external_prunes_, std::memory_order_relaxed);
+    local_external_prunes_ = 0;
+  }
 
  private:
   const Instance& inst_;
@@ -412,12 +474,17 @@ class Worker {
   double fc_entry_rl_ = 0;  ///< rl_ on entering the FC phase (early-stop ref)
   long local_nodes_ = 0;
   long flushed_nodes_ = 0;
+  long local_external_prunes_ = 0;
+  std::uint64_t incumbent_seen_ = 0;  ///< last channel version this worker saw
 };
 
 Instance buildInstance(const model::FloorplanProblem& problem, const SearchOptions& opt) {
   Instance inst;
   inst.problem = &problem;
   inst.opt = opt;
+  // Incumbent exchange would defeat feasibility_only: an adopted plan counts
+  // as "found" without the search having proven anything about this probe.
+  if (inst.opt.feasibility_only) inst.opt.incumbent = nullptr;
 
   const std::string problem_error = problem.validateStructure();
   RFP_CHECK_MSG(problem_error.empty(), "invalid problem: " << problem_error);
@@ -527,6 +594,11 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
   const Instance inst = buildInstance(problem, options_);
   Shared shared;
 
+  // Seed the cutoff from the channel before the root fan-out: an incumbent
+  // published by a faster engine prunes from the very first node.
+  std::uint64_t root_seen = 0;
+  adoptExternalIncumbent(inst, shared, &root_seen);
+
   // Root decomposition: the first region's candidate placements.
   const int first = inst.region_order.empty() ? -1 : inst.region_order[0];
   std::vector<std::pair<std::size_t, std::size_t>> roots;
@@ -569,8 +641,17 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
 
   result.nodes = shared.nodes.load();
   result.seconds = watch.seconds();
+  result.published = shared.published.load();
+  result.adopted = shared.adopted.load();
+  result.external_prunes = shared.external_prunes.load();
+  // A cancelled run is not a proof: even when every worker happened to
+  // exhaust its subtree without observing the flag, a set stop flag at the
+  // boundary downgrades the verdict (the portfolio's winner already holds
+  // the real proof).
+  const bool externally_cancelled =
+      options_.stop && options_.stop->load(std::memory_order_relaxed);
   const bool truncated =
-      shared.stop.load() &&
+      (shared.stop.load() || externally_cancelled) &&
       !(options_.feasibility_only && shared.has_plan);  // feasibility stop ≠ limit
   if (shared.has_plan) {
     result.plan = shared.best_plan;

@@ -23,6 +23,10 @@
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
 
+namespace rfp::driver {
+class SharedIncumbent;  // driver/incumbent.hpp
+}
+
 namespace rfp::search {
 
 enum class ObjectiveMode { kLexicographic, kWeighted };
@@ -48,6 +52,12 @@ struct SearchOptions {
   /// stops at the next poll point and reports a truncated status (never a
   /// proof). The pointee must outlive solve(). Used by driver portfolios.
   std::atomic<bool>* stop = nullptr;
+  /// Incumbent exchange channel (driver portfolios): externally published
+  /// floorplans are adopted as the search incumbent — seeding the
+  /// bound-pruning cutoff at the root and at every poll point — and every
+  /// improving incumbent the search finds is published back. Ignored in
+  /// feasibility_only mode. The pointee must outlive solve().
+  driver::SharedIncumbent* incumbent = nullptr;
 };
 
 struct SearchResult {
@@ -56,6 +66,10 @@ struct SearchResult {
   model::FloorplanCosts costs;  ///< evaluated costs of `plan`
   long nodes = 0;
   double seconds = 0.0;
+  // Incumbent-exchange telemetry (zero without a channel).
+  long published = 0;        ///< incumbents offered to the channel
+  long adopted = 0;          ///< external incumbents adopted as the cutoff
+  long external_prunes = 0;  ///< subtrees pruned against an external cutoff
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SearchStatus::kOptimal || status == SearchStatus::kFeasible;

@@ -1,11 +1,17 @@
 // Driver subsystem: backend dispatch, portfolio arbitration + cancellation,
-// deadline handling, and batch determinism across pool sizes.
+// incumbent exchange, staged deadlines, deadline handling, and batch
+// determinism / cancellation across pool sizes.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "device/builders.hpp"
+#include "driver/backend_runner.hpp"
 #include "driver/driver.hpp"
+#include "driver/incumbent.hpp"
 #include "model/floorplan.hpp"
 #include "model/generator.hpp"
 #include "model/problem.hpp"
@@ -107,7 +113,9 @@ TEST(DriverPortfolio, MatchesTheExactOptimumOnTheSdrProblem) {
   const Driver drv;
   SolveRequest req;
   req.num_threads = 2;
-  req.deadline_seconds = 300.0;  // ample; the search proof cancels the rest
+  // Ample for the provers; short enough that the staged first slice (a
+  // quarter of this) does not dominate the test's wall clock.
+  req.deadline_seconds = 12.0;
   const SolveResponse res = drv.solvePortfolio(sdr, req);
   ASSERT_EQ(res.status, SolveStatus::kOptimal) << res.detail;
   EXPECT_EQ(res.costs.wasted_frames, ref.costs.wasted_frames);
@@ -202,6 +210,256 @@ TEST(DriverBatch, ResultsAreIndependentOfThePoolSize) {
         << "problem " << i;
     EXPECT_EQ(model::check(*ptrs[i], pooled[i].plan), "") << "problem " << i;
   }
+}
+
+TEST(DriverPortfolio, StagedDeadlinesSeedTheProversAndReportTelemetry) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.num_threads = 2;
+  req.deadline_seconds = 12.0;
+  req.annealer.iterations = 20000;  // a quick stage-1 publisher
+  const SolveResponse res = drv.solvePortfolio(sdr, req);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal) << res.detail;
+  EXPECT_TRUE(res.incumbent.staged) << res.detail;
+  EXPECT_GT(res.incumbent.adoptions, 0) << res.detail;  // stage 1 published
+  ASSERT_EQ(res.members.size(), 4u);
+  for (const PortfolioMemberStats& m : res.members) {
+    EXPECT_EQ(m.stage, isExhaustive(m.backend) ? 2 : 1) << toString(m.backend);
+    // The winner's `nodes` is its own count, not a sum across members.
+    if (m.backend == res.backend) {
+      EXPECT_EQ(res.nodes, m.nodes);
+    }
+  }
+}
+
+TEST(DriverPortfolio, ExchangeNeverWorseThanTheBlindRace) {
+  // Satellite invariant: with the incumbent channel (and staging), the
+  // portfolio never returns a worse floorplan than the blind flat race on
+  // the same instance — in either objective mode.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCCCCBC", 6);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.max_region_width = 4;
+  gopt.max_region_height = 3;
+  const Driver drv;
+  for (const bool lexicographic : {true, false}) {
+    int exercised = 0;
+    for (std::uint64_t seed = 1; exercised < 3 && seed < 40; ++seed) {
+      gopt.seed = seed;
+      auto p = model::generateProblem(dev, gopt);
+      if (!p) continue;
+      ++exercised;
+      p->setLexicographic(lexicographic);
+
+      SolveRequest req;
+      req.deadline_seconds = 8.0;
+      req.annealer.iterations = 20000;  // instances are tiny; keep races quick
+      req.incumbent_exchange = false;
+      req.staged_deadlines = false;
+      const SolveResponse blind = drv.solvePortfolio(*p, req);
+      req.incumbent_exchange = true;
+      req.staged_deadlines = true;
+      const SolveResponse coop = drv.solvePortfolio(*p, req);
+
+      ASSERT_TRUE(blind.hasSolution()) << "seed " << seed << ": " << blind.detail;
+      ASSERT_TRUE(coop.hasSolution()) << "seed " << seed << ": " << coop.detail;
+      EXPECT_FALSE(model::strictlyBetter(*p, blind.costs, coop.costs))
+          << "seed " << seed << " lex=" << lexicographic << ": exchange lost ("
+          << coop.detail << ")";
+      EXPECT_EQ(model::check(*p, coop.plan), "") << "seed " << seed;
+    }
+    EXPECT_GE(exercised, 2);
+  }
+}
+
+TEST(SharedIncumbentChannel, ConcurrentPublishesAreMonotoneAndKeepTheBest) {
+  // Property: under concurrent publishes the channel's best cost never
+  // worsens between observations, and the final best is not beaten by any
+  // published cost.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  // One checker-valid plan (publish re-validates plans); the synthetic cost
+  // vectors attached to it drive the ordering under test.
+  const search::SearchResult ref = search::ColumnarSearchSolver().solve(p);
+  ASSERT_TRUE(ref.hasSolution());
+
+  SharedIncumbent channel(p);
+  constexpr int kThreads = 4;
+  constexpr long kPublishes = 400;
+  std::atomic<bool> go{false};
+  std::atomic<long> best_seen_waste{1L << 40};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      // Distinct deterministic cost sequences per thread, non-monotone on
+      // purpose so the channel has to reject the worsening ones.
+      for (long i = 0; i < kPublishes; ++i) {
+        model::FloorplanCosts costs;
+        costs.wasted_frames = ((i * 37 + t * 11) % 1000) + 1;
+        costs.wire_length = static_cast<double>(t);
+        channel.publish(ref.plan, costs, "writer");
+        long cur = best_seen_waste.load();
+        while (costs.wasted_frames < cur &&
+               !best_seen_waste.compare_exchange_weak(cur, costs.wasted_frames)) {
+        }
+      }
+    });
+  std::thread reader([&] {
+    model::FloorplanCosts prev;
+    bool have_prev = false;
+    std::uint64_t seen = 0;
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 10000; ++i) {
+      model::FloorplanCosts cur;
+      if (!channel.snapshotNewer(&seen, nullptr, &cur)) continue;
+      if (have_prev) {
+        EXPECT_FALSE(model::strictlyBetter(p, prev, cur))
+            << "channel went backwards: " << prev.wasted_frames << " -> " << cur.wasted_frames;
+      }
+      prev = cur;
+      have_prev = true;
+    }
+  });
+  go.store(true);
+  for (std::thread& w : writers) w.join();
+  reader.join();
+
+  model::FloorplanCosts final_costs;
+  ASSERT_TRUE(channel.best(nullptr, &final_costs));
+  EXPECT_EQ(final_costs.wasted_frames, best_seen_waste.load());
+  EXPECT_EQ(channel.publishes(), static_cast<long>(kThreads) * kPublishes);
+  EXPECT_GT(channel.adoptions(), 0);
+  EXPECT_EQ(channel.adoptions(), static_cast<long>(channel.version()));
+}
+
+TEST(SharedIncumbentChannel, SearchProvesASeededIncumbentOptimal) {
+  // Seed the channel with the known optimum: the search must adopt it
+  // (pruning from the root) and still prove optimality — returning the
+  // seeded plan, since nothing strictly better exists.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const search::SearchResult ref = search::ColumnarSearchSolver().solve(p);
+  ASSERT_EQ(ref.status, search::SearchStatus::kOptimal);
+
+  SharedIncumbent channel(p);
+  ASSERT_TRUE(channel.publish(ref.plan, ref.costs, "annealer"));
+
+  search::SearchOptions opt;
+  opt.incumbent = &channel;
+  const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(p);
+  EXPECT_EQ(res.status, search::SearchStatus::kOptimal);
+  EXPECT_EQ(res.adopted, 1);
+  EXPECT_EQ(res.costs.wasted_frames, ref.costs.wasted_frames);
+  // The search ranks plans by a wire-length key quantized at 1/64, so an
+  // equal-key tie may swap in a plan within that resolution of the optimum.
+  EXPECT_NEAR(res.costs.wire_length, ref.costs.wire_length, 1.0 / 32.0);
+  // The channel never regressed: its best is still the optimum.
+  model::FloorplanCosts chan_costs;
+  ASSERT_TRUE(channel.best(nullptr, &chan_costs));
+  EXPECT_FALSE(model::strictlyBetter(p, ref.costs, chan_costs));
+}
+
+TEST(DriverCancellation, CancelledExactBackendsNeverClaimProofs) {
+  // Regression: an exact backend unwinding from an already-raised stop flag
+  // (the "instant prover" won before we even started) must never report
+  // kOptimal or kInfeasible — a cancelled run is not a proof.
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  SolveRequest req;
+  req.deadline_seconds = 30.0;
+  std::atomic<bool> stop{true};
+  for (const Backend b : {Backend::kSearch, Backend::kMilpO}) {
+    req.backend = b;
+    const SolveResponse res = detail::runBackend(sdr, req, b, &stop);
+    EXPECT_NE(res.status, SolveStatus::kOptimal) << toString(b) << ": " << res.detail;
+    EXPECT_NE(res.status, SolveStatus::kInfeasible) << toString(b) << ": " << res.detail;
+  }
+
+  // Even a verdict the engine can reach without searching (aggregate supply
+  // shortfall) is downgraded at the boundary once the run was cancelled.
+  model::FloorplanProblem infeasible(&dev);
+  model::RegionSpec huge;
+  huge.name = "huge";
+  huge.tiles = {1000000, 0, 0};
+  infeasible.addRegion(huge);
+  req.backend = Backend::kSearch;
+  const SolveResponse res = detail::runBackend(infeasible, req, Backend::kSearch, &stop);
+  EXPECT_EQ(res.status, SolveStatus::kNoSolution) << res.detail;
+}
+
+TEST(DriverCancellation, RacingAnInstantProverAgainstASlowExactSolve) {
+  // The instant prover settles the problem milliseconds in; the slow exact
+  // MILP run must unwind promptly and report a truncation, not a proof.
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  SolveRequest req;
+  req.backend = Backend::kMilpO;
+  req.deadline_seconds = 120.0;
+  std::atomic<bool> stop{false};
+  std::thread prover([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+  });
+  Stopwatch watch;
+  const SolveResponse res = detail::runBackend(sdr, req, Backend::kMilpO, &stop);
+  prover.join();
+  EXPECT_LT(watch.seconds(), 60.0);  // unwound long before the deadline
+  EXPECT_NE(res.status, SolveStatus::kOptimal) << res.detail;
+  EXPECT_NE(res.status, SolveStatus::kInfeasible) << res.detail;
+}
+
+TEST(DriverBatch, ExternalStopCancelsInFlightAndPendingSolves) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  std::vector<const model::FloorplanProblem*> ptrs(6, &sdr);
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;
+  req.annealer.iterations = 2000000000L;  // would run for hours un-cancelled
+  std::atomic<bool> stop{false};
+  std::thread killer([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop.store(true);
+  });
+  Stopwatch watch;
+  const std::vector<SolveResponse> res = drv.solveBatch(ptrs, req, 2, &stop);
+  killer.join();
+  EXPECT_LT(watch.seconds(), 30.0);  // poll granularity + CI slack
+  ASSERT_EQ(res.size(), ptrs.size());
+  int skipped = 0;
+  for (const SolveResponse& r : res) {
+    EXPECT_NE(r.status, SolveStatus::kOptimal);
+    skipped += r.detail == "batch: cancelled before dispatch" ? 1 : 0;
+  }
+  // With 6 problems on 2 pool threads and a 200ms cancellation, the tail of
+  // the batch is never dispatched.
+  EXPECT_GE(skipped, 1);
+}
+
+TEST(DriverBatch, OverallDeadlineBoundsTheWholeBatch) {
+  const device::Device dev = device::virtex5FX70T();
+  const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
+  std::vector<const model::FloorplanProblem*> ptrs(6, &sdr);
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;
+  req.annealer.iterations = 2000000000L;
+  Stopwatch watch;
+  const std::vector<SolveResponse> res =
+      drv.solveBatch(ptrs, req, 2, /*stop=*/nullptr, /*deadline_seconds=*/0.5);
+  EXPECT_LT(watch.seconds(), 30.0);  // poll granularity + CI slack
+  ASSERT_EQ(res.size(), ptrs.size());
+  // Dispatched solves were truncated to the remaining budget; the tail was
+  // skipped outright.
+  int skipped = 0;
+  for (const SolveResponse& r : res)
+    skipped += r.detail == "batch: deadline exhausted before dispatch" ? 1 : 0;
+  EXPECT_GE(skipped, 1);
 }
 
 TEST(DriverBatch, EmptyBatchAndOversizedPoolAreFine) {

@@ -256,7 +256,11 @@ TEST(DriverInvariant, PortfolioNeverWorseThanExactSearch) {
     ++exercised;
 
     driver::SolveRequest req;
-    req.deadline_seconds = 120.0;
+    // Small enough that the staged first slice (a quarter of this) does not
+    // dominate the test; the exact search proves these instances in well
+    // under the prover stage's remainder.
+    req.deadline_seconds = 8.0;
+    req.annealer.iterations = 20000;
     const driver::SolveResponse res = drv.solvePortfolio(*p, req);
     ASSERT_EQ(res.status, driver::SolveStatus::kOptimal) << "seed " << seed << ": " << res.detail;
     EXPECT_EQ(res.costs.wasted_frames, ref.costs.wasted_frames) << "seed " << seed;
