@@ -1,0 +1,251 @@
+// Batch result-cache bench: does the cache actually turn repeated-problem
+// batches into lookups, and is every served plan trustworthy?
+//
+// One experiment over a duplicated batch (each distinct instance appears
+// three times, interleaved — 2/3 duplicates, comfortably past the >= 50%
+// the acceptance bar asks for):
+//
+//  * no-cache — the batch solved with caching disabled: every duplicate
+//    pays the full engine cost again (the pre-cache baseline).
+//  * cold     — a fresh Driver with the cache on: first occurrences miss
+//    and solve, duplicates scheduled after their original completes are
+//    served from the store mid-batch.
+//  * warm     — the same batch re-run on the same Driver: every problem
+//    must be a cache hit, and every served plan must pass model::check
+//    against its own problem. The wall-time ratio warm/cold is the
+//    headline number; the acceptance bar is <= 0.6x, the CI gate fails at
+//    anything >= 1.0x (a cache that makes reruns *slower* regressed) or on
+//    any checker-rejected or status-changed hit.
+//
+// A second, informational experiment bounds the duplicated batch with an
+// overall deadline and records how many problems the fair budget slices
+// managed to dispatch (first-come-first-served used to starve the tail).
+//
+// Usage: bench_batch_cache [--smoke]
+//   --smoke  same instances, gates enforced, JSON to
+//            BENCH_batch_cache.smoke.json (CI uploads it as an artifact;
+//            the tracked full-run snapshot at the repo root is untouched).
+//   full     writes BENCH_batch_cache.json into the current directory.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "device/builders.hpp"
+#include "driver/cache.hpp"
+#include "driver/driver.hpp"
+#include "io/json.hpp"
+#include "model/floorplan.hpp"
+#include "model/generator.hpp"
+#include "model/problem.hpp"
+#include "support/timer.hpp"
+
+using namespace rfp;
+
+namespace {
+
+struct BatchFigures {
+  double seconds = 0.0;
+  int solved = 0;
+  int cache_hits = 0;
+  int checker_rejects = 0;
+  int status_mismatches = 0;  // vs the cold run (warm only)
+};
+
+struct Record {
+  std::string name;
+  int batch_size = 0;
+  int distinct = 0;
+  double duplicate_fraction = 0.0;
+  BatchFigures nocache, cold, warm;
+  driver::CacheStats cache_stats;  // after the warm run
+  double warm_ratio = 0.0;         // warm.seconds / cold.seconds
+  // Fair-budget experiment: dispatched problems under an overall deadline.
+  double deadline_seconds = 0.0;
+  int deadline_dispatched = 0;
+  int deadline_solved = 0;
+};
+
+std::vector<model::FloorplanProblem> distinctInstances(const device::Device& dev, int want) {
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 4;
+  gopt.max_region_width = 5;
+  gopt.max_region_height = 4;
+  gopt.num_nets = 3;
+  gopt.fc_per_region = 1;
+  std::vector<model::FloorplanProblem> problems;
+  for (std::uint64_t seed = 1; problems.size() < static_cast<std::size_t>(want) && seed < 80;
+       ++seed) {
+    gopt.seed = seed;
+    if (auto p = model::generateProblem(dev, gopt)) problems.push_back(std::move(*p));
+  }
+  return problems;
+}
+
+BatchFigures runBatch(const driver::Driver& drv,
+                      const std::vector<const model::FloorplanProblem*>& ptrs,
+                      const driver::SolveRequest& req,
+                      const std::vector<driver::SolveResponse>* reference,
+                      std::vector<driver::SolveResponse>* out_responses) {
+  Stopwatch watch;
+  const std::vector<driver::SolveResponse> res = drv.solveBatch(ptrs, req, /*pool_threads=*/2);
+  BatchFigures f;
+  f.seconds = watch.seconds();
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    f.solved += res[i].hasSolution() ? 1 : 0;
+    f.cache_hits += res[i].cache_hit ? 1 : 0;
+    if (res[i].hasSolution() && !model::check(*ptrs[i], res[i].plan).empty())
+      ++f.checker_rejects;
+    if (reference && res[i].status != (*reference)[i].status) ++f.status_mismatches;
+  }
+  if (out_responses) *out_responses = res;
+  return f;
+}
+
+void writeJson(const Record& rec, const char* path) {
+  io::JsonWriter w;
+  w.beginObject();
+  w.key("bench").value("batch_cache");
+  w.key("batch_size").value(rec.batch_size);
+  w.key("distinct_problems").value(rec.distinct);
+  w.key("duplicate_fraction").value(rec.duplicate_fraction);
+  const auto fig = [&w](const char* key, const BatchFigures& f) {
+    w.key(key).beginObject();
+    w.key("seconds").value(f.seconds);
+    w.key("solved").value(f.solved);
+    w.key("cache_hits").value(f.cache_hits);
+    w.key("checker_rejects").value(f.checker_rejects);
+    w.key("status_mismatches").value(f.status_mismatches);
+    w.endObject();
+  };
+  fig("no_cache", rec.nocache);
+  fig("cold", rec.cold);
+  fig("warm", rec.warm);
+  w.key("warm_ratio").value(rec.warm_ratio);
+  w.key("cache").beginObject();
+  w.key("hits").value(rec.cache_stats.hits);
+  w.key("misses").value(rec.cache_stats.misses);
+  w.key("evictions").value(rec.cache_stats.evictions);
+  w.key("seeded_incumbents").value(rec.cache_stats.seeded_incumbents);
+  w.key("insertions").value(rec.cache_stats.insertions);
+  w.key("rejected").value(rec.cache_stats.rejected);
+  w.endObject();
+  w.key("fair_deadline").beginObject();
+  w.key("deadline_seconds").value(rec.deadline_seconds);
+  w.key("dispatched").value(rec.deadline_dispatched);
+  w.key("solved").value(rec.deadline_solved);
+  w.key("batch_size").value(rec.batch_size);
+  w.endObject();
+  w.endObject();
+  if (path) {
+    std::ofstream out(path);
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("%s\n", w.str().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::printf("BATCH CACHE: repeated-problem batches through the result cache\n\n");
+
+  // The device must outlive the problems (they hold a pointer to it).
+  static const device::Device dev =
+      device::columnarFromPattern("gen", "CCBCCDCCCCBCCCBCCDCC", 8);
+  const std::vector<model::FloorplanProblem> distinct = distinctInstances(dev, 4);
+  if (distinct.size() < 2) {
+    std::fprintf(stderr, "generator produced %zu < 2 instances; aborting\n", distinct.size());
+    return 1;
+  }
+
+  // Interleave three copies of each instance: duplicates race their
+  // originals in the cold run and must all hit in the warm run.
+  std::vector<const model::FloorplanProblem*> ptrs;
+  for (int copy = 0; copy < 3; ++copy)
+    for (const model::FloorplanProblem& p : distinct) ptrs.push_back(&p);
+
+  Record rec;
+  rec.name = "duplicated-batch";
+  rec.batch_size = static_cast<int>(ptrs.size());
+  rec.distinct = static_cast<int>(distinct.size());
+  rec.duplicate_fraction =
+      1.0 - static_cast<double>(rec.distinct) / static_cast<double>(rec.batch_size);
+
+  driver::SolveRequest req;
+  req.backend = driver::Backend::kSearch;
+
+  const driver::Driver uncached(driver::DriverOptions{0});
+  rec.nocache = runBatch(uncached, ptrs, req, nullptr, nullptr);
+  std::printf("no-cache: %6.2fs  solved=%d/%d\n", rec.nocache.seconds, rec.nocache.solved,
+              rec.batch_size);
+
+  const driver::Driver drv;  // default cache
+  std::vector<driver::SolveResponse> cold_responses;
+  rec.cold = runBatch(drv, ptrs, req, nullptr, &cold_responses);
+  std::printf("cold    : %6.2fs  solved=%d/%d  mid-batch hits=%d\n", rec.cold.seconds,
+              rec.cold.solved, rec.batch_size, rec.cold.cache_hits);
+
+  rec.warm = runBatch(drv, ptrs, req, &cold_responses, nullptr);
+  rec.warm_ratio = rec.cold.seconds > 0 ? rec.warm.seconds / rec.cold.seconds : 0.0;
+  rec.cache_stats = drv.cacheStats();
+  std::printf("warm    : %6.2fs  solved=%d/%d  hits=%d  ratio=%.3fx\n", rec.warm.seconds,
+              rec.warm.solved, rec.batch_size, rec.warm.cache_hits, rec.warm_ratio);
+
+  // Fair budget slices under pressure: a deadline half the no-cache wall
+  // time used to hand the whole budget to the first dispatches; fair
+  // slicing should still dispatch the entire queue (informational).
+  rec.deadline_seconds = std::max(0.5, 0.5 * rec.nocache.seconds);
+  {
+    const driver::Driver bounded(driver::DriverOptions{0});
+    Stopwatch watch;
+    const std::vector<driver::SolveResponse> res =
+        bounded.solveBatch(ptrs, req, 2, nullptr, rec.deadline_seconds);
+    for (const driver::SolveResponse& r : res) {
+      rec.deadline_dispatched += r.detail.rfind("batch:", 0) != 0 ? 1 : 0;
+      rec.deadline_solved += r.hasSolution() ? 1 : 0;
+    }
+    std::printf("fair-deadline(%.2fs): dispatched=%d/%d solved=%d (%.2fs wall)\n\n",
+                rec.deadline_seconds, rec.deadline_dispatched, rec.batch_size,
+                rec.deadline_solved, watch.seconds());
+  }
+
+  writeJson(rec, smoke ? "BENCH_batch_cache.smoke.json" : "BENCH_batch_cache.json");
+
+  // CI gates (both modes): a cache-hit rerun may never be slower than the
+  // cold run, every rerun answer must be a hit with an unchanged status,
+  // and no served plan may fail the checker. The full acceptance bar —
+  // warm <= 0.6x cold — is enforced as well: hits skip the engines
+  // entirely, so anything above that signals a lookup-path regression.
+  bool ok = true;
+  if (rec.warm.cache_hits != rec.batch_size) {
+    std::fprintf(stderr, "FAIL: warm rerun had %d/%d cache hits\n", rec.warm.cache_hits,
+                 rec.batch_size);
+    ok = false;
+  }
+  if (rec.warm.checker_rejects > 0 || rec.cold.checker_rejects > 0) {
+    std::fprintf(stderr, "FAIL: %d cached plans failed model::check\n",
+                 rec.warm.checker_rejects + rec.cold.checker_rejects);
+    ok = false;
+  }
+  if (rec.warm.status_mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %d warm statuses differ from the cold run\n",
+                 rec.warm.status_mismatches);
+    ok = false;
+  }
+  if (rec.warm.seconds > 0.6 * rec.cold.seconds) {
+    std::fprintf(stderr, "FAIL: warm rerun %.3fs > 0.6x cold %.3fs\n", rec.warm.seconds,
+                 rec.cold.seconds);
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("OK: warm/cold=%.3fx (gate <= 0.6x), %d/%d hits, 0 checker rejects\n",
+              rec.warm_ratio, rec.warm.cache_hits, rec.batch_size);
+  return 0;
+}

@@ -78,7 +78,9 @@ void runBatchScaling() {
   std::vector<const model::FloorplanProblem*> ptrs;
   for (const auto& p : problems) ptrs.push_back(&p);
 
-  const driver::Driver drv;
+  // Cache off: the later thread counts re-solve the same instances, and
+  // with the result cache they would measure lookups, not pool scaling.
+  const driver::Driver drv(driver::DriverOptions{0});
   driver::SolveRequest req;
   req.backend = driver::Backend::kSearch;
   req.deadline_seconds = 10.0;  // bound the hardest instances in the bag

@@ -24,6 +24,11 @@
 //                                0 = flat race)
 //         --no-exchange          portfolio: disable the shared-incumbent
 //                                channel (blind race, for A/B comparisons)
+//         --cache-size N         result-cache capacity in entries
+//                                (default 128); the cache serves repeated
+//                                problems without re-solving and seeds
+//                                re-solves under changed budgets
+//         --no-cache             disable the result cache
 //         --svg FILE             write the floorplan as SVG
 //         --json FILE            write the solve response + floorplan as JSON
 //   rfp_cli feasibility <device> <problem-file>
@@ -41,6 +46,7 @@
 
 #include "device/catalog.hpp"
 #include "device/parser.hpp"
+#include "driver/cache.hpp"
 #include "driver/driver.hpp"
 #include "driver/response_json.hpp"
 #include "io/problem_text.hpp"
@@ -109,6 +115,8 @@ struct SolveArgs {
   double time_limit = 0.0;
   double stage1_fraction = 0.25;
   bool incumbent_exchange = true;
+  std::size_t cache_entries = 128;
+  bool use_cache = true;
   std::string svg_path;
   std::string json_path;
 };
@@ -124,10 +132,13 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   request.incumbent_exchange = args.incumbent_exchange;
   request.staged_deadlines = args.stage1_fraction > 0;
   request.stage1_fraction = args.stage1_fraction;
+  request.use_cache = args.use_cache;
   // The MILP stages are open-ended without a budget; keep the CLI snappy.
   if (args.time_limit <= 0) request.milp.time_limit_seconds = 60.0;
 
-  const driver::Driver drv;
+  driver::DriverOptions dopt;
+  dopt.cache_entries = args.use_cache ? args.cache_entries : 0;
+  const driver::Driver drv(dopt);
   driver::SolveResponse res;
   if (args.algo == "portfolio") {
     res = drv.solvePortfolio(problem, request);
@@ -174,7 +185,17 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
                 res.incumbent.adoptions, res.incumbent.cutoff_prunes,
                 res.incumbent.staged ? "" : "\n");
     if (res.incumbent.staged)
-      std::printf(" staged stage1=%.2fs\n", res.incumbent.stage1_seconds);
+      std::printf(" staged stage1=%.2fs%s\n", res.incumbent.stage1_seconds,
+                  res.incumbent.stage1_ended_early ? " (ended early: channel quiet)" : "");
+  }
+  // Portfolio racing never consults the cache; a stats line there would
+  // only suggest caching was attempted and failed.
+  if (drv.cache() && args.algo != "portfolio") {
+    const driver::CacheStats cs = drv.cacheStats();
+    std::printf("cache: hits=%ld misses=%ld evictions=%ld seeded-incumbents=%ld%s\n", cs.hits,
+                cs.misses, cs.evictions, cs.seeded_incumbents,
+                res.cache_hit ? " [this solve: hit]"
+                              : (res.cache_seeded ? " [this solve: seeded]" : ""));
   }
   for (const driver::PortfolioMemberStats& m : res.members)
     std::printf("member: %-9s stage=%d status=%-11s nodes=%ld time=%.2fs published=%ld "
@@ -212,6 +233,7 @@ int usage() {
                "  rfp_cli solve <device> <problem-file> [--threads N] [--time-limit S]\n"
                "                [--algo search|milp-o|milp-ho|heuristic|annealer|portfolio]\n"
                "                [--stage1-fraction F] [--no-exchange]\n"
+               "                [--cache-size N] [--no-cache]\n"
                "                [--svg FILE] [--json FILE]\n"
                "  rfp_cli feasibility <device> <problem-file> [--threads N]\n"
                "<device> is a catalog name (see 'devices') or a description file.\n");
@@ -247,6 +269,10 @@ int main(int argc, char** argv) {
           args.stage1_fraction = std::stod(next());
         else if (flag == "--no-exchange")
           args.incumbent_exchange = false;
+        else if (flag == "--cache-size")
+          args.cache_entries = static_cast<std::size_t>(std::stoul(next()));
+        else if (flag == "--no-cache")
+          args.use_cache = false;
         else if (flag == "--svg")
           args.svg_path = next();
         else if (flag == "--json")

@@ -10,9 +10,31 @@
 
 namespace rfp::driver {
 class SharedIncumbent;  // driver/incumbent.hpp
+class ResultCache;      // driver/cache.hpp
 }
 
 namespace rfp::driver::detail {
+
+/// Single-backend dispatch through the result cache: full hit → served from
+/// the store, near miss → re-solve with the cached plan published into a
+/// SharedIncumbent, miss → plain runBackend; non-cancelled results are
+/// stored afterwards. `cache == nullptr` (or `request.use_cache == false`)
+/// degrades to plain runBackend. Shared by Driver::solve and solveBatch.
+///
+/// `key_request`, when non-null, is fingerprinted instead of `request` for
+/// the cache key (the engines still run `request`), and `budget_context`,
+/// when non-null, is appended to the key's budget tier. solveBatch uses the
+/// pair to key every dispatch of a deadline-bounded batch on the caller's
+/// request plus the *batch-wide* budget: the per-dispatch fair slices are
+/// derived from the live wall clock and essentially never repeat, so keying
+/// on them would make every duplicate a permanent near miss and fill the
+/// store with unmatchable entries.
+[[nodiscard]] SolveResponse solveThroughCache(ResultCache* cache,
+                                              const model::FloorplanProblem& problem,
+                                              const SolveRequest& request,
+                                              std::atomic<bool>* external_stop,
+                                              const SolveRequest* key_request = nullptr,
+                                              const char* budget_context = nullptr);
 
 /// Runs `backend` on `problem`. `external_stop`, when non-null, replaces the
 /// stop flag configured in the request's engine options (the portfolio's

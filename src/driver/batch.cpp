@@ -1,26 +1,52 @@
 // Batch mode: N independent problems over a fixed-size thread pool.
 //
 // Work stealing is a single atomic cursor over the problem list; each
-// problem is solved with the single-backend dispatch and untouched request
-// options, so the result for problems[i] is the same whatever the pool size
-// — only the wall clock changes.
+// problem goes through the result cache and then the single-backend
+// dispatch with untouched request options, so the result for problems[i] is
+// the same whatever the pool size — only the wall clock changes.
+//
+// Budgeting: an overall deadline is split *fairly* instead of
+// first-come-first-served. When a worker claims problem i with `r` seconds
+// of wall clock left and `n` problems still unclaimed, the solve's deadline
+// is capped to `r * threads / n` (the batch's remaining compute capacity
+// divided evenly) rather than to `r` itself — under FCFS the first
+// `threads` problems could burn the entire budget and starve the queue.
+// Redistribution is a by-product of computing slices from the *live*
+// remaining wall clock: a cache hit or an early finisher advances the
+// cursor without advancing the clock, so every subsequent slice grows.
 //
 // Cancellation: the caller's stop flag is threaded into every dispatched
 // solve (the engines unwind at their next poll point) and problems not yet
-// dispatched are skipped. The overall deadline works the same way, by
-// capping each dispatched solve's own deadline to the remaining batch
-// budget — so in-flight work terminates by the budget without a watchdog
-// thread. Both necessarily break the pool-size-independence guarantee:
-// which solves get truncated depends on dispatch order and contention.
+// dispatched are skipped; the deadline works the same way through the
+// per-solve caps, without a watchdog thread. Both necessarily break the
+// pool-size-independence guarantee: which solves get truncated depends on
+// dispatch order and contention.
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "driver/backend_runner.hpp"
+#include "driver/cache.hpp"
 #include "driver/driver.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::driver {
+
+namespace {
+
+/// Fair share of the remaining budget for one of `n_left` unclaimed
+/// problems on `threads` workers: the share is floored at 0.05s so the
+/// engines' deadline polling stays meaningful, but never exceeds the
+/// remaining wall clock — a slice cannot outlive the batch.
+double fairSlice(double remaining, int threads, std::size_t n_left) noexcept {
+  const double share =
+      remaining * static_cast<double>(threads) / static_cast<double>(std::max<std::size_t>(1, n_left));
+  return std::min(remaining, std::max(0.05, share));
+}
+
+}  // namespace
 
 std::vector<SolveResponse> Driver::solveBatch(
     const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
@@ -32,6 +58,15 @@ std::vector<SolveResponse> Driver::solveBatch(
   const int threads =
       std::clamp(pool_threads, 1, static_cast<int>(problems.size()));
   std::atomic<std::size_t> next{0};
+  ResultCache* cache = cache_.get();
+  // Order-independent digest of the whole batch composition (wrapping sum,
+  // so duplicates do not cancel), part of the deadline-bounded cache key
+  // below: the slice a problem receives depends on how long its
+  // *co-problems* run, so only an identical batch may share entries.
+  std::uint64_t composition = 0;
+  if (deadline_seconds > 0 && cache != nullptr && request.use_cache)
+    for (const model::FloorplanProblem* p : problems)
+      composition += fingerprintProblem(*p, request, request.backend).hash;
   const auto body = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < problems.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
@@ -44,12 +79,36 @@ std::vector<SolveResponse> Driver::solveBatch(
         continue;
       }
       if (deadline_seconds > 0) {
+        // `problems.size() - i` counts this problem plus everything the
+        // cursor has not handed out yet — the population the remaining
+        // budget is split over. (Slight staleness under contention only
+        // shifts slices by one problem's worth.)
+        const double slice =
+            fairSlice(std::max(0.01, overall.remaining()), threads, problems.size() - i);
         SolveRequest capped = request;
-        capped.deadline_seconds = detail::cappedLimit(
-            request.deadline_seconds, std::max(0.01, overall.remaining()));
-        out[i] = detail::runBackend(*problems[i], capped, request.backend, stop);
+        capped.deadline_seconds = detail::cappedLimit(request.deadline_seconds, slice);
+        // Cache entries are keyed on the caller's request plus the whole
+        // batch configuration (overall budget, pool width, and the
+        // composition digest — which problems share the budget), never on
+        // the slice itself: slices are wall-clock-derived and never repeat,
+        // so a slice-keyed entry could never be hit again. Under this key a
+        // duplicate is an exact hit of "this problem, with these limits, in
+        // this batch" — possibly a result truncated to an earlier slice,
+        // which rerunning the same batch would roughly reproduce; any other
+        // batch or budget is a near miss that re-solves with a seed.
+        char batch_ctx[96];
+        std::snprintf(batch_ctx, sizeof(batch_ctx), "batch=%.17g;tn=%d;bc=%016llx",
+                      deadline_seconds, threads,
+                      static_cast<unsigned long long>(composition));
+        out[i] = detail::solveThroughCache(cache, *problems[i], capped, stop, &request,
+                                           batch_ctx);
+        if (!out[i].cache_hit) {
+          std::ostringstream note;
+          note << " [batch slice=" << slice << "s]";
+          out[i].detail += note.str();
+        }
       } else {
-        out[i] = detail::runBackend(*problems[i], request, request.backend, stop);
+        out[i] = detail::solveThroughCache(cache, *problems[i], request, stop);
       }
     }
   };

@@ -1,6 +1,7 @@
 #include "driver/driver.hpp"
 
 #include "driver/backend_runner.hpp"
+#include "driver/cache.hpp"
 
 namespace rfp::driver {
 
@@ -44,9 +45,19 @@ const char* toString(SolveStatus s) noexcept {
   return "?";
 }
 
+Driver::Driver() : Driver(DriverOptions{}) {}
+
+Driver::Driver(const DriverOptions& options)
+    : cache_(options.cache_entries > 0 ? std::make_shared<ResultCache>(options.cache_entries)
+                                       : nullptr) {}
+
 SolveResponse Driver::solve(const model::FloorplanProblem& problem,
                             const SolveRequest& request) const {
-  return detail::runBackend(problem, request, request.backend, /*external_stop=*/nullptr);
+  return detail::solveThroughCache(cache_.get(), problem, request, /*external_stop=*/nullptr);
+}
+
+CacheStats Driver::cacheStats() const {
+  return cache_ ? cache_->stats() : CacheStats{};
 }
 
 }  // namespace rfp::driver

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -95,6 +97,18 @@ struct SolveRequest {
   /// deadline imposes `stage1_fraction * deadline` of latency before any
   /// prover starts — even on instances the provers settle in seconds.
   double stage1_max_seconds = 10.0;
+  /// Staged portfolios: end stage 1 as soon as the incumbent channel has
+  /// gone *quiet* (no adopted publish) for this fraction of the stage-1
+  /// slice. Members like HO rarely finish before the slice expires, yet the
+  /// channel typically stops improving long before — the remaining slice is
+  /// latency the provers could be using. <= 0: stage 1 always runs its full
+  /// slice.
+  double stage1_quiet_fraction = 0.3;
+  /// Consult the driver's result cache (when the Driver has one) before
+  /// dispatching, and store checker-validated results after. Applies to
+  /// solve() and solveBatch(); portfolio racing is never cached (its value
+  /// is the race itself, and its A/B comparisons must stay honest).
+  bool use_cache = true;
   // Per-backend knobs. Engine stop flags and incumbent channels are
   // overridden by the portfolio's shared cancellation flag and exchange
   // channel.
@@ -139,6 +153,10 @@ struct IncumbentStats {
   long cutoff_prunes = 0;    ///< prover nodes pruned against an external cutoff
   bool staged = false;       ///< staged deadline splitting was in effect
   double stage1_seconds = 0.0;  ///< wall clock of the incomplete first stage
+  /// Stage 1 was cut short because the channel went quiet (see
+  /// SolveRequest::stage1_quiet_fraction); the provers inherited the saved
+  /// time on top of their stage-2 budget.
+  bool stage1_ended_early = false;
 };
 
 /// Per-member outcome of a portfolio solve. `nodes` is in the member's own
@@ -177,17 +195,37 @@ struct SolveResponse {
   long cutoff_prunes = 0;
   IncumbentStats incumbent;                  ///< portfolio channel summary
   std::vector<PortfolioMemberStats> members; ///< portfolio: one per member
+  // Result-cache provenance (driver/cache.hpp): served from the store
+  // without running an engine, or re-solved with the cached plan published
+  // into the incumbent channel (near miss under a different budget).
+  bool cache_hit = false;
+  bool cache_seeded = false;
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
   }
 };
 
+class ResultCache;   // driver/cache.hpp
+struct CacheStats;   // driver/cache.hpp
+
+struct DriverOptions {
+  /// Capacity (entries) of the result cache consulted by solve() and
+  /// solveBatch(); 0 disables caching entirely. Entries are checker-
+  /// validated SolveResponses, a few KiB each.
+  std::size_t cache_entries = 128;
+};
+
 class Driver {
  public:
-  Driver() = default;
+  Driver();
+  explicit Driver(const DriverOptions& options);
 
-  /// Single-backend mode: dispatch to `request.backend`.
+  /// Single-backend mode: dispatch to `request.backend`. Consults the
+  /// result cache first (see DriverOptions::cache_entries and
+  /// SolveRequest::use_cache): an exact or proof hit is returned without
+  /// running an engine, a near miss (same structure, different budget)
+  /// seeds the engine's incumbent channel with the cached plan.
   [[nodiscard]] SolveResponse solve(const model::FloorplanProblem& problem,
                                     const SolveRequest& request) const;
 
@@ -203,21 +241,35 @@ class Driver {
                                              const SolveRequest& request) const;
 
   /// Batch mode: solve every problem with the single-backend dispatch across
-  /// a pool of `pool_threads` threads. Results are positionally aligned with
-  /// `problems` and, for deadline-free requests, independent of the pool
-  /// size (a wall-clock deadline can truncate a solve differently under
-  /// pool contention).
+  /// a pool of `pool_threads` threads, each solve going through the result
+  /// cache first (duplicates of an already-answered problem cost a lookup).
+  /// Results are positionally aligned with `problems` and, for deadline-free
+  /// requests, independent of the pool size (a wall-clock deadline can
+  /// truncate a solve differently under pool contention).
   ///
   /// `stop` (optional) cancels the whole batch cooperatively: in-flight
   /// solves unwind through the engines' stop flags (overriding any flag
   /// configured in the request's engine options) and problems not yet
   /// dispatched return kNoSolution with a "cancelled" detail.
   /// `deadline_seconds` (<= 0: none) is an overall wall-clock budget for the
-  /// batch: each dispatched solve's own deadline is capped to the remaining
-  /// budget and problems dispatched after expiry return kNoSolution.
+  /// batch, split *fairly*: each dispatched problem receives a slice of
+  /// `remaining_wall * pool_threads / remaining_problems` (never more than
+  /// the remaining wall clock) instead of first-come-first-served access to
+  /// the whole budget, so no problem starves because an earlier one was
+  /// slow. Time a cache hit or an early finisher does not use flows back
+  /// into the slices of the problems still queued. Problems dispatched after
+  /// expiry return kNoSolution.
   [[nodiscard]] std::vector<SolveResponse> solveBatch(
       const std::vector<const model::FloorplanProblem*>& problems, const SolveRequest& request,
       int pool_threads, std::atomic<bool>* stop = nullptr, double deadline_seconds = 0.0) const;
+
+  /// The result cache shared by solve()/solveBatch(); nullptr when disabled.
+  [[nodiscard]] ResultCache* cache() const noexcept { return cache_.get(); }
+  /// Snapshot of the cache's telemetry (zeros when the cache is disabled).
+  [[nodiscard]] CacheStats cacheStats() const;
+
+ private:
+  std::shared_ptr<ResultCache> cache_;  ///< shared so Driver copies share it
 };
 
 }  // namespace rfp::driver

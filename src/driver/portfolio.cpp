@@ -17,9 +17,13 @@
 // budget, their best incumbent seeds the provers' cutoff through the
 // channel, and the provers inherit the entire remaining budget — the
 // paper's fast-heuristic-feeds-exact-MILP combination as a scheduling
-// policy.
+// policy. The slice itself is adaptive: a watchdog ends stage 1 as soon as
+// the incumbent channel has gone quiet for a configurable fraction of the
+// slice (HO in particular rarely finishes on its own, yet stops improving
+// the channel early), handing the saved time to the provers.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 
@@ -90,16 +94,56 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
   std::atomic<bool> stop{false};
   std::vector<SolveResponse> responses(backends.size());
   double stage1_seconds = 0.0;
+  bool stage1_ended_early = false;
   if (staged) {
     // Stage 1: incomplete engines on a slice of the budget (they stop
-    // earlier on their own limits). No proofs can arise here, so the stop
-    // flag stays clear for stage 2.
+    // earlier on their own limits). Proofs cannot arise here, so stage 2's
+    // shared stop flag stays untouched — stage 1 gets its *own* flag, which
+    // the quiet watchdog below may raise without cancelling the provers.
     SolveRequest stage1 = request;
     stage1.deadline_seconds =
         request.deadline_seconds * std::min(1.0, request.stage1_fraction);
     if (request.stage1_max_seconds > 0)
       stage1.deadline_seconds = std::min(stage1.deadline_seconds, request.stage1_max_seconds);
-    runStage(problem, stage1, backends, incomplete, stop, chan, responses);
+
+    // Adaptive slice: members like HO rarely finish before the slice
+    // expires, but the channel usually stops improving long before — once
+    // it has been quiet for `stage1_quiet_fraction` of the slice, the rest
+    // of the slice buys nothing the provers could not use better. The
+    // watchdog ends stage 1 early in that case; the provers then inherit
+    // the saved time automatically (stage 2's budget is computed from the
+    // live wall clock).
+    std::atomic<bool> stage1_stop{false};
+    std::atomic<bool> stage1_done{false};
+    std::thread watchdog;
+    if (request.stage1_quiet_fraction > 0) {
+      watchdog = std::thread([&] {
+        const double quiet_limit =
+            std::max(0.01, request.stage1_quiet_fraction * stage1.deadline_seconds);
+        std::uint64_t last_version = chan->version();
+        Stopwatch quiet;
+        while (!stage1_done.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          const std::uint64_t v = chan->version();
+          if (v != last_version) {
+            last_version = v;
+            quiet.reset();
+          } else if (v > 0 && quiet.seconds() >= quiet_limit) {
+            // `v > 0`: a channel that has never spoken is not "quiet", it
+            // is still warming up — cutting stage 1 before the first
+            // publish would hand the provers an empty channel, worse than
+            // the full slice ever was. If nothing publishes at all, stage 1
+            // simply runs to its slice like before.
+            stage1_ended_early = true;
+            stage1_stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    runStage(problem, stage1, backends, incomplete, stage1_stop, chan, responses);
+    stage1_done.store(true, std::memory_order_relaxed);
+    if (watchdog.joinable()) watchdog.join();
     stage1_seconds = watch.seconds();
 
     // Stage 2: the provers inherit everything that is left; the channel
@@ -159,10 +203,13 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
   }
   out.incumbent.staged = staged;
   out.incumbent.stage1_seconds = stage1_seconds;
+  out.incumbent.stage1_ended_early = stage1_ended_early;
 
   std::ostringstream detail;
   detail << "portfolio[" << backends.size() << "]";
-  if (staged) detail << " staged(stage1=" << stage1_seconds << "s)";
+  if (staged)
+    detail << " staged(stage1=" << stage1_seconds << "s"
+           << (stage1_ended_early ? ", ended early: channel quiet" : "") << ")";
   if (chan)
     detail << " incumbent(source=" << out.incumbent.source
            << " adoptions=" << out.incumbent.adoptions

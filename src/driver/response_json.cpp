@@ -41,8 +41,16 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     w.key("adoptions").value(response.incumbent.adoptions);
     w.key("cutoff_prunes").value(response.incumbent.cutoff_prunes);
     w.key("staged").value(response.incumbent.staged);
-    if (response.incumbent.staged)
+    if (response.incumbent.staged) {
       w.key("stage1_seconds").value(response.incumbent.stage1_seconds);
+      w.key("stage1_ended_early").value(response.incumbent.stage1_ended_early);
+    }
+    w.endObject();
+  }
+  if (response.cache_hit || response.cache_seeded) {
+    w.key("cache").beginObject();
+    w.key("hit").value(response.cache_hit);
+    w.key("seeded").value(response.cache_seeded);
     w.endObject();
   }
   if (response.lp.solves > 0) {

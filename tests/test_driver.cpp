@@ -10,6 +10,7 @@
 
 #include "device/builders.hpp"
 #include "driver/backend_runner.hpp"
+#include "driver/cache.hpp"
 #include "driver/driver.hpp"
 #include "driver/incumbent.hpp"
 #include "model/floorplan.hpp"
@@ -445,21 +446,521 @@ TEST(DriverBatch, OverallDeadlineBoundsTheWholeBatch) {
   const model::FloorplanProblem sdr = model::makeSdrProblem(dev);
   std::vector<const model::FloorplanProblem*> ptrs(6, &sdr);
 
+  const Driver drv(DriverOptions{0});  // no cache: 6 genuinely solved problems
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;
+  req.annealer.iterations = 2000000000L;  // would run for hours un-bounded
+  Stopwatch watch;
+  const std::vector<SolveResponse> res =
+      drv.solveBatch(ptrs, req, 2, /*stop=*/nullptr, /*deadline_seconds=*/2.0);
+  EXPECT_LT(watch.seconds(), 30.0);  // poll granularity + CI slack
+  ASSERT_EQ(res.size(), ptrs.size());
+  // Fair budget slices: under first-come-first-served the first two solves
+  // would eat the whole budget and starve the queue; with fair slicing the
+  // whole queue is dispatched, each solve truncated to its share.
+  int dispatched = 0;
+  double max_seconds = 0.0;
+  for (const SolveResponse& r : res) {
+    EXPECT_NE(r.status, SolveStatus::kOptimal);
+    if (r.detail.rfind("batch:", 0) != 0) {
+      ++dispatched;
+      max_seconds = std::max(max_seconds, r.seconds);
+    }
+  }
+  EXPECT_GE(dispatched, 5) << "fair slices should dispatch (nearly) the whole queue";
+  // No single solve may monopolize the batch budget (FCFS gave the first
+  // dispatch the full remaining 2.0s).
+  EXPECT_LT(max_seconds, 1.5);
+}
+
+// ---- result cache: fingerprint properties ---------------------------------
+
+/// Three distinguishable regions, two nets, two relocation requests —
+/// enough structure that every canonicalization path (region ranks, net
+/// endpoint remap, relocation blocks) is exercised.
+model::FloorplanProblem threeRegionProblem(const device::Device& dev) {
+  model::FloorplanProblem p(&dev);
+  model::RegionSpec a;
+  a.name = "a";
+  a.tiles = {6, 1, 0};
+  p.addRegion(a);
+  model::RegionSpec b;
+  b.name = "b";
+  b.tiles = {4, 0, 1};
+  p.addRegion(b);
+  model::RegionSpec c;
+  c.name = "c";
+  c.tiles = {2, 0, 0};
+  p.addRegion(c);
+  p.addNet(model::Net{{0, 1}, 1.0, "n0"});
+  p.addNet(model::Net{{1, 2}, 2.0, "n1"});
+  p.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+  p.addRelocation(model::RelocationRequest{2, 1, false, 0.5});
+  return p;
+}
+
+/// The same problem as threeRegionProblem with every list permuted: regions
+/// reversed (net/relocation indices remapped accordingly), nets and
+/// relocation requests added in the opposite order.
+model::FloorplanProblem threeRegionProblemPermuted(const device::Device& dev) {
+  model::FloorplanProblem p(&dev);
+  model::RegionSpec c;
+  c.name = "c2";
+  c.tiles = {2, 0, 0};
+  p.addRegion(c);  // index 0 (was 2)
+  model::RegionSpec b;
+  b.name = "b2";
+  b.tiles = {4, 0, 1};
+  p.addRegion(b);  // index 1 (was 1)
+  model::RegionSpec a;
+  a.name = "a2";
+  a.tiles = {6, 1};  // trailing zero dropped: still the same requirement
+  p.addRegion(a);    // index 2 (was 0)
+  p.addNet(model::Net{{0, 1}, 2.0, "m1"});  // was {1, 2}
+  p.addNet(model::Net{{1, 2}, 1.0, "m0"});  // was {0, 1}
+  p.addRelocation(model::RelocationRequest{0, 1, false, 0.5});  // was region 2
+  p.addRelocation(model::RelocationRequest{2, 1, true, 1.0});   // was region 0
+  return p;
+}
+
+TEST(CacheFingerprint, PermutedProblemsShareAFingerprint) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p1 = threeRegionProblem(dev);
+  const model::FloorplanProblem p2 = threeRegionProblemPermuted(dev);
+  const SolveRequest req;
+  for (const Backend b : allBackends()) {
+    const Fingerprint f1 = fingerprintProblem(p1, req, b);
+    const Fingerprint f2 = fingerprintProblem(p2, req, b);
+    EXPECT_EQ(f1.structural, f2.structural) << toString(b);
+    EXPECT_EQ(f1.hash, f2.hash) << toString(b);
+    EXPECT_EQ(f1.budget, f2.budget) << toString(b);
+  }
+}
+
+TEST(CacheFingerprint, EveryStructuralMutationChangesTheKey) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem base = threeRegionProblem(dev);
+  const SolveRequest req;
+  const Fingerprint ref = fingerprintProblem(base, req, Backend::kSearch);
+
+  // Each mutant differs from the base in exactly one structural field.
+  std::vector<model::FloorplanProblem> mutants;
+  {
+    model::FloorplanProblem m = threeRegionProblem(dev);  // region requirement
+    model::RegionSpec extra;
+    extra.name = "d";
+    extra.tiles = {1, 0, 0};
+    m.addRegion(extra);
+    mutants.push_back(std::move(m));
+  }
+  {
+    model::FloorplanProblem m(&dev);  // one tile count changed
+    model::RegionSpec a;
+    a.tiles = {7, 1, 0};
+    m.addRegion(a);
+    model::RegionSpec b;
+    b.tiles = {4, 0, 1};
+    m.addRegion(b);
+    model::RegionSpec c;
+    c.tiles = {2, 0, 0};
+    m.addRegion(c);
+    m.addNet(model::Net{{0, 1}, 1.0, ""});
+    m.addNet(model::Net{{1, 2}, 2.0, ""});
+    m.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+    m.addRelocation(model::RelocationRequest{2, 1, false, 0.5});
+    mutants.push_back(std::move(m));
+  }
+  {
+    model::FloorplanProblem m = threeRegionProblem(dev);  // extra net
+    m.addNet(model::Net{{0, 2}, 1.0, ""});
+    mutants.push_back(std::move(m));
+  }
+  {
+    model::FloorplanProblem m = threeRegionProblem(dev);  // extra relocation
+    m.addRelocation(model::RelocationRequest{1, 2, true, 1.0});
+    mutants.push_back(std::move(m));
+  }
+  {
+    model::FloorplanProblem m = threeRegionProblem(dev);  // objective mode
+    m.setLexicographic(false);
+    mutants.push_back(std::move(m));
+  }
+  {
+    model::FloorplanProblem m = threeRegionProblem(dev);  // objective weights
+    model::ObjectiveWeights w;
+    w.q1_wirelength = 2.0;
+    m.setWeights(w);
+    mutants.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < mutants.size(); ++i) {
+    const Fingerprint f = fingerprintProblem(mutants[i], req, Backend::kSearch);
+    EXPECT_NE(f.structural, ref.structural) << "mutant " << i;
+  }
+
+  // Net weight and relocation-hardness flips (same shapes, different values).
+  model::FloorplanProblem weight(&dev);
+  {
+    model::RegionSpec a;
+    a.tiles = {6, 1, 0};
+    weight.addRegion(a);
+    model::RegionSpec b;
+    b.tiles = {4, 0, 1};
+    weight.addRegion(b);
+    model::RegionSpec c;
+    c.tiles = {2, 0, 0};
+    weight.addRegion(c);
+    weight.addNet(model::Net{{0, 1}, 1.5, ""});  // was 1.0
+    weight.addNet(model::Net{{1, 2}, 2.0, ""});
+    weight.addRelocation(model::RelocationRequest{0, 1, true, 1.0});
+    weight.addRelocation(model::RelocationRequest{2, 1, false, 0.5});
+  }
+  EXPECT_NE(fingerprintProblem(weight, req, Backend::kSearch).structural, ref.structural);
+
+  // A different device is a different problem.
+  const device::Device dev2 = device::columnarFromPattern("t2", "CCBCCDCB", 4);
+  const model::FloorplanProblem other_dev = threeRegionProblem(dev2);
+  EXPECT_NE(fingerprintProblem(other_dev, req, Backend::kSearch).structural, ref.structural);
+
+  // Backend and answer-shaping request knobs are part of the key too.
+  EXPECT_NE(fingerprintProblem(base, req, Backend::kAnnealer).structural, ref.structural);
+  SolveRequest seeded = req;
+  seeded.annealer.seed = 99;
+  EXPECT_NE(fingerprintProblem(base, seeded, Backend::kAnnealer).structural,
+            fingerprintProblem(base, req, Backend::kAnnealer).structural);
+
+  // Budget-style knobs move the budget tier only: same structure, so a
+  // changed deadline is a near miss, never a different problem.
+  SolveRequest deadline = req;
+  deadline.deadline_seconds = 7.5;
+  const Fingerprint fd = fingerprintProblem(base, deadline, Backend::kSearch);
+  EXPECT_EQ(fd.structural, ref.structural);
+  EXPECT_EQ(fd.hash, ref.hash);
+  EXPECT_NE(fd.budget, ref.budget);
+}
+
+TEST(ResultCacheStore, ForcedHashCollisionNeverCrossReturns) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p1 = twoRegionProblem(dev);
+  model::FloorplanProblem p2 = twoRegionProblem(dev);
+  p2.addNet(model::Net{{0, 1}, 3.0, "extra"});  // structurally different
+
+  const Driver drv(DriverOptions{0});
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const SolveResponse r1 = drv.solve(p1, req);
+  const SolveResponse r2 = drv.solve(p2, req);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r2.status, SolveStatus::kOptimal);
+
+  Fingerprint f1 = fingerprintProblem(p1, req, Backend::kSearch);
+  Fingerprint f2 = fingerprintProblem(p2, req, Backend::kSearch);
+  ASSERT_NE(f1.structural, f2.structural);
+  // Forge a full 64-bit hash collision: only the stored-key comparison can
+  // tell the entries apart now.
+  f1.hash = 42;
+  f2.hash = 42;
+
+  ResultCache cache(8);
+  ASSERT_TRUE(cache.insert(f1, p1, r1));
+  // The colliding key must not be served p1's answer.
+  EXPECT_EQ(cache.lookup(f2, p2).outcome, CacheOutcome::kMiss);
+  ASSERT_TRUE(cache.insert(f2, p2, r2));
+  const CacheLookup l1 = cache.lookup(f1, p1);
+  const CacheLookup l2 = cache.lookup(f2, p2);
+  ASSERT_EQ(l1.outcome, CacheOutcome::kHit);
+  ASSERT_EQ(l2.outcome, CacheOutcome::kHit);
+  EXPECT_EQ(l1.response.costs.wire_length, r1.costs.wire_length);
+  EXPECT_EQ(l2.response.costs.wire_length, r2.costs.wire_length);
+  EXPECT_EQ(model::check(p1, l1.response.plan), "");
+  EXPECT_EQ(model::check(p2, l2.response.plan), "");
+}
+
+TEST(ResultCacheStore, PermutedHitRemapsThePlanIntoTheRequestersOrder) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCCCCBC", 6);
+  model::FloorplanProblem p1 = threeRegionProblem(dev);
+  model::FloorplanProblem p2 = threeRegionProblemPermuted(dev);
+  // The problems carry a soft relocation request, which the search only
+  // accepts under the weighted objective.
+  p1.setLexicographic(false);
+  p2.setLexicographic(false);
+
+  const Driver drv(DriverOptions{0});
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const SolveResponse r1 = drv.solve(p1, req);
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal) << r1.detail;
+
+  ResultCache cache(8);
+  ASSERT_TRUE(cache.insert(fingerprintProblem(p1, req, Backend::kSearch), p1, r1));
+  const CacheLookup hit = cache.lookup(fingerprintProblem(p2, req, Backend::kSearch), p2);
+  ASSERT_EQ(hit.outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit.response.status, SolveStatus::kOptimal);
+  // The money property: the stored plan, remapped, is checker-valid for the
+  // *permuted* problem and costs exactly the same.
+  EXPECT_EQ(model::check(p2, hit.response.plan), "");
+  const model::FloorplanCosts costs = model::evaluate(p2, hit.response.plan);
+  EXPECT_EQ(costs.wasted_frames, r1.costs.wasted_frames);
+  EXPECT_DOUBLE_EQ(costs.wire_length, r1.costs.wire_length);
+}
+
+TEST(ResultCacheStore, UntrustworthyResponsesAreRefused) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  SolveRequest req;
+  const Fingerprint fp = fingerprintProblem(p, req, Backend::kSearch);
+  ResultCache cache(8);
+
+  SolveResponse no_solution;
+  no_solution.backend = Backend::kSearch;
+  EXPECT_FALSE(cache.insert(fp, p, no_solution));
+
+  SolveResponse bogus;  // kFeasible with a plan the checker rejects
+  bogus.backend = Backend::kSearch;
+  bogus.status = SolveStatus::kFeasible;
+  bogus.plan.regions = {device::Rect{0, 0, 1, 1}, device::Rect{0, 0, 1, 1}};  // overlap
+  EXPECT_FALSE(cache.insert(fp, p, bogus));
+
+  SolveResponse fake_proof;  // infeasibility claimed by a non-exhaustive engine
+  fake_proof.backend = Backend::kAnnealer;
+  fake_proof.status = SolveStatus::kInfeasible;
+  EXPECT_FALSE(cache.insert(fingerprintProblem(p, req, Backend::kAnnealer), p, fake_proof));
+
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 3);
+  EXPECT_EQ(cache.lookup(fp, p).outcome, CacheOutcome::kMiss);
+}
+
+// ---- result cache: driver integration -------------------------------------
+
+TEST(DriverCache, RepeatSolvesAreServedFromTheCache) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const SolveResponse cold = drv.solve(p, req);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(cold.cache_hit);
+
+  const SolveResponse warm = drv.solve(p, req);
+  EXPECT_TRUE(warm.cache_hit) << warm.detail;
+  EXPECT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(warm.costs.wasted_frames, cold.costs.wasted_frames);
+  EXPECT_DOUBLE_EQ(warm.costs.wire_length, cold.costs.wire_length);
+  EXPECT_EQ(model::check(p, warm.plan), "");
+
+  const CacheStats stats = drv.cacheStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+
+  // Opting out per request bypasses the store in both directions.
+  req.use_cache = false;
+  const SolveResponse bypass = drv.solve(p, req);
+  EXPECT_FALSE(bypass.cache_hit);
+  EXPECT_EQ(drv.cacheStats().hits, 1);
+}
+
+TEST(DriverCache, ProofsServeAnyBudget) {
+  // An optimality proof is a budget-independent truth: a request under a
+  // different deadline still gets the stored answer as a full hit.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  ASSERT_EQ(drv.solve(p, req).status, SolveStatus::kOptimal);
+
+  req.deadline_seconds = 5.0;  // different budget tier
+  const SolveResponse warm = drv.solve(p, req);
+  EXPECT_TRUE(warm.cache_hit) << warm.detail;
+  EXPECT_EQ(warm.status, SolveStatus::kOptimal);
+}
+
+TEST(DriverCache, NearMissSeedsTheReSolveAndNeverComesBackWorse) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;  // no proofs: forces the near-miss path
+  req.annealer.iterations = 5000;
+  const SolveResponse cold = drv.solve(p, req);
+  ASSERT_TRUE(cold.hasSolution()) << cold.detail;
+
+  // Same structure, different budget tier: the cached plan must seed the
+  // re-solve instead of short-circuiting it.
+  req.annealer.iterations = 8000;
+  const SolveResponse warm = drv.solve(p, req);
+  ASSERT_TRUE(warm.hasSolution()) << warm.detail;
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_TRUE(warm.cache_seeded) << warm.detail;
+  // Arbitration against the seed: the result is never worse than what the
+  // cache already knew.
+  EXPECT_FALSE(model::strictlyBetter(p, cold.costs, warm.costs)) << warm.detail;
+  EXPECT_EQ(model::check(p, warm.plan), "");
+  EXPECT_EQ(drv.cacheStats().seeded_incumbents, 1);
+
+  // The seeded re-solve was stored under its own budget key: asking again
+  // is a plain hit, and the stored entry's provenance is *this* lookup's
+  // (hit), not the original near-miss seeding.
+  const SolveResponse third = drv.solve(p, req);
+  EXPECT_TRUE(third.cache_hit) << third.detail;
+  EXPECT_FALSE(third.cache_seeded) << third.detail;
+}
+
+TEST(DriverCache, LruEvictionDropsTheColdestEntry) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  // Three structurally distinct variants of the same base problem.
+  std::vector<model::FloorplanProblem> problems;
+  problems.push_back(twoRegionProblem(dev));
+  problems.push_back(twoRegionProblem(dev));
+  problems.back().addNet(model::Net{{0, 1}, 2.0, "x"});
+  problems.push_back(twoRegionProblem(dev));
+  problems.back().addNet(model::Net{{0, 1}, 3.0, "y"});
+
+  DriverOptions opt;
+  opt.cache_entries = 2;
+  const Driver drv(opt);
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  for (const auto& p : problems) ASSERT_TRUE(drv.solve(p, req).hasSolution());
+  // Capacity 2: solving the third evicted the first (least recently used).
+  EXPECT_EQ(drv.cacheStats().evictions, 1);
+  EXPECT_FALSE(drv.solve(problems[0], req).cache_hit);  // was evicted
+  EXPECT_TRUE(drv.solve(problems[2], req).cache_hit);   // still resident
+}
+
+TEST(DriverBatch, DuplicateProblemsHitTheCacheOnTheRerun) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCCCCBC", 6);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.max_region_width = 4;
+  gopt.max_region_height = 3;
+  std::vector<model::FloorplanProblem> problems;
+  for (std::uint64_t seed = 1; problems.size() < 2 && seed < 40; ++seed) {
+    gopt.seed = seed;
+    if (auto p = model::generateProblem(dev, gopt)) problems.push_back(std::move(*p));
+  }
+  ASSERT_EQ(problems.size(), 2u);
+  // >= 50% duplicates, interleaved so pool threads race on them.
+  const std::vector<const model::FloorplanProblem*> ptrs = {
+      &problems[0], &problems[1], &problems[0], &problems[1], &problems[0], &problems[1]};
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const std::vector<SolveResponse> cold = drv.solveBatch(ptrs, req, 2);
+  ASSERT_EQ(cold.size(), ptrs.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_TRUE(cold[i].hasSolution()) << i;
+    EXPECT_EQ(model::check(*ptrs[i], cold[i].plan), "") << i;
+  }
+
+  const std::vector<SolveResponse> warm = drv.solveBatch(ptrs, req, 2);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].cache_hit) << i << ": " << warm[i].detail;
+    EXPECT_EQ(warm[i].status, cold[i].status) << i;
+    EXPECT_EQ(warm[i].costs.wasted_frames, cold[i].costs.wasted_frames) << i;
+    EXPECT_EQ(model::check(*ptrs[i], warm[i].plan), "") << i;
+  }
+  EXPECT_GE(drv.cacheStats().hits, static_cast<long>(ptrs.size()));
+}
+
+TEST(DriverCache, RequestStopTruncatedRunsAreNeverCached) {
+  // A run truncated by a stop flag the *caller* wired into the engine
+  // options is cut at an arbitrary point; caching it would poison every
+  // later identical, uncancelled request with the truncated answer.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
   const Driver drv;
   SolveRequest req;
   req.backend = Backend::kAnnealer;
+  std::atomic<bool> stop{true};  // truncated from the very first poll
+  req.annealer.stop = &stop;
+  (void)drv.solve(p, req);
+  EXPECT_EQ(drv.cacheStats().insertions, 0);
+
+  // The uncancelled request must genuinely solve (a miss), not hit.
+  req.annealer.stop = nullptr;
+  const SolveResponse fresh = drv.solve(p, req);
+  EXPECT_FALSE(fresh.cache_hit) << fresh.detail;
+  ASSERT_TRUE(fresh.hasSolution()) << fresh.detail;
+  EXPECT_EQ(drv.cacheStats().insertions, 1);
+}
+
+TEST(DriverCache, NearMissSeedsTheCallersChannelInsteadOfReplacingIt) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;
+  req.annealer.iterations = 5000;
+  const SolveResponse cold = drv.solve(p, req);
+  ASSERT_TRUE(cold.hasSolution()) << cold.detail;
+
+  // The caller observes the solve through its own channel; the near-miss
+  // seed must land there, not in a hidden cache-internal channel.
+  SharedIncumbent mine(p);
+  req.annealer.incumbent = &mine;
+  req.annealer.iterations = 8000;  // different budget tier: near miss
+  const SolveResponse warm = drv.solve(p, req);
+  EXPECT_TRUE(warm.cache_seeded) << warm.detail;
+  EXPECT_GT(mine.version(), 0u);  // the seed (and publishes) reached us
+  model::FloorplanCosts best;
+  ASSERT_TRUE(mine.best(nullptr, &best));
+  EXPECT_FALSE(model::strictlyBetter(p, warm.costs, best));  // channel kept the best
+}
+
+TEST(DriverBatch, DeadlineBoundedRerunsHitUnderTheBatchBudgetKey) {
+  // Fair slices are derived from the live wall clock and never repeat, so
+  // cache entries must be keyed on the *batch-wide* budget — otherwise a
+  // deadline-bounded batch of a non-proving backend could never hit.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  std::vector<model::FloorplanProblem> problems;
+  problems.push_back(twoRegionProblem(dev));
+  problems.push_back(twoRegionProblem(dev));
+  problems.back().addNet(model::Net{{0, 1}, 2.0, "x"});
+  const std::vector<const model::FloorplanProblem*> ptrs = {
+      &problems[0], &problems[1], &problems[0], &problems[1], &problems[0], &problems[1]};
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kAnnealer;  // no proofs: only exact-budget hits
   req.annealer.iterations = 2000000000L;
+  const std::vector<SolveResponse> cold =
+      drv.solveBatch(ptrs, req, 2, /*stop=*/nullptr, /*deadline_seconds=*/1.5);
+  ASSERT_EQ(cold.size(), ptrs.size());
+
+  const std::vector<SolveResponse> warm =
+      drv.solveBatch(ptrs, req, 2, /*stop=*/nullptr, /*deadline_seconds=*/1.5);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].cache_hit) << i << ": " << warm[i].detail;
+    ASSERT_TRUE(warm[i].hasSolution()) << i;
+    EXPECT_EQ(model::check(*ptrs[i], warm[i].plan), "") << i;
+  }
+}
+
+// ---- staged portfolio: adaptive stage 1 ------------------------------------
+
+TEST(DriverPortfolio, QuietChannelEndsStageOneEarly) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+  SolveRequest req;
+  req.portfolio = {Backend::kAnnealer, Backend::kSearch};
+  req.deadline_seconds = 30.0;
+  req.stage1_fraction = 0.5;          // nominal slice: 10s (stage1_max cap)
+  req.stage1_quiet_fraction = 0.05;   // quiet for 0.5s => end stage 1
+  req.annealer.iterations = 2000000000L;  // would fill the whole slice
   Stopwatch watch;
-  const std::vector<SolveResponse> res =
-      drv.solveBatch(ptrs, req, 2, /*stop=*/nullptr, /*deadline_seconds=*/0.5);
-  EXPECT_LT(watch.seconds(), 30.0);  // poll granularity + CI slack
-  ASSERT_EQ(res.size(), ptrs.size());
-  // Dispatched solves were truncated to the remaining budget; the tail was
-  // skipped outright.
-  int skipped = 0;
-  for (const SolveResponse& r : res)
-    skipped += r.detail == "batch: deadline exhausted before dispatch" ? 1 : 0;
-  EXPECT_GE(skipped, 1);
+  const SolveResponse res = drv.solvePortfolio(p, req);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal) << res.detail;
+  EXPECT_TRUE(res.incumbent.staged);
+  // On a trivial instance the annealer stops improving almost immediately;
+  // the watchdog must hand the rest of the 10s slice to the prover.
+  EXPECT_TRUE(res.incumbent.stage1_ended_early) << res.detail;
+  EXPECT_LT(res.incumbent.stage1_seconds, 8.0) << res.detail;
+  EXPECT_LT(watch.seconds(), 25.0);
 }
 
 TEST(DriverBatch, EmptyBatchAndOversizedPoolAreFine) {
