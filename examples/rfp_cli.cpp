@@ -16,7 +16,11 @@
 //                                "portfolio" to run them cooperatively
 //                                (shared incumbents, staged deadlines) and
 //                                keep the best/proven result
-//         --threads N            search parallelism (default 4)
+//         --threads N            in-solve parallelism: work-stealing B&B
+//                                workers inside the exact search and MILP
+//                                backends (default 4)
+//         --thread-budget N      shared cap across all parallelism (pool ×
+//                                in-solve workers never exceeds N; 0 = none)
 //         --time-limit S         wall-clock deadline for the whole solve
 //         --stage1-fraction F    portfolio: fraction of the deadline granted
 //                                to the incomplete engines before the
@@ -112,6 +116,7 @@ int cmdShow(const std::string& spec) {
 struct SolveArgs {
   std::string algo = "search";
   int threads = 4;
+  int thread_budget = 0;
   double time_limit = 0.0;
   double stage1_fraction = 0.25;
   bool incumbent_exchange = true;
@@ -138,6 +143,7 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
 
   driver::DriverOptions dopt;
   dopt.cache_entries = args.use_cache ? args.cache_entries : 0;
+  dopt.thread_budget = args.thread_budget;
   const driver::Driver drv(dopt);
   driver::SolveResponse res;
   if (args.algo == "portfolio") {
@@ -178,6 +184,12 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
                 "dual-reopt-rate=%.2f\n",
                 res.lp.primal_pivots, res.lp.dual_pivots, res.lp.bound_flips,
                 res.lp.ft_updates, res.lp.dualReoptRate());
+  }
+  if (!res.workers.empty()) {
+    std::printf("parallel: workers=%zu steals=%ld\n", res.workers.size(), res.steals);
+    for (const driver::SolveWorkerStats& s : res.workers)
+      std::printf("  worker %2d: nodes=%ld steals=%ld stolen=%ld idle=%.2fs\n", s.id, s.nodes,
+                  s.steals, s.stolen, s.idle_seconds);
   }
   if (res.incumbent.publishes > 0 || res.incumbent.staged) {
     std::printf("incumbent: source=%s publishes=%ld adoptions=%ld cutoff-prunes=%ld%s",
@@ -230,7 +242,8 @@ int usage() {
                "usage:\n"
                "  rfp_cli devices\n"
                "  rfp_cli show <device>\n"
-               "  rfp_cli solve <device> <problem-file> [--threads N] [--time-limit S]\n"
+               "  rfp_cli solve <device> <problem-file> [--threads N] [--thread-budget N]\n"
+               "                [--time-limit S]\n"
                "                [--algo search|milp-o|milp-ho|heuristic|annealer|portfolio]\n"
                "                [--stage1-fraction F] [--no-exchange]\n"
                "                [--cache-size N] [--no-cache]\n"
@@ -263,6 +276,8 @@ int main(int argc, char** argv) {
           args.algo = next();
         else if (flag == "--threads")
           args.threads = std::stoi(next());
+        else if (flag == "--thread-budget")
+          args.thread_budget = std::stoi(next());
         else if (flag == "--time-limit")
           args.time_limit = std::stod(next());
         else if (flag == "--stage1-fraction")

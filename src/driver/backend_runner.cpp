@@ -51,10 +51,25 @@ SolveResponse runSearch(const model::FloorplanProblem& problem, const SolveReque
   out.incumbent_published = res.published;
   out.incumbent_adopted = res.adopted;
   out.cutoff_prunes = res.external_prunes;
+  out.steals = res.steals;
+  if (res.workers.size() > 1) {
+    out.workers.reserve(res.workers.size());
+    for (const search::SearchWorkerStats& w : res.workers) {
+      SolveWorkerStats s;
+      s.id = w.id;
+      s.nodes = w.nodes;
+      s.steals = w.steals;
+      s.stolen = w.stolen_tasks;
+      s.idle_seconds = w.idle_seconds;
+      out.workers.push_back(s);
+    }
+  }
   std::ostringstream d;
   d << "search: " << search::toString(res.status) << " nodes=" << res.nodes;
   if (res.adopted > 0 || res.external_prunes > 0)
     d << " adopted=" << res.adopted << " cutoff-prunes=" << res.external_prunes;
+  if (res.workers.size() > 1)
+    d << " workers=" << res.workers.size() << " steals=" << res.steals;
   out.detail = d.str();
   return out;
 }
@@ -65,6 +80,7 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
   fp::MilpFloorplannerOptions opt = request.milp;
   opt.algorithm = backend == Backend::kMilpO ? fp::Algorithm::kO : fp::Algorithm::kHO;
   opt.lexicographic = problem.lexicographic();
+  opt.milp.threads = std::max({1, opt.milp.threads, request.num_threads});
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) {
     // Override both stage flags: a caller-set heuristic.stop would otherwise
@@ -103,6 +119,21 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
   out.incumbent_published = res.published;
   out.incumbent_adopted = res.adopted;
   out.cutoff_prunes = res.external_prunes;
+  out.steals = res.steals;
+  if (res.workers.size() > 1) {
+    out.workers.reserve(res.workers.size());
+    for (const milp::MipWorkerStats& w : res.workers) {
+      SolveWorkerStats s;
+      s.id = w.id;
+      s.nodes = w.nodes;
+      s.steals = w.steals;
+      s.stolen = w.stolen_nodes;
+      s.lp_solves = w.lp_solves;
+      s.lp_warm_hits = w.lp_warm_hits;
+      s.idle_seconds = w.idle_seconds;
+      out.workers.push_back(s);
+    }
+  }
   out.detail = std::string(toString(backend)) + ": " + res.detail;
   return out;
 }
@@ -160,6 +191,13 @@ SolveResponse runAnnealer(const model::FloorplanProblem& problem, const SolveReq
 double cappedLimit(double configured, double deadline) noexcept {
   if (deadline <= 0) return configured;
   return configured > 0 ? std::min(configured, deadline) : deadline;
+}
+
+void capInSolveThreads(SolveRequest* request, int budget) noexcept {
+  if (budget <= 0) return;
+  request->num_threads = std::clamp(request->num_threads, 1, budget);
+  request->search.num_threads = std::clamp(request->search.num_threads, 1, budget);
+  request->milp.milp.threads = std::clamp(request->milp.milp.threads, 1, budget);
 }
 
 bool isProof(const SolveResponse& response) noexcept {

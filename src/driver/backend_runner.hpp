@@ -56,4 +56,11 @@ namespace rfp::driver::detail {
 /// Tightens `configured` (<= 0: none) to the request deadline (<= 0: none).
 [[nodiscard]] double cappedLimit(double configured, double deadline) noexcept;
 
+/// Caps every in-solve parallelism knob of `request` (num_threads,
+/// search.num_threads, milp.milp.threads) at `budget` worker threads
+/// (floored at 1); `budget <= 0` leaves the request untouched. Used by the
+/// driver's shared thread budget (DriverOptions::thread_budget) so a batch
+/// pool running parallel solves does not oversubscribe the machine.
+void capInSolveThreads(SolveRequest* request, int budget) noexcept;
+
 }  // namespace rfp::driver::detail

@@ -55,8 +55,14 @@ std::vector<SolveResponse> Driver::solveBatch(
   if (problems.empty()) return out;
 
   const Deadline overall(deadline_seconds);
-  const int threads =
-      std::clamp(pool_threads, 1, static_cast<int>(problems.size()));
+  int threads = std::clamp(pool_threads, 1, static_cast<int>(problems.size()));
+  if (options_.thread_budget > 0) threads = std::min(threads, options_.thread_budget);
+  // Shared thread budget: the pool width and each solve's in-solve workers
+  // multiply, so the per-solve parallelism knobs are capped at the budget
+  // divided by the pool width — `pool * in_solve <= thread_budget`.
+  SolveRequest base = request;
+  if (options_.thread_budget > 0)
+    detail::capInSolveThreads(&base, std::max(1, options_.thread_budget / threads));
   std::atomic<std::size_t> next{0};
   ResultCache* cache = cache_.get();
   // Order-independent digest of the whole batch composition (wrapping sum,
@@ -85,7 +91,7 @@ std::vector<SolveResponse> Driver::solveBatch(
         // shifts slices by one problem's worth.)
         const double slice =
             fairSlice(std::max(0.01, overall.remaining()), threads, problems.size() - i);
-        SolveRequest capped = request;
+        SolveRequest capped = base;
         capped.deadline_seconds = detail::cappedLimit(request.deadline_seconds, slice);
         // Cache entries are keyed on the caller's request plus the whole
         // batch configuration (overall budget, pool width, and the
@@ -108,7 +114,7 @@ std::vector<SolveResponse> Driver::solveBatch(
           out[i].detail += note.str();
         }
       } else {
-        out[i] = detail::solveThroughCache(cache, *problems[i], request, stop);
+        out[i] = detail::solveThroughCache(cache, *problems[i], base, stop);
       }
     }
   };

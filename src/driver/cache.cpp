@@ -1,6 +1,7 @@
 #include "driver/cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "driver/backend_runner.hpp"
@@ -189,6 +190,16 @@ bool fromCanonicalPlan(const Fingerprint& fp, const model::FloorplanProblem& pro
 
 [[nodiscard]] bool isProofStatus(SolveStatus s) noexcept {
   return s == SolveStatus::kOptimal || s == SolveStatus::kInfeasible;
+}
+
+/// Flight-table key: the full cache key. The hash alone would let a
+/// collision chain two unrelated solves together (a follower waiting on a
+/// leader that will never answer its problem).
+std::string flightKey(const Fingerprint& fp) {
+  std::string key = fp.structural;
+  key += '\x1f';
+  key += fp.budget;
+  return key;
 }
 
 }  // namespace
@@ -467,6 +478,33 @@ bool ResultCache::insert(const Fingerprint& fp, const model::FloorplanProblem& p
   return true;
 }
 
+ResultCache::FlightJoin ResultCache::joinFlight(const Fingerprint& fp, std::atomic<bool>* stop) {
+  const std::string key = flightKey(fp);
+  std::unique_lock<std::mutex> lock(flight_mu_);
+  for (;;) {
+    if (flights_.insert(key).second) return FlightJoin::kLeader;
+    // An identical solve is in flight: wait for it to land. The wait wakes
+    // on the leader's finishFlight() broadcast; the timeout only bounds how
+    // stale a raised stop flag can go unnoticed.
+    flight_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (flights_.count(key) == 0) return FlightJoin::kLanded;
+    if (stop && stop->load(std::memory_order_relaxed)) return FlightJoin::kCancelled;
+  }
+}
+
+void ResultCache::finishFlight(const Fingerprint& fp) {
+  {
+    const std::lock_guard<std::mutex> lock(flight_mu_);
+    flights_.erase(flightKey(fp));
+  }
+  flight_cv_.notify_all();
+}
+
+void ResultCache::noteCoalesced() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.coalesced;
+}
+
 CacheStats ResultCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -532,8 +570,34 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
       fingerprintProblem(problem, key_request ? *key_request : request, request.backend);
   if (budget_context) fp.budget += std::string(";ctx=") + budget_context;
   CacheLookup lk = cache->lookup(fp, problem);
+  // In-flight duplicate coalescing: a miss or near miss is about to run an
+  // engine, so announce the full key first (ResultCache::joinFlight). The
+  // first announcer leads and solves; a caller that joined while an
+  // identical solve was already running blocks until the leader lands and
+  // re-looks-up — the leader's freshly stored answer turns the miss into a
+  // hit, so each unique in-flight fingerprint runs its engine exactly once.
+  // When the leader's result was refused by the insert policy the re-lookup
+  // still misses and the follower takes over as the new leader.
+  bool leading = false;
+  bool coalesced = false;
+  while (lk.outcome != CacheOutcome::kHit) {
+    const ResultCache::FlightJoin join = cache->joinFlight(fp, external_stop);
+    if (join == ResultCache::FlightJoin::kLeader) {
+      leading = true;
+      break;
+    }
+    if (join == ResultCache::FlightJoin::kCancelled)
+      break;  // stop raised while waiting: solve uncoalesced, engines unwind fast
+    coalesced = true;  // kLanded
+    lk = cache->lookup(fp, problem);
+  }
   if (lk.outcome == CacheOutcome::kHit) {
     lk.response.cache_hit = true;
+    if (coalesced) {
+      lk.response.coalesced = true;
+      lk.response.detail += " [coalesced]";
+      cache->noteCoalesced();
+    }
     lk.response.detail += " [cache hit]";
     lk.response.seconds = watch.seconds();  // this call's cost, not the original solve's
     // Observer invariant: a caller watching the solve through its own
@@ -571,6 +635,7 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
       res.detail += " [cache seed kept: re-solve was worse]";
     }
     if (!stopRaised(request, request.backend, external_stop)) cache->insert(fp, problem, res);
+    if (leading) cache->finishFlight(fp);  // after insert: followers re-lookup and hit
     return res;
   }
 
@@ -578,6 +643,7 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
   // A cancelled run is truncated at an arbitrary point — not a trustworthy
   // representative of this budget tier.
   if (!stopRaised(request, request.backend, external_stop)) cache->insert(fp, problem, res);
+  if (leading) cache->finishFlight(fp);  // after insert: followers re-lookup and hit
   return res;
 }
 

@@ -36,11 +36,14 @@
 // else — kNoSolution, cancelled runs, checker-rejected plans — is refused.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "driver/driver.hpp"
@@ -78,6 +81,9 @@ struct CacheStats {
   long insertions = 0;        ///< entries stored (including replacements)
   long evictions = 0;         ///< LRU evictions under capacity pressure
   long rejected = 0;          ///< responses refused (checker/proof policy)
+  /// Concurrent duplicate solves answered by a flight leader's result
+  /// instead of running their own engine (see ResultCache::joinFlight).
+  long coalesced = 0;
 };
 
 enum class CacheOutcome {
@@ -121,6 +127,24 @@ class ResultCache {
   bool insert(const Fingerprint& fp, const model::FloorplanProblem& problem,
               const SolveResponse& response);
 
+  /// In-flight duplicate coalescing. A caller about to solve a cache miss
+  /// announces the full key (structural + budget) here; the first announcer
+  /// becomes the flight *leader* and must call finishFlight() once its
+  /// result has been offered to insert() — leaders that skip this leave
+  /// followers blocked for the flight's lifetime. Later announcers of the
+  /// same key are *followers*: they block until the leader lands (kLanded)
+  /// and should then re-run lookup(), which serves the leader's freshly
+  /// stored answer; when the leader's result was refused by the insert
+  /// policy the re-lookup misses and the follower re-announces, becoming
+  /// the new leader. A raised stop flag aborts the wait (kCancelled): the
+  /// caller solves uncoalesced — its engines unwind immediately — and must
+  /// NOT call finishFlight().
+  enum class FlightJoin { kLeader, kLanded, kCancelled };
+  [[nodiscard]] FlightJoin joinFlight(const Fingerprint& fp, std::atomic<bool>* stop);
+  void finishFlight(const Fingerprint& fp);
+  /// Counts one follower served from a leader's result (CacheStats::coalesced).
+  void noteCoalesced();
+
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -141,6 +165,12 @@ class ResultCache {
   EntryList lru_;  ///< front = most recently used
   std::unordered_multimap<std::uint64_t, EntryList::iterator> index_;
   CacheStats stats_;
+  // Flight table (joinFlight/finishFlight). Guarded by its own mutex so
+  // followers waiting on a leader never hold up store lookups; the two
+  // locks are never nested.
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::unordered_set<std::string> flights_;  ///< full keys currently solving
 };
 
 }  // namespace rfp::driver

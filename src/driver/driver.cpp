@@ -49,11 +49,14 @@ Driver::Driver() : Driver(DriverOptions{}) {}
 
 Driver::Driver(const DriverOptions& options)
     : cache_(options.cache_entries > 0 ? std::make_shared<ResultCache>(options.cache_entries)
-                                       : nullptr) {}
+                                       : nullptr),
+      options_(options) {}
 
 SolveResponse Driver::solve(const model::FloorplanProblem& problem,
                             const SolveRequest& request) const {
-  return detail::solveThroughCache(cache_.get(), problem, request, /*external_stop=*/nullptr);
+  SolveRequest capped = request;
+  detail::capInSolveThreads(&capped, options_.thread_budget);
+  return detail::solveThroughCache(cache_.get(), problem, capped, /*external_stop=*/nullptr);
 }
 
 CacheStats Driver::cacheStats() const {

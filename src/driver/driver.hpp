@@ -74,8 +74,10 @@ struct SolveRequest {
   /// Wall-clock budget per solve; <= 0: none. Tightens (never loosens) the
   /// per-backend time limits below.
   double deadline_seconds = 0.0;
-  /// Intra-backend parallelism for the exact search (root decomposition);
-  /// takes the max with search.num_threads.
+  /// In-solve parallelism: work-stealing workers inside one solve. Takes the
+  /// max with search.num_threads (exact search) and milp.milp.threads (MILP
+  /// branch & bound). Thread count changes which optimal solution is
+  /// returned, never the status or the objective value.
   int num_threads = 1;
   /// Portfolio: share incumbents between the backends through a
   /// SharedIncumbent channel (publish/consume as objective cutoffs). The
@@ -173,6 +175,21 @@ struct PortfolioMemberStats {
   long cutoff_prunes = 0;  ///< nodes this member pruned on an external cutoff
 };
 
+/// Per-worker telemetry of an in-solve work-stealing scheduler (exact
+/// search and parallel MILP branch & bound; empty for single-threaded
+/// solves and the incomplete engines). Field meanings follow the engine's
+/// own stats: `nodes` are B&B nodes the worker expanded, `stolen` counts
+/// work items acquired from other workers' deques.
+struct SolveWorkerStats {
+  int id = 0;
+  long nodes = 0;
+  long steals = 0;          ///< successful steal operations performed
+  long stolen = 0;          ///< work items acquired through those steals
+  long lp_solves = 0;       ///< MILP workers: LP relaxations solved
+  long lp_warm_hits = 0;    ///< MILP workers: solves warm-started from a basis
+  double idle_seconds = 0.0;
+};
+
 struct SolveResponse {
   SolveStatus status = SolveStatus::kNoSolution;
   /// Engine that produced this result (the portfolio winner). Only
@@ -195,11 +212,19 @@ struct SolveResponse {
   long cutoff_prunes = 0;
   IncumbentStats incumbent;                  ///< portfolio channel summary
   std::vector<PortfolioMemberStats> members; ///< portfolio: one per member
+  // In-solve work-stealing telemetry (num_threads > 1 on an exact backend):
+  // one entry per worker, plus the steal total across all workers.
+  std::vector<SolveWorkerStats> workers;
+  long steals = 0;
   // Result-cache provenance (driver/cache.hpp): served from the store
   // without running an engine, or re-solved with the cached plan published
   // into the incumbent channel (near miss under a different budget).
   bool cache_hit = false;
   bool cache_seeded = false;
+  /// This response was answered by a concurrent identical solve: the caller
+  /// arrived while the same fingerprint was in flight, blocked on the
+  /// leader's result and was served from the store (cache_hit is also set).
+  bool coalesced = false;
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
@@ -214,6 +239,14 @@ struct DriverOptions {
   /// solveBatch(); 0 disables caching entirely. Entries are checker-
   /// validated SolveResponses, a few KiB each.
   std::size_t cache_entries = 128;
+  /// Shared thread budget across batch pool and in-solve workers; <= 0: no
+  /// cap. solveBatch never lets `pool_threads * in_solve_threads` exceed
+  /// this: the pool width is capped at the budget and each dispatched
+  /// solve's in-solve worker count (SolveRequest::num_threads and the
+  /// per-engine thread knobs) is capped at `budget / pool_width`, so a
+  /// duplicate-heavy batch with parallel B&B enabled does not oversubscribe
+  /// the machine. solve() caps its in-solve workers at the full budget.
+  int thread_budget = 0;
 };
 
 class Driver {
@@ -270,6 +303,7 @@ class Driver {
 
  private:
   std::shared_ptr<ResultCache> cache_;  ///< shared so Driver copies share it
+  DriverOptions options_;
 };
 
 }  // namespace rfp::driver

@@ -47,11 +47,30 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     }
     w.endObject();
   }
-  if (response.cache_hit || response.cache_seeded) {
+  if (response.cache_hit || response.cache_seeded || response.coalesced) {
     w.key("cache").beginObject();
     w.key("hit").value(response.cache_hit);
     w.key("seeded").value(response.cache_seeded);
+    w.key("coalesced").value(response.coalesced);
     w.endObject();
+  }
+  if (!response.workers.empty()) {
+    w.key("steals").value(response.steals);
+    w.key("workers").beginArray();
+    for (const SolveWorkerStats& s : response.workers) {
+      w.beginObject();
+      w.key("id").value(s.id);
+      w.key("nodes").value(s.nodes);
+      w.key("steals").value(s.steals);
+      w.key("stolen").value(s.stolen);
+      if (s.lp_solves > 0) {
+        w.key("lp_solves").value(s.lp_solves);
+        w.key("lp_warm_hits").value(s.lp_warm_hits);
+      }
+      w.key("idle_seconds").value(s.idle_seconds);
+      w.endObject();
+    }
+    w.endArray();
   }
   if (response.lp.solves > 0) {
     w.key("lp").beginObject();

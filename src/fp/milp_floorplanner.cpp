@@ -58,6 +58,19 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     result.lp_bound_flips += mip.lp_bound_flips;
     result.lp_ft_updates += mip.lp_ft_updates;
     result.lp_dual_reopts += mip.lp_dual_reopts;
+    result.steals += mip.steals;
+    for (const milp::MipWorkerStats& w : mip.workers) {
+      const auto i = static_cast<std::size_t>(w.id);
+      if (result.workers.size() <= i) result.workers.resize(i + 1);
+      milp::MipWorkerStats& acc = result.workers[i];
+      acc.id = w.id;
+      acc.nodes += w.nodes;
+      acc.steals += w.steals;
+      acc.stolen_nodes += w.stolen_nodes;
+      acc.lp_solves += w.lp_solves;
+      acc.lp_warm_hits += w.lp_warm_hits;
+      acc.idle_seconds += w.idle_seconds;
+    }
   };
 
   const auto part = partition::columnarPartition(problem.dev());

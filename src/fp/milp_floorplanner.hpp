@@ -84,6 +84,10 @@ struct FpResult {
   long lp_bound_flips = 0;
   long lp_ft_updates = 0;
   long lp_dual_reopts = 0;  ///< node solves answered by the dual fast path
+  // In-solve work-stealing telemetry (milp.threads > 1): per-worker figures
+  // summed by worker id across the MILP stages, plus the steal total.
+  std::vector<milp::MipWorkerStats> workers;
+  long steals = 0;
   // Incumbent-exchange telemetry (zero without a channel).
   long published = 0;        ///< incumbents offered to the channel
   long adopted = 0;          ///< external incumbents adopted as cutoffs

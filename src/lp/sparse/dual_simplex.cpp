@@ -549,11 +549,18 @@ struct DualReoptimizer::Impl {
   /// live state is not a usable warm-start source (after fallbacks, limits
   /// or infeasible verdicts).
   std::shared_ptr<const Basis> live;
-  /// Circuit breaker: consecutive give-ups. Some trees (hyper-degenerate
+  /// Circuit breaker: consecutive give-ups. Some subtrees (hyper-degenerate
   /// instances at the largest scales) defeat dual Devex row pricing on
-  /// every node; after enough consecutive failures the reoptimizer stops
-  /// burning the effort budget and lets the primal engine carry the tree.
-  int consecutive_giveups = 0;
+  /// every node; after `breaker_strikes` consecutive failures the
+  /// reoptimizer stops burning the effort budget and lets the primal
+  /// engine carry the next `breaker_cooldown` nodes. The breaker is a
+  /// cool-down, not a kill switch: after the cool-down one probe attempt
+  /// runs, and a probe that completes re-arms the warm path — a single bad
+  /// subtree must not disable dual reoptimization for the rest of the
+  /// tree. (This state is single-owner, like the live factors: parallel
+  /// B&B keeps one reoptimizer per worker, so strikes are per-worker too.)
+  int strikes = 0;
+  int cooldown_left = 0;  ///< tripped-breaker calls to decline before a probe
 
   Impl(const Model& m, std::shared_ptr<const CscMatrix> c, DualSimplexSolver::Options o)
       : model(m), csc(std::move(c)), opt(o) {}
@@ -573,7 +580,11 @@ std::optional<LpResult> DualReoptimizer::reoptimize(std::span<const double> lb,
                                                     double time_limit_seconds,
                                                     LpResult* declined_attempt) {
   if (!warm) return std::nullopt;
-  if (impl_->consecutive_giveups >= 3) return std::nullopt;  // tree-level breaker
+  const int max_strikes = impl_->opt.breaker_strikes;
+  if (max_strikes > 0 && impl_->strikes >= max_strikes && impl_->cooldown_left > 0) {
+    --impl_->cooldown_left;  // tripped: decline until the cool-down elapses
+    return std::nullopt;
+  }
   RFP_CHECK(static_cast<int>(lb.size()) == impl_->model.numVars());
   RFP_CHECK(static_cast<int>(ub.size()) == impl_->model.numVars());
   Stopwatch watch;
@@ -600,12 +611,18 @@ std::optional<LpResult> DualReoptimizer::reoptimize(std::span<const double> lb,
   const std::optional<LpStatus> status =
       impl_->worker->reoptimize(*warm, hot, result, deadline);
   if (!status) {
-    ++impl_->consecutive_giveups;
+    ++impl_->strikes;
+    // Reaching the strike limit (or failing the post-cool-down probe)
+    // (re-)trips the breaker for another cool-down window.
+    if (max_strikes > 0 && impl_->strikes >= max_strikes)
+      impl_->cooldown_left = std::max(0, impl_->opt.breaker_cooldown);
     result.seconds = watch.seconds();
     if (declined_attempt) *declined_attempt = std::move(result);
     return std::nullopt;
   }
-  impl_->consecutive_giveups = 0;
+  // Any completed solve — the claim is verified through refactorized
+  // factors before being reported — re-arms the warm path entirely.
+  impl_->strikes = 0;
   result.status = *status;
   if (result.status == LpStatus::kOptimal) {
     result.objective = impl_->model.evalObjective(result.x);

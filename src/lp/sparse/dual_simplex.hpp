@@ -45,6 +45,15 @@ class DualSimplexSolver {
     /// revised_simplex.hpp — warm reoptimizations stay far below it).
     int refactor_interval = 100;
     BasisLu::Options lu;
+    /// DualReoptimizer circuit breaker: consecutive give-ups before the
+    /// warm path is temporarily suspended (<= 0: never suspend). The breaker
+    /// is a *cool-down*, not a kill switch — see breaker_cooldown.
+    int breaker_strikes = 3;
+    /// Calls declined while the breaker is tripped before one probe attempt
+    /// is let through again. A hyper-degenerate subtree that defeats dual
+    /// Devex on every node trips the breaker locally, but the rest of the
+    /// tree gets the warm path back as soon as a probe succeeds.
+    int breaker_cooldown = 16;
   };
 
   DualSimplexSolver() = default;
@@ -83,6 +92,13 @@ class DualSimplexSolver {
 /// refactorizations. Any other warm basis falls back to adopt-and-
 /// refactorize, and a nullopt result means the caller should solve the
 /// node with the primal engine.
+///
+/// Concurrency contract: a DualReoptimizer is single-owner mutable state
+/// (live factors, reduced costs, breaker strikes) and must only ever be
+/// called from one thread at a time. Parallel branch & bound gives every
+/// worker its own instance over the shared immutable model/CSC pair, which
+/// also keeps the give-up circuit breaker per-worker: one worker's
+/// hyper-degenerate subtree cannot disable the warm path for its siblings.
 class DualReoptimizer {
  public:
   /// `model` and `csc` must outlive the reoptimizer; `csc` must be the CSC

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "milp/bb_detail.hpp"
 #include "milp/presolve.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -25,13 +26,10 @@ const char* toString(MipStatus s) noexcept {
 
 namespace {
 
-/// One bound tightening relative to the parent node (chain representation
-/// keeps per-node memory O(1) regardless of model size).
-struct BoundChange {
-  int var = -1;
-  bool is_lower = false;  // true: lb := value, false: ub := value
-  double value = 0.0;
-};
+using detail::BoundChange;
+using detail::cappedLpOptions;
+using detail::clampedRemaining;
+using detail::PseudoCost;
 
 struct Node {
   int parent = -1;          ///< index into the node arena (-1: root)
@@ -44,25 +42,6 @@ struct Node {
   /// snapshot; it is released once this node's own relaxation is solved.
   std::shared_ptr<const lp::sparse::Basis> start_basis;
 };
-
-/// LP options with the MILP's stop flag threaded in and the time limit
-/// clamped to `remaining_seconds` (<= 0: no extra cap). Paper-scale LP
-/// solves run for seconds to minutes, so truncation and cancellation must
-/// act inside the pivot loop, not at the next node boundary.
-lp::LpSolver::Options cappedLpOptions(const MilpSolver::Options& opt, double remaining_seconds) {
-  lp::LpSolver::Options lopt = opt.lp;
-  if (!lopt.core.stop) lopt.core.stop = opt.stop;
-  if (remaining_seconds > 0)
-    lopt.core.time_limit_seconds =
-        lopt.core.time_limit_seconds > 0
-            ? std::min(lopt.core.time_limit_seconds, remaining_seconds)
-            : remaining_seconds;
-  return lopt;
-}
-
-[[nodiscard]] double clampedRemaining(const Deadline& deadline) {
-  return deadline.limit() > 0 ? std::max(0.01, deadline.remaining()) : 0.0;
-}
 
 /// Min-heap entry ordered by dual bound (best-bound-first).
 struct HeapEntry {
@@ -330,19 +309,11 @@ class Search {
     // the objective degradation of the branch that created it.
     const Node& node = nodes_[static_cast<std::size_t>(node_index)];
     if (opt_.pseudo_cost_branching && node_index != 0 &&
-        node.lp_bound > -lp::kInfinity / 2 && node.branch_frac > 0) {
-      const double degradation = std::max(0.0, bound - node.lp_bound);
-      PseudoCost& pc = pseudo_costs_[static_cast<std::size_t>(node.change.var)];
-      if (node.change.is_lower) {  // up branch
-        pc.up_sum += degradation / std::max(1e-9, 1.0 - node.branch_frac);
-        pc.up_count += 1;
-      } else {
-        pc.down_sum += degradation / std::max(1e-9, node.branch_frac);
-        pc.down_count += 1;
-      }
-    }
+        node.lp_bound > -lp::kInfinity / 2 && node.branch_frac > 0)
+      detail::updatePseudoCost(pseudo_costs_, node.change, node.lp_bound, node.branch_frac,
+                               bound);
 
-    const int frac = selectBranchVar(rel.x);
+    const int frac = detail::selectBranchVar(model_, opt_, pseudo_costs_, rel.x);
     if (frac < 0) {
       // Integral LP optimum: new incumbent.
       if (!hasIncumbent() || bound < incumbent_obj_) {
@@ -380,69 +351,7 @@ class Search {
     return dive_child;
   }
 
-  /// Branching variable selection. With pseudo-cost branching, fractional
-  /// variables are scored by the product of their estimated up/down
-  /// objective degradations (reliability falls back to fractionality while
-  /// a variable has no observations). Binaries always outrank general
-  /// integers — they drive the big-M structure of floorplanning models.
-  /// Returns -1 when the point is integral.
-  int selectBranchVar(const std::vector<double>& x) const {
-    if (!opt_.pseudo_cost_branching) return mostFractional(x);
-    int best = -1;
-    bool best_binary = false;
-    double best_score = -1.0;
-    for (int j = 0; j < model_.numVars(); ++j) {
-      const lp::VarType type = model_.var(j).type;
-      if (type == lp::VarType::kContinuous) continue;
-      const double v = x[static_cast<std::size_t>(j)];
-      const double f = v - std::floor(v);
-      const double dist = std::min(f, 1.0 - f);
-      if (dist <= opt_.int_tol) continue;
-      const PseudoCost& pc = pseudo_costs_[static_cast<std::size_t>(j)];
-      // Unobserved directions fall back to the fractionality itself, so an
-      // unscored variable competes as if it were most-fractional branching.
-      const double down = pc.down_count > 0 ? pc.down_sum / pc.down_count * f : dist;
-      const double up = pc.up_count > 0 ? pc.up_sum / pc.up_count * (1.0 - f) : dist;
-      const double score = std::max(down, 1e-9) * std::max(up, 1e-9);
-      const bool binary = type == lp::VarType::kBinary;
-      if (best < 0 || (binary && !best_binary) ||
-          (binary == best_binary && score > best_score)) {
-        best = j;
-        best_binary = binary;
-        best_score = score;
-      }
-    }
-    return best;
-  }
-
-  /// Most-fractional selection (binaries first), the pseudo-cost fallback.
-  int mostFractional(const std::vector<double>& x) const {
-    int best_bin = -1, best_int = -1;
-    double bin_score = opt_.int_tol, int_score = opt_.int_tol;
-    for (int j = 0; j < model_.numVars(); ++j) {
-      const lp::VarType type = model_.var(j).type;
-      if (type == lp::VarType::kContinuous) continue;
-      const double v = x[static_cast<std::size_t>(j)];
-      const double dist = std::min(v - std::floor(v), std::ceil(v) - v);
-      if (dist <= opt_.int_tol) continue;
-      if (type == lp::VarType::kBinary) {
-        if (dist > bin_score) {
-          bin_score = dist;
-          best_bin = j;
-        }
-      } else if (dist > int_score) {
-        int_score = dist;
-        best_int = j;
-      }
-    }
-    return best_bin >= 0 ? best_bin : best_int;
-  }
-
-  void roundIntegers(std::vector<double>& x) const {
-    for (int j = 0; j < model_.numVars(); ++j)
-      if (model_.var(j).type != lp::VarType::kContinuous)
-        x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
-  }
+  void roundIntegers(std::vector<double>& x) const { detail::roundIntegers(model_, x); }
 
   /// Rounds the fractional LP point and accepts it if it happens to be
   /// feasible and improving — cheap and surprisingly effective on big-M
@@ -460,11 +369,6 @@ class Search {
       if (opt_.log_progress) RFP_LOG_INFO("milp: rounding incumbent " << userObj(obj));
     }
   }
-
-  struct PseudoCost {
-    double down_sum = 0, up_sum = 0;
-    long down_count = 0, up_count = 0;
-  };
 
   const lp::Model& model_;
   MilpSolver::Options opt_;
@@ -598,8 +502,12 @@ MipResult MilpSolver::solve(const lp::Model& model,
   if (search_opt.time_limit_seconds > 0)
     search_opt.time_limit_seconds =
         std::max(0.01, search_opt.time_limit_seconds - root_watch.seconds());
-  Search search(work, search_opt);
-  MipResult res = search.run(std::move(warm_start));
+  // threads > 1 dispatches to the work-stealing parallel engine
+  // (bb_parallel.cpp); the sequential engine stays the single-thread path so
+  // existing single-threaded behavior is bit-for-bit unchanged.
+  MipResult res = search_opt.threads > 1
+                      ? detail::runParallelSearch(work, search_opt, std::move(warm_start))
+                      : Search(work, search_opt).run(std::move(warm_start));
   res.seconds = root_watch.seconds();  // include presolve + cut time
   // Cut-separation LPs are real (cold) LP work: report them, or the
   // telemetry under-counts solves and inflates the warm-start hit rate.

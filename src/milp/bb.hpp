@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -36,6 +37,18 @@ enum class MipStatus {
 };
 
 [[nodiscard]] const char* toString(MipStatus s) noexcept;
+
+/// Per-worker telemetry from the work-stealing parallel engine (one entry
+/// per worker when Options::threads > 1; empty for sequential solves).
+struct MipWorkerStats {
+  int id = 0;
+  long nodes = 0;         ///< nodes this worker expanded
+  long steals = 0;        ///< successful steal operations it performed
+  long stolen_nodes = 0;  ///< nodes acquired through those steals
+  long lp_solves = 0;
+  long lp_warm_hits = 0;      ///< node LPs that adopted a parent basis
+  double idle_seconds = 0.0;  ///< time spent with an empty deque and no loot
+};
 
 struct MipResult {
   MipStatus status = MipStatus::kNoSolution;
@@ -62,6 +75,13 @@ struct MipResult {
   // Incumbent-exchange telemetry (zero without the callbacks below).
   long external_adoptions = 0;  ///< external incumbents adopted as the cutoff
   long cutoff_prunes = 0;       ///< nodes pruned against an external cutoff
+  // Parallel-engine telemetry (empty/zero for sequential solves).
+  std::vector<MipWorkerStats> workers;
+  long steals = 0;  ///< successful steal operations across all workers
+  /// Deterministic-replay digest over the node expansion order and steal
+  /// schedule (Options::deterministic only; 0 otherwise). Two runs with the
+  /// same options produce the same hash — the reproducibility contract.
+  std::uint64_t replay_hash = 0;
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -82,6 +102,18 @@ class MilpSolver {
     int cut_rounds = 5;               ///< max root separation rounds
     bool pseudo_cost_branching = true;  ///< reliability-style var selection
     bool log_progress = false;
+    /// In-solve parallelism: branch & bound workers over one tree. <= 1 runs
+    /// the sequential engine. Workers own private node deques (and private
+    /// dual reoptimizers) and steal half a victim's shallowest nodes when
+    /// theirs drains; the incumbent is the shared pruning cutoff. Thread
+    /// count changes which optimal solution is returned, never the final
+    /// status or objective.
+    int threads = 1;
+    /// Deterministic replay (threads > 1): the same logical workers run
+    /// lock-step on one OS thread in a fixed round-robin schedule, making
+    /// node order, steal schedule and MipResult::replay_hash identical
+    /// across runs. A testing mode — no wall-clock speedup.
+    bool deterministic = false;
     /// Cooperative external cancellation: when non-null and set, the solve
     /// terminates at the next node boundary with a truncated status (an
     /// incumbent stays kFeasible, never kOptimal unless the gap closed).

@@ -1,0 +1,139 @@
+// Internal helpers shared by the sequential (bb.cpp) and parallel
+// (bb_parallel.cpp) branch & bound engines: LP option derivation, branching
+// variable selection, pseudo-cost bookkeeping and integer rounding. Both
+// engines must make identical per-node decisions given identical state, so
+// the decision logic lives here exactly once.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "milp/bb.hpp"
+#include "support/timer.hpp"
+
+namespace rfp::milp::detail {
+
+/// One bound tightening relative to the parent node (chain representation
+/// keeps per-node memory O(1) regardless of model size).
+struct BoundChange {
+  int var = -1;
+  bool is_lower = false;  // true: lb := value, false: ub := value
+  double value = 0.0;
+};
+
+struct PseudoCost {
+  double down_sum = 0, up_sum = 0;
+  long down_count = 0, up_count = 0;
+};
+
+/// LP options with the MILP's stop flag threaded in and the time limit
+/// clamped to `remaining_seconds` (<= 0: no extra cap). Paper-scale LP
+/// solves run for seconds to minutes, so truncation and cancellation must
+/// act inside the pivot loop, not at the next node boundary.
+inline lp::LpSolver::Options cappedLpOptions(const MilpSolver::Options& opt,
+                                             double remaining_seconds) {
+  lp::LpSolver::Options lopt = opt.lp;
+  if (!lopt.core.stop) lopt.core.stop = opt.stop;
+  if (remaining_seconds > 0)
+    lopt.core.time_limit_seconds =
+        lopt.core.time_limit_seconds > 0
+            ? std::min(lopt.core.time_limit_seconds, remaining_seconds)
+            : remaining_seconds;
+  return lopt;
+}
+
+[[nodiscard]] inline double clampedRemaining(const Deadline& deadline) {
+  return deadline.limit() > 0 ? std::max(0.01, deadline.remaining()) : 0.0;
+}
+
+/// Most-fractional selection (binaries first), the pseudo-cost fallback.
+inline int mostFractional(const lp::Model& model, const MilpSolver::Options& opt,
+                          const std::vector<double>& x) {
+  int best_bin = -1, best_int = -1;
+  double bin_score = opt.int_tol, int_score = opt.int_tol;
+  for (int j = 0; j < model.numVars(); ++j) {
+    const lp::VarType type = model.var(j).type;
+    if (type == lp::VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double dist = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (dist <= opt.int_tol) continue;
+    if (type == lp::VarType::kBinary) {
+      if (dist > bin_score) {
+        bin_score = dist;
+        best_bin = j;
+      }
+    } else if (dist > int_score) {
+      int_score = dist;
+      best_int = j;
+    }
+  }
+  return best_bin >= 0 ? best_bin : best_int;
+}
+
+/// Branching variable selection. With pseudo-cost branching, fractional
+/// variables are scored by the product of their estimated up/down objective
+/// degradations (reliability falls back to fractionality while a variable
+/// has no observations). Binaries always outrank general integers — they
+/// drive the big-M structure of floorplanning models. Returns -1 when the
+/// point is integral.
+inline int selectBranchVar(const lp::Model& model, const MilpSolver::Options& opt,
+                           const std::vector<PseudoCost>& pseudo_costs,
+                           const std::vector<double>& x) {
+  if (!opt.pseudo_cost_branching) return mostFractional(model, opt, x);
+  int best = -1;
+  bool best_binary = false;
+  double best_score = -1.0;
+  for (int j = 0; j < model.numVars(); ++j) {
+    const lp::VarType type = model.var(j).type;
+    if (type == lp::VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double f = v - std::floor(v);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist <= opt.int_tol) continue;
+    const PseudoCost& pc = pseudo_costs[static_cast<std::size_t>(j)];
+    // Unobserved directions fall back to the fractionality itself, so an
+    // unscored variable competes as if it were most-fractional branching.
+    const double down = pc.down_count > 0 ? pc.down_sum / pc.down_count * f : dist;
+    const double up = pc.up_count > 0 ? pc.up_sum / pc.up_count * (1.0 - f) : dist;
+    const double score = std::max(down, 1e-9) * std::max(up, 1e-9);
+    const bool binary = type == lp::VarType::kBinary;
+    if (best < 0 || (binary && !best_binary) || (binary == best_binary && score > best_score)) {
+      best = j;
+      best_binary = binary;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+/// Records the objective degradation a branch caused into the branched
+/// variable's pseudo-cost (up or down direction by the branch sense).
+inline void updatePseudoCost(std::vector<PseudoCost>& pseudo_costs, const BoundChange& change,
+                             double parent_bound, double branch_frac, double child_bound) {
+  const double degradation = std::max(0.0, child_bound - parent_bound);
+  PseudoCost& pc = pseudo_costs[static_cast<std::size_t>(change.var)];
+  if (change.is_lower) {  // up branch
+    pc.up_sum += degradation / std::max(1e-9, 1.0 - branch_frac);
+    pc.up_count += 1;
+  } else {
+    pc.down_sum += degradation / std::max(1e-9, branch_frac);
+    pc.down_count += 1;
+  }
+}
+
+inline void roundIntegers(const lp::Model& model, std::vector<double>& x) {
+  for (int j = 0; j < model.numVars(); ++j)
+    if (model.var(j).type != lp::VarType::kContinuous)
+      x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+}
+
+/// Work-stealing parallel branch & bound over `model` (bb_parallel.cpp):
+/// `opt.threads` workers with per-worker deques and private DualReoptimizer
+/// instances, cooperating through an atomic incumbent cutoff. With
+/// `opt.deterministic` the same workers run lock-step on one OS thread and
+/// the result carries a replay hash over the node order and steal schedule.
+[[nodiscard]] MipResult runParallelSearch(const lp::Model& model, const MilpSolver::Options& opt,
+                                          std::optional<std::vector<double>> warm_start);
+
+}  // namespace rfp::milp::detail

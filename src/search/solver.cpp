@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <climits>
 #include <cmath>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "driver/incumbent.hpp"
 #include "search/candidates.hpp"
@@ -73,7 +77,9 @@ struct Shared {
   std::atomic<long> nodes{0};
   std::mutex mutex;
   model::Floorplan best_plan;
-  bool has_plan = false;
+  // Written under `mutex`; atomic because workers pre-check it outside the
+  // lock to skip the mutex on the (common) not-an-improvement path.
+  std::atomic<bool> has_plan{false};
   // Incumbent-exchange bookkeeping. `best_is_external` tags whether the
   // current best_key was seeded by the channel (so prunes against it can be
   // attributed); it is advisory — a racy read only misattributes telemetry,
@@ -82,6 +88,60 @@ struct Shared {
   std::atomic<long> external_prunes{0};
   std::atomic<long> published{0};
   std::atomic<long> adopted{0};
+};
+
+/// A stealable unit of work: the subtree where region_order[0..k-1] are
+/// fixed to these (shape_index, y) choices. Executing a task replays the
+/// prefix placements (re-running every prune against the *current*
+/// incumbent, so tasks packaged before an improvement die cheaply) and then
+/// explores the remaining depths.
+struct Task {
+  std::vector<std::pair<int, int>> prefix;
+};
+
+/// Finely-locked work deque. The owner pushes and pops at the back (keeping
+/// its depth-first traversal order); thieves take half from the front — the
+/// earliest-deferred, shallowest prefixes, which root the largest subtrees.
+class TaskDeque {
+ public:
+  void pushBack(Task t) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(t));
+  }
+
+  bool popBack(Task& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = std::move(q_.back());
+    q_.pop_back();
+    return true;
+  }
+
+  /// Steal-half policy: moves the front ceil(size/2) tasks into `out`.
+  int stealHalf(std::vector<Task>& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const int take = static_cast<int>((q_.size() + 1) / 2);
+    for (int i = 0; i < take; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return take;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<Task> q_;
+};
+
+/// Work-stealing scheduler state shared by all workers of one solve.
+struct Scheduler {
+  std::vector<std::unique_ptr<TaskDeque>> deques;  ///< one per worker
+  /// Tasks in deques plus tasks being executed; zero = tree exhausted.
+  std::atomic<long> outstanding{0};
+  /// Workers currently sleeping on an empty deque — the adaptive-splitting
+  /// signal: busy workers only pay the task-packaging overhead while a peer
+  /// is actually starving.
+  std::atomic<int> idle{0};
 };
 
 /// Lexicographic key: wasted frames in the high 32 bits, wire length scaled
@@ -159,9 +219,12 @@ double wireLengthLowerBound(const model::FloorplanProblem& problem,
 
 class Worker {
  public:
-  Worker(const Instance& inst, Shared& shared, const Deadline& deadline)
-      : inst_(inst),
+  Worker(int id, const Instance& inst, Shared& shared, Scheduler& sched,
+         const Deadline& deadline)
+      : id_(id),
+        inst_(inst),
         shared_(shared),
+        sched_(sched),
         deadline_(deadline),
         occ_(inst.prob().dev().width(), inst.prob().dev().height()),
         rects_(static_cast<std::size_t>(inst.prob().numRegions())),
@@ -169,18 +232,89 @@ class Worker {
         fc_rects_(inst.slots.size()),
         fc_placed_(inst.slots.size(), false),
         used_(inst.supply.size(), 0),
-        need_(inst.base_need) {}
-
-  /// Explores the subtree where the first region in the order takes root
-  /// candidate (shape_index, y_index).
-  void exploreRoot(std::size_t shape_index, std::size_t y_index) {
-    const int n = inst_.region_order[0];
-    const RegionCandidates& cands = inst_.candidates[static_cast<std::size_t>(n)];
-    const Shape& s = cands.shapes[shape_index];
-    placeRegion(0, n, s, s.ys[y_index]);
+        need_(inst.base_need) {
+    stats_.id = id;
   }
 
+  /// Main loop: drain the own deque, steal when dry, exit when every task
+  /// is done or the solve stopped. Deques can all be momentarily empty
+  /// while a peer still expands a task that will spawn more, so "no loot"
+  /// alone is not termination — the outstanding count is.
+  void runLoop() {
+    Task task;
+    while (true) {
+      if (shared_.stop.load(std::memory_order_relaxed)) break;
+      if (deque().popBack(task)) {
+        ++stats_.tasks;
+        runTask(task);
+        sched_.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (trySteal()) continue;
+      if (sched_.outstanding.load(std::memory_order_acquire) == 0) break;
+      sched_.idle.fetch_add(1, std::memory_order_relaxed);
+      const Stopwatch idle;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      stats_.idle_seconds += idle.seconds();
+      sched_.idle.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] const SearchWorkerStats& stats() const { return stats_; }
+
  private:
+  TaskDeque& deque() { return *sched_.deques[static_cast<std::size_t>(id_)]; }
+
+  /// Scans victims in a fixed ring order from this worker's successor and
+  /// moves half of the first non-empty deque into its own.
+  bool trySteal() {
+    const int W = static_cast<int>(sched_.deques.size());
+    for (int k = 1; k < W; ++k) {
+      const int victim = (id_ + k) % W;
+      std::vector<Task> loot;
+      if (sched_.deques[static_cast<std::size_t>(victim)]->stealHalf(loot) == 0) continue;
+      ++stats_.steals;
+      stats_.stolen_tasks += static_cast<long>(loot.size());
+      for (Task& t : loot) deque().pushBack(std::move(t));
+      return true;
+    }
+    return false;
+  }
+
+  /// Replays the task's fixed prefix and explores the remaining subtree.
+  /// Worker state is fully unwound afterwards, so tasks run back-to-back on
+  /// one clean worker.
+  void runTask(const Task& task) {
+    int placed = 0;
+    bool viable = true;
+    for (std::size_t d = 0; d < task.prefix.size() && viable; ++d) {
+      const int n = inst_.region_order[d];
+      const Shape& s = inst_.candidates[static_cast<std::size_t>(n)]
+                           .shapes[static_cast<std::size_t>(task.prefix[d].first)];
+      const int y = task.prefix[d].second;
+      if (occ_.overlaps(Rect{s.x, y, s.w, s.h}) || !tryPlace(n, s, y)) {
+        viable = false;
+        break;
+      }
+      ++placed;
+      if (!quickFcCheckAll() || boundKey(static_cast<int>(d) + 1) >=
+                                    shared_.best_key.load(std::memory_order_relaxed)) {
+        if (shared_.best_is_external.load(std::memory_order_relaxed))
+          ++local_external_prunes_;
+        viable = false;
+      }
+    }
+    if (viable && !aborted()) {
+      prefix_ = task.prefix;
+      descendRegions(placed);
+      prefix_.clear();
+    }
+    for (int d = placed - 1; d >= 0; --d) {
+      const int n = inst_.region_order[static_cast<std::size_t>(d)];
+      unplace(n, inst_.candidates[static_cast<std::size_t>(n)]
+                     .shapes[static_cast<std::size_t>(task.prefix[static_cast<std::size_t>(d)].first)]);
+    }
+  }
   [[nodiscard]] bool aborted() {
     if (shared_.stop.load(std::memory_order_relaxed)) return true;
     if ((local_nodes_ & 255) == 0) {
@@ -215,15 +349,15 @@ class Worker {
     return weightedKey(obj);
   }
 
-  void placeRegion(int depth, int n, const Shape& s, int y) {
-    if (aborted()) return;
-
-    // Per-type supply/demand prune: covered tiles of placed regions plus a
-    // lower bound on the demand still outstanding (unplaced regions at their
-    // bare requirement, hard FC slots at their region's footprint) must fit
-    // in the device's usable tiles. This is what makes the Sec. VI
-    // infeasibility proofs (matched filter / video decoder) cheap: DSP
-    // supply is tight, so wasteful shapes die immediately.
+  /// Supply prune + state mutation. Returns false — with no state touched —
+  /// when the placement is already ruled out. Per-type supply/demand prune:
+  /// covered tiles of placed regions plus a lower bound on the demand still
+  /// outstanding (unplaced regions at their bare requirement, hard FC slots
+  /// at their region's footprint) must fit in the device's usable tiles.
+  /// This is what makes the Sec. VI infeasibility proofs (matched filter /
+  /// video decoder) cheap: DSP supply is tight, so wasteful shapes die
+  /// immediately.
+  bool tryPlace(int n, const Shape& s, int y) {
     const std::size_t nt = inst_.supply.size();
     const long k_fc = inst_.hard_fc[static_cast<std::size_t>(n)];
     for (std::size_t t = 0; t < nt; ++t) {
@@ -231,7 +365,7 @@ class Worker {
       const long req = inst_.req[static_cast<std::size_t>(n)][t];
       const long used_after = used_[t] + cov;
       const long need_after = need_[t] - (1 + k_fc) * req + k_fc * cov;
-      if (used_after + need_after > inst_.supply[t]) return;
+      if (used_after + need_after > inst_.supply[t]) return false;
     }
 
     ++local_nodes_;
@@ -247,14 +381,13 @@ class Worker {
       used_[t] += s.covered[t];
       need_[t] += k_fc * s.covered[t] - (1 + k_fc) * inst_.req[static_cast<std::size_t>(n)][t];
     }
+    return true;
+  }
 
-    if (quickFcCheckAll()) {
-      if (boundKey(depth + 1) < shared_.best_key.load(std::memory_order_relaxed))
-        descendRegions(depth + 1);
-      else if (shared_.best_is_external.load(std::memory_order_relaxed))
-        ++local_external_prunes_;
-    }
-
+  void unplace(int n, const Shape& s) {
+    const std::size_t nt = inst_.supply.size();
+    const long k_fc = inst_.hard_fc[static_cast<std::size_t>(n)];
+    const Rect r = rects_[static_cast<std::size_t>(n)];
     for (std::size_t t = 0; t < nt; ++t) {
       used_[t] -= s.covered[t];
       need_[t] -= k_fc * s.covered[t] - (1 + k_fc) * inst_.req[static_cast<std::size_t>(n)][t];
@@ -263,6 +396,38 @@ class Worker {
     waste_ -= s.waste;
     region_placed_[static_cast<std::size_t>(n)] = false;
     occ_.clear(r);
+  }
+
+  void placeRegion(int depth, int n, const Shape& s, std::size_t shape_index, int y) {
+    if (aborted()) return;
+    if (!tryPlace(n, s, y)) return;
+    if (quickFcCheckAll()) {
+      if (boundKey(depth + 1) < shared_.best_key.load(std::memory_order_relaxed)) {
+        prefix_.emplace_back(static_cast<int>(shape_index), y);
+        descendRegions(depth + 1);
+        prefix_.pop_back();
+      } else if (shared_.best_is_external.load(std::memory_order_relaxed)) {
+        ++local_external_prunes_;
+      }
+    }
+    unplace(n, s);
+  }
+
+  /// Adaptive splitting: defer a subtree as a stealable task only while a
+  /// peer is actually starving, and only at shallow depths where the prefix
+  /// replay cost is negligible against the subtree it buys.
+  [[nodiscard]] bool maySplit(int depth) const {
+    return sched_.idle.load(std::memory_order_relaxed) > 0 &&
+           depth < inst_.prob().numRegions() - 1 && depth <= 6;
+  }
+
+  void spawnTask(std::size_t shape_index, int y) {
+    Task t;
+    t.prefix = prefix_;
+    t.prefix.emplace_back(static_cast<int>(shape_index), y);
+    sched_.outstanding.fetch_add(1, std::memory_order_acq_rel);
+    deque().pushBack(std::move(t));
+    ++stats_.splits;
   }
 
   /// quickFcCheck over every placed region: placing a region can also
@@ -305,7 +470,8 @@ class Worker {
     const int n = inst_.region_order[static_cast<std::size_t>(depth)];
     const RegionCandidates& cands = inst_.candidates[static_cast<std::size_t>(n)];
     const std::uint64_t best = shared_.best_key.load(std::memory_order_relaxed);
-    for (const Shape& s : cands.shapes) {
+    for (std::size_t si = 0; si < cands.shapes.size(); ++si) {
+      const Shape& s = cands.shapes[si];
       // Shapes are waste-sorted: once the waste bound alone exceeds the
       // incumbent, no later shape can help.
       const long waste_lb = waste_ + s.waste +
@@ -320,7 +486,13 @@ class Worker {
       }
       for (const int y : s.ys) {
         if (occ_.overlaps(Rect{s.x, y, s.w, s.h})) continue;
-        placeRegion(depth, n, s, y);
+        if (maySplit(depth)) {
+          // A starving peer exists: package this subtree for stealing
+          // instead of diving it (it re-checks every prune on execution).
+          spawnTask(si, y);
+          continue;
+        }
+        placeRegion(depth, n, s, si, y);
         if (aborted()) return;
       }
     }
@@ -455,12 +627,19 @@ class Worker {
     flushNodes();
     shared_.external_prunes.fetch_add(local_external_prunes_, std::memory_order_relaxed);
     local_external_prunes_ = 0;
+    stats_.nodes = local_nodes_;
   }
 
  private:
+  const int id_;
   const Instance& inst_;
   Shared& shared_;
+  Scheduler& sched_;
   const Deadline& deadline_;
+  SearchWorkerStats stats_;
+  /// (shape_index, y) of the current path's placements — the prefix a
+  /// spawned task needs to replay this position.
+  std::vector<std::pair<int, int>> prefix_;
   Occupancy occ_;
   std::vector<Rect> rects_;
   std::vector<bool> region_placed_;
@@ -599,14 +778,18 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
   std::uint64_t root_seen = 0;
   adoptExternalIncumbent(inst, shared, &root_seen);
 
-  // Root decomposition: the first region's candidate placements.
+  // Root decomposition: one task per candidate placement of the first
+  // region in the order.
   const int first = inst.region_order.empty() ? -1 : inst.region_order[0];
-  std::vector<std::pair<std::size_t, std::size_t>> roots;
+  std::vector<Task> roots;
   if (first >= 0) {
     const RegionCandidates& c = inst.candidates[static_cast<std::size_t>(first)];
     for (std::size_t si = 0; si < c.shapes.size(); ++si)
-      for (std::size_t yi = 0; yi < c.shapes[si].ys.size(); ++yi)
-        roots.emplace_back(si, yi);
+      for (const int y : c.shapes[si].ys) {
+        Task t;
+        t.prefix.emplace_back(static_cast<int>(si), y);
+        roots.push_back(std::move(t));
+      }
   }
 
   if (first < 0) {
@@ -619,24 +802,34 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
   }
 
   const int threads = std::max(1, options_.num_threads);
-  std::atomic<std::size_t> next_root{0};
-  auto body = [&]() {
-    Worker worker(inst, shared, deadline);
-    while (!shared.stop.load(std::memory_order_relaxed)) {
-      const std::size_t i = next_root.fetch_add(1, std::memory_order_relaxed);
-      if (i >= roots.size()) break;
-      worker.exploreRoot(roots[i].first, roots[i].second);
-    }
-    worker.finish();
-  };
+  Scheduler sched;
+  sched.deques.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) sched.deques.push_back(std::make_unique<TaskDeque>());
+  // Deal root tasks round-robin, back-to-front: each worker's popBack then
+  // walks its share in the original waste-sorted order (a single worker
+  // reproduces the sequential traversal exactly).
+  sched.outstanding.store(static_cast<long>(roots.size()), std::memory_order_relaxed);
+  for (std::size_t i = roots.size(); i-- > 0;)
+    sched.deques[i % static_cast<std::size_t>(threads)]->pushBack(std::move(roots[i]));
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers.push_back(std::make_unique<Worker>(t, inst, shared, sched, deadline));
 
   if (threads == 1) {
-    body();
+    workers[0]->runLoop();
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(body);
+    for (int t = 0; t < threads; ++t)
+      pool.emplace_back([&workers, t] { workers[static_cast<std::size_t>(t)]->runLoop(); });
     for (std::thread& t : pool) t.join();
+  }
+  for (const std::unique_ptr<Worker>& w : workers) {
+    w->finish();
+    result.workers.push_back(w->stats());
+    result.steals += w->stats().steals;
   }
 
   result.nodes = shared.nodes.load();

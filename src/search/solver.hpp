@@ -40,11 +40,23 @@ enum class SearchStatus {
 
 [[nodiscard]] const char* toString(SearchStatus s) noexcept;
 
+/// Per-worker telemetry from the work-stealing scheduler (one entry per
+/// worker thread; a single-threaded solve reports one worker, zero steals).
+struct SearchWorkerStats {
+  int id = 0;
+  long nodes = 0;         ///< search nodes this worker expanded
+  long tasks = 0;         ///< stealable subtree tasks it executed
+  long splits = 0;        ///< subtrees it deferred as stealable tasks
+  long steals = 0;        ///< successful steal operations it performed
+  long stolen_tasks = 0;  ///< tasks acquired through those steals
+  double idle_seconds = 0.0;  ///< time spent with an empty deque and no loot
+};
+
 struct SearchOptions {
   ObjectiveMode mode = ObjectiveMode::kLexicographic;
   double time_limit_seconds = 0.0;  ///< <= 0: none
   long node_limit = 0;              ///< <= 0: none
-  int num_threads = 1;              ///< parallel root decomposition when > 1
+  int num_threads = 1;              ///< work-stealing workers when > 1
   bool feasibility_only = false;    ///< stop at the first feasible floorplan
   long waste_budget = -1;           ///< hard cap on total wasted frames (< 0: none)
   bool optimize_wirelength = true;  ///< lexicographic tiebreak on wire length
@@ -70,6 +82,9 @@ struct SearchResult {
   long published = 0;        ///< incumbents offered to the channel
   long adopted = 0;          ///< external incumbents adopted as the cutoff
   long external_prunes = 0;  ///< subtrees pruned against an external cutoff
+  // Work-stealing scheduler telemetry.
+  std::vector<SearchWorkerStats> workers;
+  long steals = 0;  ///< successful steal operations across all workers
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SearchStatus::kOptimal || status == SearchStatus::kFeasible;

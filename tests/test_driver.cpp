@@ -976,5 +976,205 @@ TEST(DriverBatch, EmptyBatchAndOversizedPoolAreFine) {
   EXPECT_EQ(res[0].status, SolveStatus::kOptimal);
 }
 
+TEST(DriverSingle, InSolveParallelismReportsWorkerTelemetry) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  const Driver drv;
+
+  SolveRequest seq;
+  seq.backend = Backend::kSearch;
+  const SolveResponse base = drv.solve(p, seq);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+
+  // The exact search: num_threads fans out work-stealing workers; the
+  // parallel solve proves the same optimum and surfaces per-worker stats.
+  SolveRequest par = seq;
+  par.use_cache = false;  // a cache hit would skip the engine entirely
+  par.num_threads = 4;
+  const SolveResponse ps = drv.solve(p, par);
+  ASSERT_EQ(ps.status, SolveStatus::kOptimal) << ps.detail;
+  EXPECT_EQ(ps.costs.wasted_frames, base.costs.wasted_frames);
+  ASSERT_EQ(ps.workers.size(), 4u) << ps.detail;
+  long nodes = 0, steals = 0;
+  for (const SolveWorkerStats& w : ps.workers) {
+    nodes += w.nodes;
+    steals += w.steals;
+  }
+  EXPECT_EQ(nodes, ps.nodes);
+  EXPECT_EQ(steals, ps.steals);
+
+  // The MILP backend: the same knob reaches the B&B node pool.
+  par.backend = Backend::kMilpO;
+  par.num_threads = 2;
+  const SolveResponse pm = drv.solve(p, par);
+  ASSERT_EQ(pm.status, SolveStatus::kOptimal) << pm.detail;
+  EXPECT_EQ(pm.costs.wasted_frames, base.costs.wasted_frames);
+  EXPECT_EQ(pm.workers.size(), 2u) << pm.detail;
+}
+
+TEST(DriverBatch, ThreadBudgetCapsPoolTimesInSolveWorkers) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  DriverOptions opt;
+  opt.thread_budget = 4;
+  const Driver drv(opt);
+
+  // Single solve: in-solve workers are capped at the whole budget.
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  req.use_cache = false;
+  req.num_threads = 16;
+  const SolveResponse single = drv.solve(p, req);
+  ASSERT_EQ(single.status, SolveStatus::kOptimal) << single.detail;
+  EXPECT_EQ(single.workers.size(), 4u);
+
+  // Batch: pool width (4) times in-solve workers must stay within the
+  // budget, so each dispatched solve is forced down to one worker (for
+  // which no per-worker breakdown is reported).
+  std::vector<model::FloorplanProblem> problems(4, p);
+  for (std::size_t i = 0; i < problems.size(); ++i)
+    problems[i].addNet(model::Net{{0, 1}, 2.0 + static_cast<double>(i), "x"});
+  std::vector<const model::FloorplanProblem*> ptrs;
+  for (const auto& q : problems) ptrs.push_back(&q);
+  const std::vector<SolveResponse> res = drv.solveBatch(ptrs, req, 4);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    ASSERT_EQ(res[i].status, SolveStatus::kOptimal) << i;
+    EXPECT_TRUE(res[i].workers.empty()) << i;
+  }
+}
+
+TEST(ResultCacheStore, FlightTableBlocksFollowersUntilTheLeaderLands) {
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  SolveRequest req;
+  const Fingerprint fp = fingerprintProblem(p, req, Backend::kSearch);
+  ResultCache cache(8);
+
+  ASSERT_EQ(cache.joinFlight(fp, nullptr), ResultCache::FlightJoin::kLeader);
+
+  // A follower joining the same key must block until finishFlight, then see
+  // the leader's freshly inserted answer on its re-lookup.
+  std::atomic<bool> follower_landed{false};
+  std::thread follower([&] {
+    const ResultCache::FlightJoin j = cache.joinFlight(fp, nullptr);
+    EXPECT_EQ(j, ResultCache::FlightJoin::kLanded);
+    follower_landed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(follower_landed.load());  // still in flight
+
+  SolveResponse answer;
+  answer.status = SolveStatus::kOptimal;
+  answer.backend = Backend::kSearch;
+  Driver drv;
+  answer = drv.solve(p, req);  // a real, checker-valid response to store
+  ASSERT_TRUE(cache.insert(fp, p, answer));
+  cache.finishFlight(fp);
+  follower.join();
+  EXPECT_TRUE(follower_landed.load());
+  EXPECT_EQ(cache.lookup(fp, p).outcome, CacheOutcome::kHit);
+
+  // A raised stop flag aborts the wait instead of blocking forever.
+  ASSERT_EQ(cache.joinFlight(fp, nullptr), ResultCache::FlightJoin::kLeader);
+  std::atomic<bool> stop{true};
+  EXPECT_EQ(cache.joinFlight(fp, &stop), ResultCache::FlightJoin::kCancelled);
+  cache.finishFlight(fp);
+}
+
+TEST(DriverBatch, ConcurrentDuplicatesSolveEachFingerprintExactlyOnce) {
+  // The PR 5 gap: duplicates dispatched *concurrently* both missed the
+  // still-empty cache and re-solved. With in-flight coalescing the batch
+  // must run one engine per unique fingerprint — counter-asserted below —
+  // whatever the interleaving.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCCCCBC", 6);
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.max_region_width = 4;
+  gopt.max_region_height = 3;
+  std::vector<model::FloorplanProblem> problems;
+  for (std::uint64_t seed = 1; problems.size() < 2 && seed < 40; ++seed) {
+    gopt.seed = seed;
+    if (auto p = model::generateProblem(dev, gopt)) problems.push_back(std::move(*p));
+  }
+  ASSERT_EQ(problems.size(), 2u);
+  // Duplicate-heavy: 12 dispatches over 2 unique fingerprints, interleaved
+  // so the pool threads race on the same key from the first claim on.
+  std::vector<const model::FloorplanProblem*> ptrs;
+  for (int k = 0; k < 6; ++k) {
+    ptrs.push_back(&problems[0]);
+    ptrs.push_back(&problems[1]);
+  }
+
+  const Driver drv;
+  SolveRequest req;
+  req.backend = Backend::kSearch;
+  const std::vector<SolveResponse> res = drv.solveBatch(ptrs, req, 4);
+  ASSERT_EQ(res.size(), ptrs.size());
+
+  long engine_runs = 0, served = 0, coalesced = 0;
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    ASSERT_TRUE(res[i].hasSolution()) << i << ": " << res[i].detail;
+    EXPECT_EQ(model::check(*ptrs[i], res[i].plan), "") << i;
+    // A duplicate's answer must be byte-identical to its twin's.
+    EXPECT_EQ(res[i].status, res[i % 2].status) << i;
+    EXPECT_EQ(res[i].costs.wasted_frames, res[i % 2].costs.wasted_frames) << i;
+    engine_runs += res[i].cache_hit ? 0 : 1;
+    served += res[i].cache_hit ? 1 : 0;
+    coalesced += res[i].coalesced ? 1 : 0;
+    if (res[i].coalesced) EXPECT_TRUE(res[i].cache_hit) << i;
+  }
+  // Exactly one engine invocation per unique fingerprint; everyone else was
+  // served — either coalesced onto the in-flight leader or a plain hit.
+  EXPECT_EQ(engine_runs, 2) << "duplicate solves ran their own engines";
+  EXPECT_EQ(served, static_cast<long>(ptrs.size()) - 2);
+  const CacheStats cs = drv.cacheStats();
+  EXPECT_EQ(cs.insertions, 2);
+  EXPECT_EQ(cs.hits, static_cast<long>(ptrs.size()) - 2);
+  EXPECT_EQ(cs.coalesced, coalesced);
+}
+
+TEST(DriverCache, ConcurrentMixedSolvesStressTheStoreAndFlightTable) {
+  // Hammer one shared cache from several threads mixing duplicates, near
+  // misses (same structure, different budget) and distinct problems; the
+  // store must stay internally consistent and every unique exact-budget key
+  // must run its engine exactly once across the whole stress.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  std::vector<model::FloorplanProblem> problems;
+  problems.push_back(twoRegionProblem(dev));
+  problems.push_back(twoRegionProblem(dev));
+  problems.back().addNet(model::Net{{0, 1}, 2.0, "x"});
+  problems.push_back(twoRegionProblem(dev));
+  problems.back().addNet(model::Net{{0, 1}, 3.0, "y"});
+
+  const Driver drv;
+  std::atomic<long> engine_runs{0};
+  const auto hammer = [&](int tid) {
+    for (int round = 0; round < 6; ++round) {
+      SolveRequest req;
+      req.backend = Backend::kSearch;
+      const auto& p = problems[static_cast<std::size_t>((tid + round) % 3)];
+      const SolveResponse r = drv.solve(p, req);
+      ASSERT_EQ(r.status, SolveStatus::kOptimal) << r.detail;
+      EXPECT_EQ(model::check(p, r.plan), "");
+      if (!r.cache_hit && !r.cache_seeded) engine_runs.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 6; ++t) pool.emplace_back(hammer, t);
+  for (std::thread& t : pool) t.join();
+
+  // 3 unique fingerprints, 36 total solves: the flight table plus the store
+  // guarantee one cold engine run per fingerprint, not one per thread.
+  EXPECT_EQ(engine_runs.load(), 3);
+  const CacheStats cs = drv.cacheStats();
+  EXPECT_EQ(cs.insertions, 3);
+  // One hit per served solve (a coalesced follower's first lookup counts a
+  // miss, its post-landing re-lookup the hit — so misses is 3 plus however
+  // many followers looked up before their leader landed).
+  EXPECT_EQ(cs.hits, 6 * 6 - 3);
+  EXPECT_GE(cs.misses, 3);
+  EXPECT_EQ(cs.rejected, 0);
+}
+
 }  // namespace
 }  // namespace rfp::driver

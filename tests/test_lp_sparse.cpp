@@ -590,6 +590,66 @@ TEST(DualSimplex, AntiCyclingOnDegenerateReopt) {
   EXPECT_NEAR(dual->objective, dense.objective, 1e-7);
 }
 
+TEST(DualReopt, BreakerCoolsDownAndReArmsInsteadOfDisablingForever) {
+  // Regression: the circuit breaker used to be a kill switch — once
+  // `breaker_strikes` consecutive give-ups tripped it, the strike counter
+  // could never reset (the reset lived behind the tripped check), so one
+  // hyper-degenerate subtree disabled the dual warm path for the entire
+  // rest of the tree. It is now a cool-down: after `breaker_cooldown`
+  // declined calls one probe runs, and a completed probe re-arms the path.
+  Model m;
+  const Var x = m.addContinuous(0, kInfinity, "x");
+  const Var y = m.addContinuous(0, kInfinity, "y");
+  m.addConstr(LinExpr(x) + y, Sense::kGreaterEqual, 2);
+  m.setObjective(2.0 * LinExpr(x) + y, ObjSense::kMinimize);
+  const LpResult good = RevisedSimplexSolver().solve(m);  // y basic, x at lb
+  ASSERT_EQ(good.status, LpStatus::kOptimal);
+  ASSERT_NE(good.basis, nullptr);
+
+  // A warm basis optimal for the *swapped* objective (x basic, y at lb) is
+  // dual-infeasible for `m`: y's reduced cost is negative with no upper
+  // bound to flip to, so every reoptimize from it must give up — the
+  // deterministic stand-in for a subtree that defeats dual Devex.
+  Model swapped = m;
+  swapped.setObjective(LinExpr(x) + 2.0 * y, ObjSense::kMinimize);
+  const LpResult bad_src = RevisedSimplexSolver().solve(swapped);
+  ASSERT_EQ(bad_src.status, LpStatus::kOptimal);
+  const std::shared_ptr<const sparse::Basis> bad = bad_src.basis;
+  const std::shared_ptr<const sparse::Basis> fine = good.basis;
+
+  DualSimplexSolver::Options opt;
+  opt.breaker_strikes = 2;
+  opt.breaker_cooldown = 3;
+  const auto csc = std::make_shared<const CscMatrix>(CscMatrix::fromModel(m));
+  sparse::DualReoptimizer reopt(m, csc, opt);
+  const std::vector<double> lb{0.0, 0.0};
+  const std::vector<double> ub{kInfinity, kInfinity};
+
+  // Two genuine give-ups trip the breaker...
+  EXPECT_FALSE(reopt.reoptimize(lb, ub, bad, 0).has_value());
+  EXPECT_FALSE(reopt.reoptimize(lb, ub, bad, 0).has_value());
+  // ...and while tripped even a perfectly good warm basis is declined for
+  // `breaker_cooldown` calls (the declines cost nothing — that is the point).
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(reopt.reoptimize(lb, ub, fine, 0).has_value()) << "cooldown call " << i;
+  // The cool-down has elapsed: the next call is the probe, it completes,
+  // and the warm path is fully re-armed — this is what the old kill-switch
+  // breaker could never do.
+  const std::optional<LpResult> probe = reopt.reoptimize(lb, ub, fine, 0);
+  ASSERT_TRUE(probe.has_value()) << "probe after cool-down must run";
+  EXPECT_EQ(probe->status, LpStatus::kOptimal);
+  EXPECT_NEAR(probe->objective, good.objective, 1e-9);
+  const std::optional<LpResult> rearmed = reopt.reoptimize(lb, ub, fine, 0);
+  ASSERT_TRUE(rearmed.has_value());
+  EXPECT_EQ(rearmed->status, LpStatus::kOptimal);
+
+  // And a fresh run of give-ups can trip it again: the re-arm restored the
+  // breaker, not just one probe.
+  EXPECT_FALSE(reopt.reoptimize(lb, ub, bad, 0).has_value());
+  EXPECT_FALSE(reopt.reoptimize(lb, ub, bad, 0).has_value());
+  EXPECT_FALSE(reopt.reoptimize(lb, ub, fine, 0).has_value());  // tripped again
+}
+
 TEST(LpSolverReopt, DualFirstWithPrimalFallbackProducesCorrectResults) {
   // Through the LpSolver entry point: warm solves take the dual fast path
   // (dual_reopt flag set) and still agree with the dense engine; with

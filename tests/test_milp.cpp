@@ -170,5 +170,99 @@ TEST(MilpProperty, MatchesBruteForceOnRandomBinaryPrograms) {
   }
 }
 
+// ---- work-stealing parallel engine ----------------------------------------
+
+Model randomBinaryProgram(Rng& rng) {
+  const int n = 6 + static_cast<int>(rng.nextBelow(9));  // up to 14 binaries
+  const int rows = 2 + static_cast<int>(rng.nextBelow(4));
+  Model m;
+  std::vector<Var> vars;
+  for (int j = 0; j < n; ++j) vars.push_back(m.addBinary("b"));
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) {
+      const long c = rng.nextInt(-4, 6);
+      if (c != 0) e += static_cast<double>(c) * vars[static_cast<std::size_t>(j)];
+    }
+    m.addConstr(e, rng.nextBool() ? Sense::kLessEqual : Sense::kGreaterEqual,
+                static_cast<double>(rng.nextInt(0, 12)));
+  }
+  LinExpr obj;
+  for (int j = 0; j < n; ++j)
+    obj += static_cast<double>(rng.nextInt(-10, 10)) * vars[static_cast<std::size_t>(j)];
+  m.setObjective(obj, rng.nextBool() ? ObjSense::kMaximize : ObjSense::kMinimize);
+  return m;
+}
+
+TEST(MilpParallel, MatchesSequentialStatusAndObjective) {
+  // The core parallel contract: thread count may change which optimal point
+  // is returned, never the final status or objective.
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Model m = randomBinaryProgram(rng);
+    MilpSolver::Options seq;
+    MilpSolver::Options par;
+    par.threads = 8;
+    const MipResult a = MilpSolver(seq).solve(m);
+    const MipResult b = MilpSolver(par).solve(m);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.hasSolution()) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.isFeasible(b.x, 1e-6)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MilpParallel, WorkerTelemetryAggregates) {
+  Rng rng(7);
+  const Model m = randomBinaryProgram(rng);
+  MilpSolver::Options opt;
+  opt.threads = 4;
+  const MipResult r = MilpSolver(opt).solve(m);
+  ASSERT_EQ(r.workers.size(), 4u);
+  long nodes = 0, steals = 0;
+  for (const MipWorkerStats& w : r.workers) {
+    nodes += w.nodes;
+    steals += w.steals;
+  }
+  EXPECT_EQ(nodes, r.nodes);
+  EXPECT_EQ(steals, r.steals);
+}
+
+TEST(MilpParallel, DeterministicReplayIsReproducible) {
+  // Two deterministic runs must expand the identical tree: same node count,
+  // same steal schedule, same replay digest, same answer.
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Model m = randomBinaryProgram(rng);
+    MilpSolver::Options opt;
+    opt.threads = 4;
+    opt.deterministic = true;
+    const MipResult a = MilpSolver(opt).solve(m);
+    const MipResult b = MilpSolver(opt).solve(m);
+    EXPECT_EQ(a.replay_hash, b.replay_hash) << "trial " << trial;
+    EXPECT_NE(a.replay_hash, 0u) << "trial " << trial;
+    EXPECT_EQ(a.nodes, b.nodes) << "trial " << trial;
+    EXPECT_EQ(a.steals, b.steals) << "trial " << trial;
+    EXPECT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.hasSolution()) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-12) << "trial " << trial;
+      EXPECT_EQ(a.x, b.x) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MilpParallel, WarmStartSeedsSharedIncumbent) {
+  Model m;
+  const Var a = m.addBinary("a"), b = m.addBinary("b");
+  m.addConstr(LinExpr(a) + b, Sense::kLessEqual, 1);
+  m.setObjective(LinExpr(a) + 2.0 * b, ObjSense::kMaximize);
+  MilpSolver::Options opt;
+  opt.threads = 2;
+  const MipResult r = MilpSolver(opt).solve(m, std::vector<double>{1.0, 0.0});
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace rfp::milp

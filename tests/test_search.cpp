@@ -181,6 +181,32 @@ TEST(Solver, ParallelMatchesSerial) {
   EXPECT_NEAR(a.costs.wire_length, b.costs.wire_length, 1e-9);
 }
 
+TEST(Solver, WorkStealingTelemetryIsConsistent) {
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem sdr2 = model::makeSdrProblem(dev);
+  model::addSdrRelocations(sdr2, 2);
+  SearchOptions opt;
+  opt.num_threads = 8;
+  const SearchResult res = ColumnarSearchSolver(opt).solve(sdr2);
+  ASSERT_EQ(res.status, SearchStatus::kOptimal);
+  ASSERT_EQ(res.workers.size(), 8u);
+  long nodes = 0, tasks = 0, splits = 0, steals = 0, stolen = 0;
+  for (const SearchWorkerStats& w : res.workers) {
+    nodes += w.nodes;
+    tasks += w.tasks;
+    splits += w.splits;
+    steals += w.steals;
+    stolen += w.stolen_tasks;
+  }
+  EXPECT_EQ(nodes, res.nodes);
+  EXPECT_EQ(steals, res.steals);
+  // A completed solve executed every task: the roots plus every split.
+  EXPECT_GE(tasks, splits);
+  // Stolen tasks were all spawned by someone (roots are dealt, not stolen,
+  // but may be re-stolen — the bound is tasks, not splits).
+  EXPECT_LE(stolen, tasks);
+}
+
 TEST(Solver, FeasibilityAnalysisMatchesPaper) {
   // Sec. VI: "no solution exists ... for the matched filter or the video
   // decoder region"; carrier recovery, demodulator and signal decoder are
