@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "device/builders.hpp"
 #include "driver/cache.hpp"
 #include "driver/driver.hpp"
@@ -106,6 +107,7 @@ BatchFigures runBatch(const driver::Driver& drv,
 void writeJson(const Record& rec, const char* path) {
   io::JsonWriter w;
   w.beginObject();
+  bench::writeBenchMeta(w);
   w.key("bench").value("batch_cache");
   w.key("batch_size").value(rec.batch_size);
   w.key("distinct_problems").value(rec.distinct);

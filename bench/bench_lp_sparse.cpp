@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "device/builders.hpp"
 #include "fp/formulation.hpp"
 #include "io/json.hpp"
@@ -119,6 +120,7 @@ RunRecord skipRecord(const std::string& name, const lp::Model& m, lp::LpEngine e
 void writeJson(const std::vector<RunRecord>& records) {
   io::JsonWriter w;
   w.beginObject();
+  bench::writeBenchMeta(w);
   w.key("bench").value("lp_sparse");
   w.key("runs").beginArray();
   for (const RunRecord& r : records) {
@@ -347,6 +349,7 @@ void printReopt(const ReoptRecord& r) {
 void writeReoptJson(const std::vector<ReoptRecord>& records, const char* path) {
   io::JsonWriter w;
   w.beginObject();
+  bench::writeBenchMeta(w);
   w.key("bench").value("lp_reopt");
   w.key("runs").beginArray();
   for (const ReoptRecord& r : records) {

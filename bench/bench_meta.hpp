@@ -1,0 +1,55 @@
+// Shared `meta` block for the bench JSON emitters.
+//
+// Every BENCH_*.json used to carry figures with no record of what produced
+// them — comparing two artifacts meant trusting filenames and CI run dates.
+// `writeBenchMeta` stamps the provenance that actually changes numbers:
+// the git commit (RFP_GIT_SHA, a configure-time compile definition), the
+// compiler, the sanitizer mode (a TSan build's figures are not comparable
+// to a release build's), and the machine's core count (throughput gates and
+// steal figures are core-count-dependent).
+//
+// Usage, right after beginObject() in each bench's JSON writer:
+//   io::JsonWriter w;
+//   w.beginObject();
+//   bench::writeBenchMeta(w);
+//   ...
+#pragma once
+
+#include <thread>
+
+#include "io/json.hpp"
+
+#ifndef RFP_GIT_SHA
+#define RFP_GIT_SHA "unknown"
+#endif
+#ifndef RFP_SANITIZE_MODE
+#define RFP_SANITIZE_MODE "OFF"
+#endif
+
+namespace rfp::bench {
+
+inline const char* compilerString() noexcept {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+inline void writeBenchMeta(io::JsonWriter& w) {
+  w.key("meta").beginObject();
+  w.key("git_sha").value(RFP_GIT_SHA);
+  w.key("compiler").value(compilerString());
+  w.key("sanitizer").value(RFP_SANITIZE_MODE);
+  w.key("hardware_threads").value(static_cast<long>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  w.key("assertions").value(false);
+#else
+  w.key("assertions").value(true);
+#endif
+  w.endObject();
+}
+
+}  // namespace rfp::bench

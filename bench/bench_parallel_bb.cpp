@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "device/builders.hpp"
 #include "io/json.hpp"
 #include "milp/bb.hpp"
@@ -45,6 +46,8 @@
 #include "model/problem.hpp"
 #include "search/solver.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 using namespace rfp;
@@ -64,9 +67,11 @@ struct RunFigures {
   bool checker_ok = true;    // plans pass model::check (search only)
 };
 
-RunFigures runSearch(const model::FloorplanProblem& problem, int threads) {
+RunFigures runSearch(const model::FloorplanProblem& problem, int threads,
+                     const telemetry::Context* ctx = nullptr) {
   search::SearchOptions opt;
   opt.num_threads = threads;
+  opt.telemetry = ctx;
   Stopwatch watch;
   const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
   RunFigures f;
@@ -186,6 +191,23 @@ int main(int argc, char** argv) {
   const double search_speedup =
       s1.nodes_per_sec > 0 ? s8.nodes_per_sec / s1.nodes_per_sec : 0.0;
 
+  // Same solve with the tracing/metrics subsystem attached. The untraced
+  // figures above ARE the disabled-path cost (every instrumentation site
+  // compiles to one branch without a context); this run prices the enabled
+  // path so the snapshot records what turning tracing on actually costs.
+  telemetry::MetricsRegistry trace_reg;
+  telemetry::TraceRecorder trace_rec;
+  telemetry::Context trace_ctx;
+  trace_ctx.metrics = &trace_reg;
+  trace_ctx.trace = &trace_rec;
+  const RunFigures s8t = runSearch(sdr2, 8, &trace_ctx);
+  const double traced_slowdown =
+      s8t.nodes_per_sec > 0 ? s8.nodes_per_sec / s8t.nodes_per_sec : 0.0;
+  std::printf("search 8t+trace: %-8s %8.2fs  nodes=%-9ld %.0f nodes/s  "
+              "events=%ld slowdown=%.2fx\n",
+              s8t.status.c_str(), s8t.seconds, s8t.nodes, s8t.nodes_per_sec,
+              trace_rec.retained(), traced_slowdown);
+
   // MILP engine over a fixed random instance set (same models both runs).
   Rng rng(20240841);
   std::vector<lp::Model> models;
@@ -203,11 +225,16 @@ int main(int argc, char** argv) {
 
   io::JsonWriter w;
   w.beginObject();
+  bench::writeBenchMeta(w);
   w.key("bench").value("parallel_bb");
   w.key("hardware_cores").value(static_cast<long>(cores));
   writeFigures(w, "search_1t", s1);
   writeFigures(w, "search_8t", s8);
   w.key("search_node_throughput_speedup").value(search_speedup);
+  writeFigures(w, "search_8t_traced", s8t);
+  w.key("trace_events_retained").value(trace_rec.retained());
+  w.key("trace_events_dropped").value(trace_rec.dropped());
+  w.key("traced_slowdown").value(traced_slowdown);
   writeFigures(w, "milp_1t", m1);
   writeFigures(w, "milp_8t", m8);
   w.key("milp_node_throughput_speedup").value(milp_speedup);
@@ -240,6 +267,16 @@ int main(int argc, char** argv) {
   }
   if (!s1.checker_ok || !s8.checker_ok) {
     std::fprintf(stderr, "FAIL: a search plan failed model::check\n");
+    ok = false;
+  }
+  // Observability must never change answers: the traced run solves the same
+  // problem to the same cost (thread scheduling may pick a different tied
+  // plan, so only status + costs are compared, like the 1t/8t gate above).
+  if (s8t.status != s8.status || s8t.cost_primary != s8.cost_primary ||
+      std::abs(s8t.cost_secondary - s8.cost_secondary) > 1e-6) {
+    std::fprintf(stderr, "FAIL: traced search answer differs (%s/%ld/%.1f vs %s/%ld/%.1f)\n",
+                 s8t.status.c_str(), s8t.cost_primary, s8t.cost_secondary, s8.status.c_str(),
+                 s8.cost_primary, s8.cost_secondary);
     ok = false;
   }
   if (!s8.telemetry_ok || !m8.telemetry_ok) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "baseline/annealer.hpp"
 #include "device/builders.hpp"
 #include "driver/driver.hpp"
@@ -224,6 +225,7 @@ void printRecord(const Record& rec) {
 void writeJson(const std::vector<Record>& records, const char* path) {
   io::JsonWriter w;
   w.beginObject();
+  bench::writeBenchMeta(w);
   w.key("bench").value("portfolio_incumbent");
   w.key("runs").beginArray();
   for (const Record& rec : records) {

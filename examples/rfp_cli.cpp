@@ -35,6 +35,22 @@
 //         --no-cache             disable the result cache
 //         --svg FILE             write the floorplan as SVG
 //         --json FILE            write the solve response + floorplan as JSON
+//         --trace FILE           record a solve timeline (spans for every
+//                                engine stage, LP reopts, steals, incumbent
+//                                traffic) and write it as Chrome trace-event
+//                                JSON — load it at https://ui.perfetto.dev
+//         --metrics              print the solve's flat metrics map and the
+//                                live registry counters after the solve
+//         --progress S           log a progress line (nodes / LP solves /
+//                                steals) every S seconds while solving
+//         --log-file FILE        append rfp::log output to FILE instead of
+//                                stderr (the RFP_LOG_LEVEL environment
+//                                variable still selects the level)
+//   rfp_cli emit-problem <device> [fc-per-region]
+//       Write the built-in SDR case-study problem for <device> to stdout in
+//       the io/problem_text format (fc-per-region > 0 adds the paper's
+//       relocation requests) — e.g. the SDR2 instance CI traces:
+//         rfp_cli emit-problem xc5vfx70t 2 > sdr2.problem
 //   rfp_cli feasibility <device> <problem-file>
 //       Per-region relocatability analysis (Sec. VI of the paper).
 //
@@ -59,6 +75,9 @@
 #include "partition/columnar.hpp"
 #include "render/render.hpp"
 #include "search/solver.hpp"
+#include "support/log.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace {
 
@@ -124,6 +143,9 @@ struct SolveArgs {
   bool use_cache = true;
   std::string svg_path;
   std::string json_path;
+  std::string trace_path;
+  bool print_metrics = false;
+  double progress_seconds = 0.0;
 };
 
 int cmdSolve(const std::string& device_spec, const std::string& problem_path,
@@ -131,7 +153,21 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   const device::Device dev = loadDevice(device_spec);
   const model::FloorplanProblem problem = io::parseProblem(readFile(problem_path), dev);
 
+  // Solve-scoped observability: one registry + recorder shared by every
+  // engine (and every portfolio member) this solve dispatches.
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceRecorder recorder;
+  telemetry::Context ctx;
+  const bool observe =
+      !args.trace_path.empty() || args.print_metrics || args.progress_seconds > 0;
+  if (observe) {
+    ctx.metrics = &registry;
+    if (!args.trace_path.empty()) ctx.trace = &recorder;
+  }
+
   driver::SolveRequest request;
+  if (observe) request.telemetry = &ctx;
+  request.progress_interval_seconds = args.progress_seconds;
   request.num_threads = args.threads;
   request.deadline_seconds = args.time_limit;
   request.incumbent_exchange = args.incumbent_exchange;
@@ -169,6 +205,30 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   }
   if (!args.json_path.empty())
     writeFile(args.json_path, driver::solveResponseToJson(problem, res));
+  if (!args.trace_path.empty()) {
+    // Self-check the emitted JSON against the trace-event schema before
+    // handing it to the user: a malformed file that Perfetto rejects later
+    // is much harder to diagnose than a failure here.
+    const std::string trace = recorder.toChromeJson();
+    const telemetry::TraceSummary sum = telemetry::validateChromeTrace(trace);
+    if (!sum.ok) {
+      std::fprintf(stderr, "internal error: emitted trace failed validation: %s\n",
+                   sum.error.c_str());
+      return 3;
+    }
+    writeFile(args.trace_path, trace);
+    std::printf("trace: %s events=%ld categories=%zu dropped=%ld "
+                "(load at https://ui.perfetto.dev)\n",
+                args.trace_path.c_str(), sum.events, sum.categories.size(), recorder.dropped());
+  }
+  if (args.print_metrics) {
+    std::printf("metrics (solve response):\n");
+    for (const auto& [name, value] : res.metrics)
+      std::printf("  %-28s %.6g\n", name.c_str(), value);
+    std::printf("metrics (live registry):\n");
+    for (const auto& [name, value] : registry.flatten())
+      std::printf("  %-28s %.6g\n", name.c_str(), value);
+  }
   if (!res.hasSolution()) {
     std::printf("no solution: %s (%s)\n", driver::toString(res.status), res.detail.c_str());
     return 1;
@@ -222,6 +282,14 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
   return 0;
 }
 
+int cmdEmitProblem(const std::string& device_spec, int fc_per_region) {
+  const device::Device dev = loadDevice(device_spec);
+  model::FloorplanProblem problem = model::makeSdrProblem(dev);
+  if (fc_per_region > 0) model::addSdrRelocations(problem, fc_per_region);
+  std::printf("%s", io::formatProblem(problem).c_str());
+  return 0;
+}
+
 int cmdFeasibility(const std::string& device_spec, const std::string& problem_path,
                    int threads) {
   const device::Device dev = loadDevice(device_spec);
@@ -247,7 +315,9 @@ int usage() {
                "                [--algo search|milp-o|milp-ho|heuristic|annealer|portfolio]\n"
                "                [--stage1-fraction F] [--no-exchange]\n"
                "                [--cache-size N] [--no-cache]\n"
-               "                [--svg FILE] [--json FILE]\n"
+               "                [--svg FILE] [--json FILE] [--trace FILE] [--metrics]\n"
+               "                [--progress S] [--log-file FILE]\n"
+               "  rfp_cli emit-problem <device> [fc-per-region]\n"
                "  rfp_cli feasibility <device> <problem-file> [--threads N]\n"
                "<device> is a catalog name (see 'devices') or a description file.\n");
   return 2;
@@ -261,6 +331,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "devices") return cmdDevices();
     if (cmd == "show" && argc >= 3) return cmdShow(argv[2]);
+    if (cmd == "emit-problem" && argc >= 3)
+      return cmdEmitProblem(argv[2], argc >= 4 ? std::stoi(argv[3]) : 0);
     if ((cmd == "solve" || cmd == "feasibility") && argc >= 4) {
       SolveArgs args;
       for (int i = 4; i < argc; ++i) {
@@ -292,7 +364,23 @@ int main(int argc, char** argv) {
           args.svg_path = next();
         else if (flag == "--json")
           args.json_path = next();
-        else
+        else if (flag == "--trace")
+          args.trace_path = next();
+        else if (flag == "--metrics")
+          args.print_metrics = true;
+        else if (flag == "--progress") {
+          args.progress_seconds = std::stod(next());
+          // The ticker speaks at info level; the default warn threshold
+          // would silently swallow the lines the user just asked for.
+          if (rfp::log::level() > rfp::log::Level::kInfo)
+            rfp::log::setLevel(rfp::log::Level::kInfo);
+        } else if (flag == "--log-file") {
+          const std::string path = next();
+          if (!rfp::log::setLogFile(path)) {
+            std::fprintf(stderr, "error: cannot open log file '%s'\n", path.c_str());
+            return 2;
+          }
+        } else
           return usage();
       }
       return cmd == "solve" ? cmdSolve(argv[2], argv[3], args)

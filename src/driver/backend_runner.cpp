@@ -1,10 +1,13 @@
 #include "driver/backend_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "driver/incumbent.hpp"
 #include "fp/heuristic.hpp"
+#include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::driver::detail {
@@ -40,6 +43,7 @@ SolveResponse runSearch(const model::FloorplanProblem& problem, const SolveReque
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
   if (channel) opt.incumbent = channel;
+  if (!opt.telemetry) opt.telemetry = request.telemetry;
 
   const search::SearchResult res = search::ColumnarSearchSolver(opt).solve(problem);
   SolveResponse out;
@@ -89,6 +93,7 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
     opt.heuristic.stop = external_stop;
   }
   if (channel) opt.incumbent = channel;
+  if (!opt.milp.telemetry) opt.milp.telemetry = request.telemetry;
 
   const fp::FpResult res = fp::MilpFloorplanner(opt).solve(problem);
   SolveResponse out;
@@ -205,9 +210,78 @@ bool isProof(const SolveResponse& response) noexcept {
                                             response.status == SolveStatus::kInfeasible);
 }
 
+ProgressTicker::ProgressTicker(const telemetry::Context* ctx, double interval_seconds) {
+  if (ctx == nullptr || ctx->metrics == nullptr || interval_seconds <= 0) return;
+  telemetry::MetricsRegistry* reg = ctx->metrics;
+  thread_ = std::thread([this, reg, interval_seconds] {
+    Stopwatch since_tick;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Short naps keep destruction prompt; the interval gates the output.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (since_tick.seconds() < interval_seconds) continue;
+      since_tick.reset();
+      // Live reads race the workers' relaxed bumps on purpose: a progress
+      // line may run a beat behind, never wrong by more than in-flight adds.
+      const long nodes =
+          reg->counter("search.nodes").total() + reg->counter("milp.nodes").total();
+      const long steals =
+          reg->counter("search.steals").total() + reg->counter("milp.steals").total();
+      RFP_LOG_INFO("progress: nodes=" << nodes
+                                      << " lp_solves=" << reg->counter("lp.solves").total()
+                                      << " lp_iterations=" << reg->counter("lp.iterations").total()
+                                      << " steals=" << steals << " incumbent_adoptions="
+                                      << reg->counter("incumbent.adoptions").total());
+    }
+  });
+}
+
+ProgressTicker::~ProgressTicker() {
+  if (thread_.joinable()) {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+}
+
+void populateMetrics(SolveResponse* response) {
+  std::map<std::string, double>& m = response->metrics;
+  m["nodes"] = static_cast<double>(response->nodes);
+  m["seconds"] = response->seconds;
+  if (!response->workers.empty() || response->steals > 0) {
+    m["steals"] = static_cast<double>(response->steals);
+    m["workers"] = static_cast<double>(response->workers.size());
+  }
+  if (response->lp.solves > 0) {
+    m["lp.solves"] = static_cast<double>(response->lp.solves);
+    m["lp.iterations"] = static_cast<double>(response->lp.iterations);
+    m["lp.warm_start_hits"] = static_cast<double>(response->lp.warm_start_hits);
+    m["lp.warm_start_hit_rate"] = response->lp.warmStartHitRate();
+    m["lp.refactorizations"] = static_cast<double>(response->lp.refactorizations);
+    m["lp.primal_pivots"] = static_cast<double>(response->lp.primal_pivots);
+    m["lp.dual_pivots"] = static_cast<double>(response->lp.dual_pivots);
+    m["lp.bound_flips"] = static_cast<double>(response->lp.bound_flips);
+    m["lp.ft_updates"] = static_cast<double>(response->lp.ft_updates);
+    m["lp.dual_reopts"] = static_cast<double>(response->lp.dual_reopts);
+    m["lp.dual_reopt_rate"] = response->lp.dualReoptRate();
+  }
+  if (response->incumbent_published > 0 || response->incumbent_adopted > 0 ||
+      response->cutoff_prunes > 0) {
+    m["incumbent.published"] = static_cast<double>(response->incumbent_published);
+    m["incumbent.adopted"] = static_cast<double>(response->incumbent_adopted);
+    m["incumbent.cutoff_prunes"] = static_cast<double>(response->cutoff_prunes);
+  }
+  if (response->incumbent.publishes > 0 || response->incumbent.staged) {
+    m["portfolio.publishes"] = static_cast<double>(response->incumbent.publishes);
+    m["portfolio.adoptions"] = static_cast<double>(response->incumbent.adoptions);
+    m["portfolio.stage1_seconds"] = response->incumbent.stage1_seconds;
+  }
+  if (!response->members.empty())
+    m["portfolio.members"] = static_cast<double>(response->members.size());
+}
+
 SolveResponse runBackend(const model::FloorplanProblem& problem, const SolveRequest& request,
                          Backend backend, std::atomic<bool>* external_stop,
                          SharedIncumbent* channel) {
+  telemetry::Span backend_span(request.telemetry, "driver", toString(backend));
   SolveResponse out;
   switch (backend) {
     case Backend::kSearch: out = runSearch(problem, request, external_stop, channel); break;
@@ -235,6 +309,11 @@ SolveResponse runBackend(const model::FloorplanProblem& problem, const SolveRequ
       out.detail += " [cancelled: infeasibility claim downgraded]";
     }
   }
+  if (backend_span.active()) {
+    backend_span.arg("nodes", static_cast<double>(out.nodes));
+    backend_span.note("status", toString(out.status));
+  }
+  populateMetrics(&out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <thread>
 
 #include "driver/driver.hpp"
 
@@ -56,11 +57,36 @@ namespace rfp::driver::detail {
 /// Tightens `configured` (<= 0: none) to the request deadline (<= 0: none).
 [[nodiscard]] double cappedLimit(double configured, double deadline) noexcept;
 
+/// Rebuilds `response->metrics` (the flat name -> value map) from the
+/// response's own result fields: nodes/seconds always, lp.* when an LP ran,
+/// steal/worker figures for parallel solves, incumbent-exchange totals when
+/// a channel was involved. Exact by construction (no sampling) — called at
+/// the end of runBackend and after portfolio arbitration.
+void populateMetrics(SolveResponse* response);
+
 /// Caps every in-solve parallelism knob of `request` (num_threads,
 /// search.num_threads, milp.milp.threads) at `budget` worker threads
 /// (floored at 1); `budget <= 0` leaves the request untouched. Used by the
 /// driver's shared thread budget (DriverOptions::thread_budget) so a batch
 /// pool running parallel solves does not oversubscribe the machine.
 void capInSolveThreads(SolveRequest* request, int budget) noexcept;
+
+/// RAII progress ticker (SolveRequest::progress_interval_seconds): while
+/// alive, logs an info-level line every interval with the live engine
+/// counters from the telemetry registry (search/milp nodes, LP solves,
+/// steals, incumbent adoptions). Inert — and thread-free — when the context
+/// has no registry or the interval is not positive. The destructor joins
+/// the ticker thread, so scope it around the dispatch it narrates.
+class ProgressTicker {
+ public:
+  ProgressTicker(const telemetry::Context* ctx, double interval_seconds);
+  ProgressTicker(const ProgressTicker&) = delete;
+  ProgressTicker& operator=(const ProgressTicker&) = delete;
+  ~ProgressTicker();
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 }  // namespace rfp::driver::detail

@@ -6,6 +6,7 @@
 
 #include "driver/backend_runner.hpp"
 #include "driver/incumbent.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::driver {
@@ -557,6 +558,13 @@ bool stopRaised(const SolveRequest& request, Backend backend,
   return false;
 }
 
+/// Cache-event observability: an instant on the trace and a counter bump in
+/// the registry, both tolerant of a null/partial context.
+void noteCacheEvent(const telemetry::Context* ctx, const char* name, const char* counter_name) {
+  telemetry::instant(ctx, "cache", name);
+  if (ctx != nullptr && ctx->metrics != nullptr) ctx->metrics->counter(counter_name).increment();
+}
+
 }  // namespace
 
 SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProblem& problem,
@@ -597,7 +605,14 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
       lk.response.coalesced = true;
       lk.response.detail += " [coalesced]";
       cache->noteCoalesced();
+      noteCacheEvent(request.telemetry, "flight_join", "cache.coalesced");
+    } else {
+      noteCacheEvent(request.telemetry, "hit", "cache.hits");
     }
+    // Provenance: nobody ran an engine for this response, and the stored
+    // copy's members/workers describe the *original* solve. Say so instead
+    // of looking like an engine run with silently empty telemetry.
+    lk.response.served_by = coalesced ? "flight-follower" : "cache";
     lk.response.detail += " [cache hit]";
     lk.response.seconds = watch.seconds();  // this call's cost, not the original solve's
     // Observer invariant: a caller watching the solve through its own
@@ -618,6 +633,7 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
     SharedIncumbent local(problem);
     SharedIncumbent* caller = requestChannel(request, request.backend);
     (caller ? caller : &local)->publish(lk.seed_plan, lk.seed_costs, "cache");
+    noteCacheEvent(request.telemetry, "near_miss_seed", "cache.seeded");
     SolveResponse res = runBackend(problem, request, request.backend, external_stop,
                                    caller ? nullptr : &local);
     res.cache_seeded = true;
@@ -639,6 +655,7 @@ SolveResponse solveThroughCache(ResultCache* cache, const model::FloorplanProble
     return res;
   }
 
+  noteCacheEvent(request.telemetry, "miss", "cache.misses");
   SolveResponse res = runBackend(problem, request, request.backend, external_stop);
   // A cancelled run is truncated at an arbitrary point — not a trustworthy
   // representative of this budget tier.

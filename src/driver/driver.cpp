@@ -56,6 +56,7 @@ SolveResponse Driver::solve(const model::FloorplanProblem& problem,
                             const SolveRequest& request) const {
   SolveRequest capped = request;
   detail::capInSolveThreads(&capped, options_.thread_budget);
+  const detail::ProgressTicker ticker(capped.telemetry, capped.progress_interval_seconds);
   return detail::solveThroughCache(cache_.get(), problem, capped, /*external_stop=*/nullptr);
 }
 

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,10 @@
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
 #include "search/solver.hpp"
+
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
 
 namespace rfp::driver {
 
@@ -106,6 +111,17 @@ struct SolveRequest {
   /// latency the provers could be using. <= 0: stage 1 always runs its full
   /// slice.
   double stage1_quiet_fraction = 0.3;
+  /// Solve-scoped observability (support/telemetry): when set, the driver
+  /// threads the context into every engine it dispatches (spans + live
+  /// counters land in the context's recorder/registry) and wraps each
+  /// backend run in a "driver"-category span. Portfolio mode shares one
+  /// context across all members — the trace shows the whole race. The
+  /// pointee (and its recorder/registry) must outlive the solve.
+  const telemetry::Context* telemetry = nullptr;
+  /// With `telemetry->metrics` set and a positive interval, the driver logs
+  /// a progress line (nodes / LP solves / steals from the live registry)
+  /// every this-many seconds at info level while the solve runs.
+  double progress_interval_seconds = 0.0;
   /// Consult the driver's result cache (when the Driver has one) before
   /// dispatching, and store checker-validated results after. Applies to
   /// solve() and solveBatch(); portfolio racing is never cached (its value
@@ -225,6 +241,19 @@ struct SolveResponse {
   /// arrived while the same fingerprint was in flight, blocked on the
   /// leader's result and was served from the store (cache_hit is also set).
   bool coalesced = false;
+  /// Who actually produced the plan bytes in this response: "engine" (a
+  /// backend ran), "cache" (served from the result store without running
+  /// anything), or "flight-follower" (a concurrent identical solve's
+  /// result, served through the in-flight coalescer). Unlike the flag trio
+  /// above this is always populated — cache hits used to return responses
+  /// whose `members`/`workers` were silently empty with nothing saying why.
+  std::string served_by = "engine";
+  /// Flat numeric metrics of this solve (nodes, steals, lp.* counters,
+  /// incumbent exchange totals — dotted lowercase names, see README
+  /// "Observability"). Built from the engines' own result structs, so the
+  /// map is exact and populated even without a telemetry context; a
+  /// portfolio reports the winner's engine figures plus channel totals.
+  std::map<std::string, double> metrics;
 
   [[nodiscard]] bool hasSolution() const noexcept {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;

@@ -30,6 +30,7 @@
 #include "driver/backend_runner.hpp"
 #include "driver/driver.hpp"
 #include "driver/incumbent.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::driver {
@@ -56,7 +57,12 @@ void runStage(const model::FloorplanProblem& problem, const SolveRequest& reques
   threads.reserve(indices.size());
   for (const std::size_t i : indices) {
     threads.emplace_back([&, i] {
+      // Member span on the member's own thread: the exported timeline gets
+      // one row per racer, with the engine's own spans nested underneath.
+      telemetry::Span member_span(request.telemetry, "portfolio", toString(backends[i]));
       responses[i] = detail::runBackend(problem, request, backends[i], &stop, channel);
+      if (member_span.active())
+        member_span.note("status", toString(responses[i].status));
       // Cancel the losers only on a proof: an incumbent without one could
       // still be beaten by a backend that is mid-run.
       if (detail::isProof(responses[i])) stop.store(true, std::memory_order_relaxed);
@@ -70,6 +76,8 @@ void runStage(const model::FloorplanProblem& problem, const SolveRequest& reques
 SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
                                      const SolveRequest& request) const {
   Stopwatch watch;
+  const detail::ProgressTicker ticker(request.telemetry, request.progress_interval_seconds);
+  telemetry::Span race_span(request.telemetry, "driver", "portfolio");
   const std::vector<Backend>& backends =
       request.portfolio.empty() ? defaultPortfolio() : request.portfolio;
   if (backends.empty()) return SolveResponse{};
@@ -141,15 +149,20 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
         }
       });
     }
-    runStage(problem, stage1, backends, incomplete, stage1_stop, chan, responses);
-    stage1_done.store(true, std::memory_order_relaxed);
-    if (watchdog.joinable()) watchdog.join();
+    {
+      telemetry::Span stage1_span(request.telemetry, "portfolio", "stage1");
+      runStage(problem, stage1, backends, incomplete, stage1_stop, chan, responses);
+      stage1_done.store(true, std::memory_order_relaxed);
+      if (watchdog.joinable()) watchdog.join();
+      if (stage1_span.active() && stage1_ended_early) stage1_span.note("ended", "early");
+    }
     stage1_seconds = watch.seconds();
 
     // Stage 2: the provers inherit everything that is left; the channel
     // already holds stage 1's best incumbent as their cutoff.
     SolveRequest stage2 = request;
     stage2.deadline_seconds = std::max(0.01, request.deadline_seconds - stage1_seconds);
+    telemetry::Span stage2_span(request.telemetry, "portfolio", "stage2");
     runStage(problem, stage2, backends, provers, stop, chan, responses);
   } else {
     std::vector<std::size_t> all(backends.size());
@@ -218,6 +231,8 @@ SolveResponse Driver::solvePortfolio(const model::FloorplanProblem& problem,
   for (const SolveResponse& r : responses) detail << " | " << r.detail;
   out.detail = detail.str();
   out.seconds = watch.seconds();
+  if (race_span.active()) race_span.note("winner", winner ? toString(out.backend) : "-");
+  detail::populateMetrics(&out);
   return out;
 }
 

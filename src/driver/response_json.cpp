@@ -15,6 +15,7 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
   if (response.hasSolution() || response.status == SolveStatus::kInfeasible)
     w.key("backend").value(toString(response.backend));
   w.key("seconds").value(response.seconds);
+  w.key("served_by").value(response.served_by);
   // The winner's own work count (mixed units across backends are never
   // summed); per-member figures are in the "portfolio" array.
   w.key("nodes").value(response.nodes);
@@ -86,6 +87,11 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     w.key("ft_updates").value(response.lp.ft_updates);
     w.key("dual_reopts").value(response.lp.dual_reopts);
     w.key("dual_reopt_rate").value(response.lp.dualReoptRate());
+    w.endObject();
+  }
+  if (!response.metrics.empty()) {
+    w.key("metrics").beginObject();
+    for (const auto& [name, value] : response.metrics) w.key(name).value(value);
     w.endObject();
   }
   w.key("detail").value(response.detail);

@@ -10,6 +10,7 @@
 #include "partition/columnar.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::fp {
@@ -90,7 +91,11 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     hopt.time_limit_seconds = hopt.time_limit_seconds > 0
                                   ? std::min(hopt.time_limit_seconds, options_.time_limit_seconds)
                                   : options_.time_limit_seconds;
-  warm = constructiveFloorplan(problem, hopt);
+  {
+    telemetry::Span heur_span(options_.milp.telemetry, "milp", "heuristic_stage");
+    warm = constructiveFloorplan(problem, hopt);
+    if (heur_span.active()) heur_span.note("found", warm ? "yes" : "no");
+  }
   // O only: a floorplan already in the exchange channel (a faster engine's,
   // or a staged portfolio's first slice) that beats the construction makes
   // the better warm start — the paper's heuristic-feeds-exact-MILP

@@ -28,6 +28,10 @@
 #include "lp/model.hpp"
 #include "support/timer.hpp"
 
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
+
 namespace rfp::lp {
 
 namespace sparse {
@@ -81,6 +85,10 @@ class SimplexSolver {
     /// portfolio cannot wait for a node boundary). When set, the solve
     /// returns kTimeLimit at the next poll. The pointee must outlive solve().
     std::atomic<bool>* stop = nullptr;
+    /// Solve-scoped observability (support/telemetry). The sparse engines
+    /// emit refactorization instants and per-pivot samples (rate set by
+    /// Context::detail_sample); null keeps the pivot loop branch-only.
+    const telemetry::Context* telemetry = nullptr;
   };
 
   SimplexSolver() = default;

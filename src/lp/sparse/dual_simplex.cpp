@@ -5,6 +5,7 @@
 
 #include "lp/sparse/simplex_state.hpp"
 #include "support/check.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace rfp::lp::sparse {
 
@@ -417,6 +418,8 @@ class Worker {
       bs_.status[uz(e)] = VarStatus::kBasic;
       bs_.xb[uz(p_row)] = enter_val;
       ++dual_pivots_;
+      if (telemetry::sampleHit(opt_.core.telemetry, static_cast<std::uint64_t>(dual_pivots_)))
+        opt_.core.telemetry->trace->instant("lp", "pivot", "ratio", cand.ratio, "kind", "dual");
       degenerate_streak = cand.ratio < 1e-10 ? degenerate_streak + 1 : 0;
       if (degenerate_streak > std::max(200, f_.m / 4)) {
         // A run this long means the perturbed problem is still cycling;
@@ -459,6 +462,8 @@ class Worker {
 
       // ---- Forrest–Tomlin update ----
       if (!bs_.lu.updateColumn(p_row, spike_)) {
+        telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
+                           "unstable_update");
         bs_.refactorize(f_);
         bs_.computeXb(f_);
         computeDuals();
@@ -467,6 +472,8 @@ class Worker {
         if ((opt_.refactor_interval > 0 &&
              bs_.lu.updateCount() >= opt_.refactor_interval) ||
             bs_.lu.shouldRefactorize()) {
+          telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
+                             "interval");
           bs_.refactorize(f_);
           bs_.computeXb(f_);
           computeDuals();

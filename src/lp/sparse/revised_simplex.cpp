@@ -5,6 +5,7 @@
 
 #include "lp/sparse/simplex_state.hpp"
 #include "support/check.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace rfp::lp::sparse {
 
@@ -267,6 +268,9 @@ class Worker {
       bs_.status[uz(enter)] = VarStatus::kBasic;
       bs_.xb[uz(block)] = enter_val;
       ++primal_pivots_;
+      if (telemetry::sampleHit(opt_.core.telemetry, static_cast<std::uint64_t>(primal_pivots_)))
+        opt_.core.telemetry->trace->instant("lp", "pivot", "phase", phase1 ? 1.0 : 2.0, "kind",
+                                            "primal");
 
       // Reference-weight update from the pivot row (already in rho_).
       if (!bland) {
@@ -297,6 +301,8 @@ class Worker {
 
       if (!bs_.lu.updateColumn(block, spike_)) {
         // Unstable update: the factorization is spoiled — rebuild it.
+        telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
+                           "unstable_update");
         bs_.refactorize(f_);
         bs_.computeXb(f_);
       } else {
@@ -304,6 +310,8 @@ class Worker {
         if ((opt_.refactor_interval > 0 &&
              bs_.lu.updateCount() >= opt_.refactor_interval) ||
             bs_.lu.shouldRefactorize()) {
+          telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
+                             "interval");
           bs_.refactorize(f_);
           bs_.computeXb(f_);
         }

@@ -9,6 +9,7 @@
 #include "milp/presolve.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::milp {
@@ -80,10 +81,18 @@ class Search {
         lp::sparse::DualSimplexSolver::Options dopt;
         dopt.core = opt.lp.core;
         if (!dopt.core.stop) dopt.core.stop = opt.stop;
+        if (!dopt.core.telemetry) dopt.core.telemetry = opt.telemetry;
         dopt.refactor_interval = opt.lp.refactor_interval;
         dopt.lu = opt.lp.lu;
         reopt_.emplace(model, csc_, dopt);
       }
+    }
+    if (opt.telemetry != nullptr && opt.telemetry->metrics != nullptr) {
+      telemetry::MetricsRegistry& reg = *opt.telemetry->metrics;
+      nodes_ctr_ = &reg.counter("milp.nodes");
+      lp_solves_ctr_ = &reg.counter("lp.solves");
+      lp_iter_ctr_ = &reg.counter("lp.iterations");
+      node_iter_hist_ = &reg.histogram("lp.node_iterations");
     }
   }
 
@@ -124,8 +133,12 @@ class Search {
         continue;
       }
 
-      // Depth-first plunge from the selected node.
+      // Depth-first plunge from the selected node. One plunge = one
+      // node-batch span in the trace: fine enough to see where tree time
+      // goes, coarse enough to stay off the per-node path.
+      telemetry::Span plunge_span(opt_.telemetry, "milp", "node_batch");
       int current = top.node;
+      int dove = 0;
       for (int dive = 0; current >= 0 && dive <= opt_.plunge_depth; ++dive) {
         if (deadline.expired() || externallyStopped()) {
           truncated = true;
@@ -133,8 +146,12 @@ class Search {
         }
         if (dive > 0) adoptExternalIncumbent(res);  // dives outlive the heap poll
         ++res.nodes;
+        ++dove;
         current = processNode(current, res, root_unbounded);
       }
+      plunge_span.arg("nodes", dove);
+      plunge_span.finish();
+      if (nodes_ctr_ != nullptr) nodes_ctr_->add(dove);
       if (root_unbounded) break;
     }
 
@@ -213,6 +230,8 @@ class Search {
     incumbent_obj_ = obj;
     incumbent_external_ = true;
     ++res.external_adoptions;
+    telemetry::instant(opt_.telemetry, "incumbent", "adopt", "objective",
+                       userObj(incumbent_obj_), "engine", "milp");
     if (opt_.log_progress)
       RFP_LOG_INFO("milp: adopted external incumbent " << userObj(incumbent_obj_));
   }
@@ -235,6 +254,11 @@ class Search {
   /// Solves the node LP, prunes/branches. Returns the child node index to
   /// continue the plunge on (-1 to end the dive).
   int processNode(int node_index, MipResult& res, bool& root_unbounded) {
+    // The root relaxation dominates wall clock at paper scale; give it its
+    // own named span so the timeline shows it without per-node spans.
+    telemetry::Span root_span;
+    if (node_index == 0 && opt_.telemetry != nullptr)
+      root_span = telemetry::Span(opt_.telemetry, "lp", "root_lp");
     std::vector<double> lb, ub;
     materializeBounds(node_index, lb, ub);
 
@@ -285,6 +309,20 @@ class Search {
     lp_ft_updates_ += rel.ft_updates;
     lp_dual_reopts_ += rel.dual_reopt ? 1 : 0;
     ++lp_solves_;
+    if (lp_solves_ctr_ != nullptr) {
+      lp_solves_ctr_->increment();
+      lp_iter_ctr_->add(rel.iterations);
+      node_iter_hist_->record(static_cast<double>(rel.iterations));
+    }
+    // Warm nodes either rode the dual fast path or fell back to the primal
+    // engine; sample the distinction into the trace (every LP when the
+    // sampling knob is 1). Refactorizations are rare enough to always emit.
+    if (telemetry::sampleHit(opt_.telemetry, static_cast<std::uint64_t>(lp_solves_)))
+      opt_.telemetry->trace->instant("lp", rel.dual_reopt ? "dual_reopt" : "primal_fallback",
+                                     "iterations", static_cast<double>(rel.iterations));
+    if (rel.refactorizations > 0)
+      telemetry::instant(opt_.telemetry, "lp", "refactorize", "count",
+                         static_cast<double>(rel.refactorizations));
     if (rel.status == lp::LpStatus::kInfeasible) return -1;
     if (rel.status == lp::LpStatus::kUnbounded) {
       if (node_index == 0) root_unbounded = true;
@@ -322,6 +360,8 @@ class Search {
         incumbent_obj_ = bound;
         incumbent_external_ = false;
         if (opt_.incumbent_publish) opt_.incumbent_publish(incumbent_);
+        telemetry::instant(opt_.telemetry, "incumbent", "publish", "objective",
+                           userObj(incumbent_obj_), "engine", "milp");
         if (opt_.log_progress)
           RFP_LOG_INFO("milp: incumbent " << userObj(incumbent_obj_) << " at node " << res.nodes);
       }
@@ -366,6 +406,8 @@ class Search {
       incumbent_obj_ = obj;
       incumbent_external_ = false;
       if (opt_.incumbent_publish) opt_.incumbent_publish(incumbent_);
+      telemetry::instant(opt_.telemetry, "incumbent", "publish", "objective", userObj(obj),
+                         "engine", "milp-rounding");
       if (opt_.log_progress) RFP_LOG_INFO("milp: rounding incumbent " << userObj(obj));
     }
   }
@@ -395,6 +437,11 @@ class Search {
   /// Persistent dual-simplex state shared across this tree's node solves.
   std::optional<lp::sparse::DualReoptimizer> reopt_;
   bool dropped_node_ = false;  ///< a node LP hit a limit; results are truncations
+  // Live registry handles (null without a telemetry context).
+  telemetry::Counter* nodes_ctr_ = nullptr;
+  telemetry::Counter* lp_solves_ctr_ = nullptr;
+  telemetry::Counter* lp_iter_ctr_ = nullptr;
+  telemetry::Histogram* node_iter_hist_ = nullptr;
 
   std::vector<double> incumbent_;
   double incumbent_obj_ = lp::kInfinity;
@@ -455,6 +502,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
   lp::Model work = model;
 
   if (options_.enable_presolve) {
+    telemetry::Span presolve_span(options_.telemetry, "milp", "presolve");
     std::vector<double> lb(static_cast<std::size_t>(work.numVars()));
     std::vector<double> ub(static_cast<std::size_t>(work.numVars()));
     for (int j = 0; j < work.numVars(); ++j) {
@@ -475,6 +523,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
   long cut_solves = 0, cut_iters = 0, cut_refacs = 0;
   long cut_primal = 0, cut_flips = 0, cut_fts = 0;
   if (options_.enable_cover_cuts) {
+    telemetry::Span cuts_span(options_.telemetry, "milp", "cover_cuts");
     for (int round = 0; round < options_.cut_rounds; ++round) {
       if (cut_deadline.expired() ||
           (options_.stop && options_.stop->load(std::memory_order_relaxed)))

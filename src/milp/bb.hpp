@@ -26,6 +26,10 @@
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
+
 namespace rfp::milp {
 
 enum class MipStatus {
@@ -143,6 +147,10 @@ class MilpSolver {
     /// solves go through the dual simplex first (lp.dual_reopt) with the
     /// primal engine as fallback.
     bool lp_warm_start = true;
+    /// Solve-scoped observability (support/telemetry): presolve/cut/root-LP
+    /// spans, sampled dual-reopt vs primal-fallback instants, live node
+    /// counters. Null keeps every instrumentation site branch-only.
+    const telemetry::Context* telemetry = nullptr;
   };
 
   MilpSolver() = default;

@@ -35,6 +35,7 @@ inline lp::LpSolver::Options cappedLpOptions(const MilpSolver::Options& opt,
                                              double remaining_seconds) {
   lp::LpSolver::Options lopt = opt.lp;
   if (!lopt.core.stop) lopt.core.stop = opt.stop;
+  if (!lopt.core.telemetry) lopt.core.telemetry = opt.telemetry;
   if (remaining_seconds > 0)
     lopt.core.time_limit_seconds =
         lopt.core.time_limit_seconds > 0

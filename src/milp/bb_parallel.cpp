@@ -38,6 +38,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,7 @@
 
 #include "milp/bb_detail.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::milp::detail {
@@ -217,6 +219,8 @@ struct SharedTree {
       const std::lock_guard<std::mutex> cb(callback_mu);
       opt.incumbent_publish(snapshot);
     }
+    telemetry::instant(opt.telemetry, "incumbent", external ? "adopt" : "publish",
+                       "objective", userObj(obj), "engine", "milp-par");
     return true;
   }
 
@@ -264,15 +268,32 @@ class PWorker {
       lp::sparse::DualSimplexSolver::Options dopt;
       dopt.core = shared.opt.lp.core;
       if (!dopt.core.stop) dopt.core.stop = shared.opt.stop;
+      if (!dopt.core.telemetry) dopt.core.telemetry = shared.opt.telemetry;
       dopt.refactor_interval = shared.opt.lp.refactor_interval;
       dopt.lu = shared.opt.lp.lu;
       reopt_.emplace(shared.model, shared.csc, dopt);
+    }
+    if (shared.opt.telemetry != nullptr) {
+      trace_ = shared.opt.telemetry->trace;
+      if (shared.opt.telemetry->metrics != nullptr) {
+        telemetry::MetricsRegistry& reg = *shared.opt.telemetry->metrics;
+        nodes_ctr_ = &reg.counter("milp.nodes");
+        steals_ctr_ = &reg.counter("milp.steals");
+        lp_solves_ctr_ = &reg.counter("lp.solves");
+        lp_iter_ctr_ = &reg.counter("lp.iterations");
+        node_iter_hist_ = &reg.histogram("lp.node_iterations");
+      }
     }
   }
 
   /// Threaded main loop: expand own work, steal when dry, exit when the
   /// tree is exhausted or a stop condition latched.
   void runThreaded() {
+    if (trace_ != nullptr) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "milp-worker-%d", id_);
+      trace_->nameThread(label);
+    }
     PNode node;
     while (true) {
       if (shared_.checkGlobalStop()) break;
@@ -287,6 +308,7 @@ class PWorker {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
       stats_.idle_seconds += idle.seconds();
     }
+    flushBatch();  // close the trailing batch on the worker's own lane
   }
 
   /// Deterministic quantum: one node expansion, preceded by one steal pass
@@ -327,6 +349,8 @@ class PWorker {
       if (got == 0) continue;
       ++stats_.steals;
       stats_.stolen_nodes += got;
+      if (trace_ != nullptr) trace_->instant("steal", "steal", "nodes", static_cast<double>(got));
+      if (steals_ctr_ != nullptr) steals_ctr_->increment();
       if (shared_.deterministic) {
         shared_.replay.mix(0x57ea1ull);  // steal event marker
         shared_.replay.mix(static_cast<std::uint64_t>(id_));
@@ -368,6 +392,14 @@ class PWorker {
     }
     ++stats_.nodes;
     shared_.total_nodes.fetch_add(1, std::memory_order_relaxed);
+    if (nodes_ctr_ != nullptr) nodes_ctr_->increment();
+    // Node-batch spans, opened lazily and closed every 64 nodes (or at
+    // drain time through finishTrace): per-node spans would dominate the
+    // ring on big trees.
+    if (trace_ != nullptr) {
+      if (batch_nodes_ == 0) batch_start_us_ = trace_->nowUs();
+      if (++batch_nodes_ >= 64) flushBatch();
+    }
     if (shared_.deterministic) {
       shared_.replay.mix(static_cast<std::uint64_t>(id_));
       shared_.replay.mix(static_cast<std::uint64_t>(node.depth));
@@ -385,6 +417,9 @@ class PWorker {
     // warm bases the dual engine declines. A stolen node's basis is not
     // the reoptimizer's live one, so it takes the adopt-and-refactorize
     // path — still far cheaper than a cold phase-1 solve.
+    telemetry::Span root_span;
+    if (node.depth == 0 && shared_.opt.telemetry != nullptr)
+      root_span = telemetry::Span(shared_.opt.telemetry, "lp", "root_lp");
     lp::LpResult rel;
     bool solved = false;
     if (reopt_ && shared_.opt.lp_warm_start && node.start_basis) {
@@ -420,6 +455,17 @@ class PWorker {
     lp_ft_updates += rel.ft_updates;
     lp_dual_reopts += rel.dual_reopt ? 1 : 0;
     ++stats_.lp_solves;
+    if (lp_solves_ctr_ != nullptr) {
+      lp_solves_ctr_->increment();
+      lp_iter_ctr_->add(rel.iterations);
+      node_iter_hist_->record(static_cast<double>(rel.iterations));
+    }
+    if (telemetry::sampleHit(shared_.opt.telemetry, static_cast<std::uint64_t>(stats_.lp_solves)))
+      trace_->instant("lp", rel.dual_reopt ? "dual_reopt" : "primal_fallback", "iterations",
+                      static_cast<double>(rel.iterations));
+    if (rel.refactorizations > 0)
+      telemetry::instant(shared_.opt.telemetry, "lp", "refactorize", "count",
+                         static_cast<double>(rel.refactorizations));
 
     if (rel.status == lp::LpStatus::kInfeasible) {
       finishNode();
@@ -497,6 +543,28 @@ class PWorker {
       RFP_LOG_INFO("milp[par]: rounding incumbent " << shared_.userObj(obj));
   }
 
+  void flushBatch() {
+    if (trace_ == nullptr || batch_nodes_ == 0) return;
+    telemetry::TraceEvent ev;
+    ev.cat = "milp";
+    ev.name = "node_batch";
+    ev.ph = 'X';
+    ev.ts_us = batch_start_us_;
+    ev.dur_us = trace_->nowUs() - batch_start_us_;
+    ev.akey[0] = "nodes";
+    ev.aval[0] = static_cast<double>(batch_nodes_);
+    ev.nargs = 1;
+    trace_->complete(ev);
+    batch_nodes_ = 0;
+  }
+
+ public:
+  /// Closes the trailing node-batch span; the driver loop calls it after
+  /// workers quiesce (covers the deterministic mode, which has no
+  /// per-worker thread exit to hook).
+  void finishTrace() { flushBatch(); }
+
+ private:
   const int id_;
   SharedTree& shared_;
   MipWorkerStats stats_;
@@ -504,6 +572,15 @@ class PWorker {
   /// Private warm-reopt state (live factors + give-up breaker); see the
   /// concurrency contract in dual_simplex.hpp.
   std::optional<lp::sparse::DualReoptimizer> reopt_;
+  // Observability (null without a telemetry context).
+  telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::Counter* nodes_ctr_ = nullptr;
+  telemetry::Counter* steals_ctr_ = nullptr;
+  telemetry::Counter* lp_solves_ctr_ = nullptr;
+  telemetry::Counter* lp_iter_ctr_ = nullptr;
+  telemetry::Histogram* node_iter_hist_ = nullptr;
+  int batch_nodes_ = 0;
+  double batch_start_us_ = 0.0;
 };
 
 }  // namespace
@@ -575,6 +652,7 @@ MipResult runParallelSearch(const lp::Model& model, const MilpSolver::Options& o
   res.seconds = watch.seconds();
   res.nodes = shared.total_nodes.load(std::memory_order_relaxed);
   for (const std::unique_ptr<PWorker>& w : workers) {
+    w->finishTrace();
     res.workers.push_back(w->stats());
     res.steals += w->stats().steals;
     res.lp_solves += w->stats().lp_solves;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "search/occupancy.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::search {
@@ -185,12 +187,22 @@ void adoptExternalIncumbent(const Instance& inst, Shared& shared, std::uint64_t*
       break;
     }
   if (!lowered) return;  // ties keep the resident plan — equal keys rank equal
-  std::lock_guard<std::mutex> lock(shared.mutex);
-  if (key <= shared.best_key.load() || !shared.has_plan) {
-    shared.best_plan = std::move(plan);
-    shared.has_plan = true;
-    shared.best_is_external.store(true, std::memory_order_relaxed);
-    shared.adopted.fetch_add(1, std::memory_order_relaxed);
+  bool took = false;
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (key <= shared.best_key.load() || !shared.has_plan) {
+      shared.best_plan = std::move(plan);
+      shared.has_plan = true;
+      shared.best_is_external.store(true, std::memory_order_relaxed);
+      shared.adopted.fetch_add(1, std::memory_order_relaxed);
+      took = true;
+    }
+  }
+  if (took) {
+    telemetry::instant(inst.opt.telemetry, "incumbent", "adopt", "waste",
+                       static_cast<double>(costs.wasted_frames), "engine", "search");
+    if (inst.opt.telemetry != nullptr && inst.opt.telemetry->metrics != nullptr)
+      inst.opt.telemetry->metrics->counter("incumbent.adoptions").increment();
   }
 }
 
@@ -234,6 +246,13 @@ class Worker {
         used_(inst.supply.size(), 0),
         need_(inst.base_need) {
     stats_.id = id;
+    if (inst.opt.telemetry != nullptr) {
+      trace_ = inst.opt.telemetry->trace;
+      if (inst.opt.telemetry->metrics != nullptr) {
+        nodes_ctr_ = &inst.opt.telemetry->metrics->counter("search.nodes");
+        steals_ctr_ = &inst.opt.telemetry->metrics->counter("search.steals");
+      }
+    }
   }
 
   /// Main loop: drain the own deque, steal when dry, exit when every task
@@ -241,6 +260,12 @@ class Worker {
   /// while a peer still expands a task that will spawn more, so "no loot"
   /// alone is not termination — the outstanding count is.
   void runLoop() {
+    if (trace_ != nullptr) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "search-worker-%d", id_);
+      trace_->nameThread(label);
+      batch_start_us_ = trace_->nowUs();
+    }
     Task task;
     while (true) {
       if (shared_.stop.load(std::memory_order_relaxed)) break;
@@ -275,6 +300,9 @@ class Worker {
       if (sched_.deques[static_cast<std::size_t>(victim)]->stealHalf(loot) == 0) continue;
       ++stats_.steals;
       stats_.stolen_tasks += static_cast<long>(loot.size());
+      if (trace_ != nullptr)
+        trace_->instant("steal", "steal", "tasks", static_cast<double>(loot.size()));
+      if (steals_ctr_ != nullptr) steals_ctr_->increment();
       for (Task& t : loot) deque().pushBack(std::move(t));
       return true;
     }
@@ -611,12 +639,34 @@ class Worker {
       shared_.published.fetch_add(1, std::memory_order_relaxed);
       inst_.opt.incumbent->publish(plan, costs, "search");
     }
+    if (adopted_own && trace_ != nullptr)
+      trace_->instant("incumbent", "publish", "waste",
+                      static_cast<double>(costs.wasted_frames), "engine", "search");
     if (inst_.opt.feasibility_only) shared_.stop.store(true);
   }
 
   void flushNodes() {
-    shared_.nodes.fetch_add(local_nodes_ - flushed_nodes_, std::memory_order_relaxed);
+    const long delta = local_nodes_ - flushed_nodes_;
+    shared_.nodes.fetch_add(delta, std::memory_order_relaxed);
     flushed_nodes_ = local_nodes_;
+    if (nodes_ctr_ != nullptr && delta > 0) nodes_ctr_->add(delta);
+    if (trace_ != nullptr && delta > 0) {
+      // One complete event covering the nodes expanded since the previous
+      // flush: coarse enough to stay off the per-node hot path, fine enough
+      // that the timeline shows where a worker's time went.
+      const double now = trace_->nowUs();
+      telemetry::TraceEvent ev;
+      ev.cat = "search";
+      ev.name = "node_batch";
+      ev.ph = 'X';
+      ev.ts_us = batch_start_us_;
+      ev.dur_us = now - batch_start_us_;
+      ev.akey[0] = "nodes";
+      ev.aval[0] = static_cast<double>(delta);
+      ev.nargs = 1;
+      trace_->complete(ev);
+      batch_start_us_ = now;
+    }
     if (inst_.opt.node_limit > 0 &&
         shared_.nodes.load(std::memory_order_relaxed) > inst_.opt.node_limit)
       shared_.stop.store(true);
@@ -655,6 +705,11 @@ class Worker {
   long flushed_nodes_ = 0;
   long local_external_prunes_ = 0;
   std::uint64_t incumbent_seen_ = 0;  ///< last channel version this worker saw
+  // Observability (null when the solve carries no telemetry context).
+  telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::Counter* nodes_ctr_ = nullptr;
+  telemetry::Counter* steals_ctr_ = nullptr;
+  double batch_start_us_ = 0.0;
 };
 
 Instance buildInstance(const model::FloorplanProblem& problem, const SearchOptions& opt) {
@@ -770,7 +825,9 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
     return result;
   }
 
+  telemetry::Span build_span(options_.telemetry, "search", "build_instance");
   const Instance inst = buildInstance(problem, options_);
+  build_span.finish();
   Shared shared;
 
   // Seed the cutoff from the channel before the root fan-out: an incumbent

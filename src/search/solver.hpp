@@ -27,6 +27,10 @@ namespace rfp::driver {
 class SharedIncumbent;  // driver/incumbent.hpp
 }
 
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
+
 namespace rfp::search {
 
 enum class ObjectiveMode { kLexicographic, kWeighted };
@@ -70,6 +74,10 @@ struct SearchOptions {
   /// improving incumbent the search finds is published back. Ignored in
   /// feasibility_only mode. The pointee must outlive solve().
   driver::SharedIncumbent* incumbent = nullptr;
+  /// Solve-scoped observability (support/telemetry): node-batch spans,
+  /// steal/incumbent instants, live node counters for the progress ticker.
+  /// Null (the default) keeps every instrumentation site branch-only.
+  const telemetry::Context* telemetry = nullptr;
 };
 
 struct SearchResult {

@@ -1,15 +1,25 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace rfp::log {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+int initialLevel() noexcept {
+  const char* env = std::getenv("RFP_LOG_LEVEL");
+  const Level fallback = Level::kWarn;
+  if (env == nullptr) return static_cast<int>(fallback);
+  return static_cast<int>(levelFromString(env, fallback));
+}
+
+std::atomic<int> g_level{initialLevel()};
 std::mutex g_emit_mutex;
+FILE* g_sink = nullptr;  // nullptr = stderr; guarded by g_emit_mutex
 
 const char* levelName(Level level) {
   switch (level) {
@@ -29,12 +39,41 @@ void setLevel(Level level) noexcept { g_level.store(static_cast<int>(level)); }
 
 Level level() noexcept { return static_cast<Level>(g_level.load()); }
 
+Level levelFromString(const std::string& name, Level fallback) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return Level::kTrace;
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  return fallback;
+}
+
+bool setLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (path.empty()) {
+    if (g_sink != nullptr) std::fclose(g_sink);
+    g_sink = nullptr;
+    return true;
+  }
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  if (g_sink != nullptr) std::fclose(g_sink);
+  g_sink = f;
+  return true;
+}
+
 void emit(Level level, const std::string& message) {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double t = std::chrono::duration<double>(Clock::now() - start).count();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%9.3f] %s %s\n", t, levelName(level), message.c_str());
+  FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%9.3f] %s %s\n", t, levelName(level), message.c_str());
+  if (g_sink != nullptr) std::fflush(g_sink);
 }
 
 }  // namespace rfp::log

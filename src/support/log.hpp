@@ -1,4 +1,10 @@
-// Minimal leveled logger. Thread-safe, writes to stderr.
+// Minimal leveled logger. Thread-safe; writes to stderr by default, or to
+// a file sink configured once at startup (`rfp_cli --log-file`, daemons).
+//
+// The initial level honors the RFP_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, case-insensitive), so CI and daemon
+// runs can capture engine logs without code changes; `setLevel` still
+// overrides it at runtime.
 //
 // Usage:
 //   rfp::log::setLevel(rfp::log::Level::kInfo);
@@ -16,6 +22,15 @@ enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 
 /// Sets the global minimum level that is emitted.
 void setLevel(Level level) noexcept;
 Level level() noexcept;
+
+/// Parses a level name ("info", "WARN", ...); returns `fallback` on junk.
+Level levelFromString(const std::string& name, Level fallback) noexcept;
+
+/// Redirects log output to `path` (append mode). Returns false and keeps
+/// the current sink when the file cannot be opened. An empty path restores
+/// stderr. Not meant to be raced against concurrent `emit` calls — call it
+/// during startup, before solver threads exist.
+bool setLogFile(const std::string& path);
 
 /// Emits a single log line (internal; prefer the RFP_LOG_* macros).
 void emit(Level level, const std::string& message);

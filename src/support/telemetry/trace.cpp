@@ -1,0 +1,453 @@
+#include "support/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rfp::telemetry {
+
+namespace {
+
+std::uint64_t nextRecorderId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local lane cache. Keyed by recorder id (not address): a recorder
+// destroyed and a new one constructed at the same address must miss.
+struct LaneRef {
+  std::uint64_t recorder_id = 0;
+  void* lane = nullptr;
+};
+
+thread_local LaneRef t_lane;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t lane_capacity)
+    : id_(nextRecorderId()),
+      capacity_(lane_capacity == 0 ? 1 : lane_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::nowUs() const noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::Lane& TraceRecorder::lane() {
+  if (t_lane.recorder_id == id_) return *static_cast<Lane*>(t_lane.lane);
+  std::lock_guard<std::mutex> lk(mu_);
+  lanes_.push_back(std::make_unique<Lane>());
+  Lane& l = *lanes_.back();
+  l.tid = static_cast<int>(lanes_.size());
+  l.ring.reserve(std::min<std::size_t>(capacity_, 256));
+  t_lane.recorder_id = id_;
+  t_lane.lane = &l;
+  return l;
+}
+
+void TraceRecorder::complete(const TraceEvent& ev) {
+  Lane& l = lane();
+  if (l.ring.size() < capacity_) {
+    l.ring.push_back(ev);
+  } else {
+    l.ring[l.written % capacity_] = ev;
+  }
+  ++l.written;
+}
+
+void TraceRecorder::instant(const char* cat, const char* name, const char* akey, double aval,
+                            const char* skey, const char* sval) {
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ph = 'i';
+  ev.ts_us = nowUs();
+  if (akey != nullptr) {
+    ev.akey[0] = akey;
+    ev.aval[0] = aval;
+    ev.nargs = 1;
+  }
+  ev.skey = skey;
+  ev.sval = sval;
+  complete(ev);
+}
+
+void TraceRecorder::nameThread(const char* name) {
+  Lane& l = lane();
+  std::snprintf(l.name, sizeof(l.name), "%s", name);
+}
+
+long TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  long n = 0;
+  for (const auto& l : lanes_)
+    if (l->written > l->ring.size()) n += static_cast<long>(l->written - l->ring.size());
+  return n;
+}
+
+long TraceRecorder::retained() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  long n = 0;
+  for (const auto& l : lanes_) n += static_cast<long>(l->ring.size());
+  return n;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[32];
+  // %.3f keeps sub-microsecond precision on timestamps while staying
+  // strictly JSON-legal (no inf/nan should reach here; clamp just in case).
+  if (!(v > -1e300 && v < 1e300)) v = 0.0;
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void appendEvent(std::string& out, const TraceEvent& ev, int tid) {
+  out += "{\"name\":\"";
+  appendEscaped(out, ev.name);
+  out += "\",\"cat\":\"";
+  appendEscaped(out, ev.cat);
+  out += "\",\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"ts\":";
+  appendNumber(out, ev.ts_us);
+  if (ev.ph == 'X') {
+    out += ",\"dur\":";
+    appendNumber(out, ev.dur_us);
+  }
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  if (ev.nargs > 0 || ev.skey != nullptr) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (int i = 0; i < ev.nargs; ++i) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      appendEscaped(out, ev.akey[i]);
+      out += "\":";
+      appendNumber(out, ev.aval[i]);
+    }
+    if (ev.skey != nullptr && ev.sval != nullptr) {
+      if (!first) out += ',';
+      out += '"';
+      appendEscaped(out, ev.skey);
+      out += "\":\"";
+      appendEscaped(out, ev.sval);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string TraceRecorder::toChromeJson() const {
+  struct Indexed {
+    const TraceEvent* ev;
+    int tid;
+  };
+  std::vector<Indexed> all;
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& l : lanes_)
+      for (const TraceEvent& ev : l->ring) all.push_back({&ev, l->tid});
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Indexed& a, const Indexed& b) { return a.ev->ts_us < b.ev->ts_us; });
+    out.reserve(all.size() * 128 + 256);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    // Perfetto labels timeline rows from thread_name metadata events.
+    for (const auto& l : lanes_) {
+      if (l->name[0] == '\0') continue;
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(l->tid);
+      out += ",\"args\":{\"name\":\"";
+      appendEscaped(out, l->name);
+      out += "\"}}";
+    }
+    for (const Indexed& e : all) {
+      if (!first) out += ',';
+      first = false;
+      appendEvent(out, *e.ev, e.tid);
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+    long dropped_n = 0;
+    for (const auto& l : lanes_)
+      if (l->written > l->ring.size())
+        dropped_n += static_cast<long>(l->written - l->ring.size());
+    out += std::to_string(dropped_n);
+    out += "}}";
+  }
+  return out;
+}
+
+// ---- trace-event JSON validation -------------------------------------------
+//
+// A deliberately small recursive-descent JSON parser: the repo has a JSON
+// *writer* but no reader, and the round-trip test ("parse the emitted trace
+// back") plus `rfp_cli --trace` verification need one. It parses arbitrary
+// JSON for structure and additionally records trace-event fields while
+// walking the `traceEvents` array.
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : s_(text) {}
+
+  bool fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg + " at offset " + std::to_string(p_);
+    return false;
+  }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  void skipWs() {
+    while (p_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[p_])) != 0) ++p_;
+  }
+  bool atEnd() {
+    skipWs();
+    return p_ >= s_.size();
+  }
+  bool consume(char c) {
+    skipWs();
+    if (p_ < s_.size() && s_[p_] == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skipWs();
+    return p_ < s_.size() && s_[p_] == c;
+  }
+
+  bool parseString(std::string* out) {
+    skipWs();
+    if (p_ >= s_.size() || s_[p_] != '"') return fail("expected string");
+    ++p_;
+    std::string v;
+    while (p_ < s_.size() && s_[p_] != '"') {
+      char c = s_[p_++];
+      if (c == '\\') {
+        if (p_ >= s_.size()) return fail("bad escape");
+        const char e = s_[p_++];
+        switch (e) {
+          case '"': v += '"'; break;
+          case '\\': v += '\\'; break;
+          case '/': v += '/'; break;
+          case 'n': v += '\n'; break;
+          case 't': v += '\t'; break;
+          case 'r': v += '\r'; break;
+          case 'b': v += '\b'; break;
+          case 'f': v += '\f'; break;
+          case 'u': {
+            if (p_ + 4 > s_.size()) return fail("bad \\u escape");
+            for (int i = 0; i < 4; ++i)
+              if (std::isxdigit(static_cast<unsigned char>(s_[p_ + i])) == 0)
+                return fail("bad \\u escape");
+            p_ += 4;
+            v += '?';  // structural validation only; code point value unused
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        v += c;
+      }
+    }
+    if (p_ >= s_.size()) return fail("unterminated string");
+    ++p_;  // closing quote
+    if (out != nullptr) *out = v;
+    return true;
+  }
+
+  bool parseNumber(double* out) {
+    skipWs();
+    const std::size_t start = p_;
+    if (p_ < s_.size() && (s_[p_] == '-' || s_[p_] == '+')) ++p_;
+    bool digits = false;
+    auto eatDigits = [&] {
+      while (p_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[p_])) != 0) {
+        ++p_;
+        digits = true;
+      }
+    };
+    eatDigits();
+    if (p_ < s_.size() && s_[p_] == '.') {
+      ++p_;
+      eatDigits();
+    }
+    if (digits && p_ < s_.size() && (s_[p_] == 'e' || s_[p_] == 'E')) {
+      ++p_;
+      if (p_ < s_.size() && (s_[p_] == '-' || s_[p_] == '+')) ++p_;
+      eatDigits();
+    }
+    if (!digits) return fail("expected number");
+    if (out != nullptr) *out = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool parseLiteral(const char* lit) {
+    skipWs();
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(p_, n, lit) != 0) return fail("expected literal");
+    p_ += n;
+    return true;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t p_ = 0;
+  std::string error_;
+};
+
+// Forward decl: generic value skipper used for nested unknown content.
+bool skipValue(JsonCursor& c);
+
+bool skipObject(JsonCursor& c) {
+  if (!c.consume('{')) return c.fail("expected object");
+  if (c.consume('}')) return true;
+  do {
+    if (!c.parseString(nullptr)) return false;
+    if (!c.consume(':')) return c.fail("expected ':'");
+    if (!skipValue(c)) return false;
+  } while (c.consume(','));
+  if (!c.consume('}')) return c.fail("expected '}'");
+  return true;
+}
+
+bool skipArray(JsonCursor& c) {
+  if (!c.consume('[')) return c.fail("expected array");
+  if (c.consume(']')) return true;
+  do {
+    if (!skipValue(c)) return false;
+  } while (c.consume(','));
+  if (!c.consume(']')) return c.fail("expected ']'");
+  return true;
+}
+
+bool skipValue(JsonCursor& c) {
+  if (c.peek('{')) return skipObject(c);
+  if (c.peek('[')) return skipArray(c);
+  if (c.peek('"')) return c.parseString(nullptr);
+  if (c.peek('t')) return c.parseLiteral("true");
+  if (c.peek('f')) return c.parseLiteral("false");
+  if (c.peek('n')) return c.parseLiteral("null");
+  return c.parseNumber(nullptr);
+}
+
+// One entry of the traceEvents array: validate required keys and collect
+// the category/name sets.
+bool parseEvent(JsonCursor& c, TraceSummary* out) {
+  if (!c.consume('{')) return c.fail("event must be an object");
+  std::string name, cat, ph;
+  bool has_ts = false, has_pid = false, has_tid = false;
+  if (!c.consume('}')) {
+    do {
+      std::string key;
+      if (!c.parseString(&key)) return false;
+      if (!c.consume(':')) return c.fail("expected ':'");
+      if (key == "name") {
+        if (!c.parseString(&name)) return false;
+      } else if (key == "cat") {
+        if (!c.parseString(&cat)) return false;
+      } else if (key == "ph") {
+        if (!c.parseString(&ph)) return false;
+      } else if (key == "ts") {
+        double v = 0;
+        if (!c.parseNumber(&v)) return false;
+        has_ts = true;
+      } else if (key == "pid") {
+        double v = 0;
+        if (!c.parseNumber(&v)) return false;
+        has_pid = true;
+      } else if (key == "tid") {
+        double v = 0;
+        if (!c.parseNumber(&v)) return false;
+        has_tid = true;
+      } else {
+        if (!skipValue(c)) return false;
+      }
+    } while (c.consume(','));
+    if (!c.consume('}')) return c.fail("expected '}' closing event");
+  }
+  if (name.empty()) return c.fail("event missing name");
+  if (ph.empty()) return c.fail("event missing ph");
+  if (!has_pid || !has_tid) return c.fail("event missing pid/tid");
+  if (ph == "M") return true;  // metadata rows carry no ts/cat
+  if (!has_ts) return c.fail("event missing ts");
+  ++out->events;
+  if (!cat.empty()) out->categories.insert(cat);
+  out->names.insert(name);
+  return true;
+}
+
+}  // namespace
+
+TraceSummary validateChromeTrace(const std::string& json) {
+  TraceSummary out;
+  JsonCursor c(json);
+  bool saw_events = false;
+  bool ok = [&] {
+    if (!c.consume('{')) return c.fail("top level must be an object");
+    if (c.consume('}')) return true;
+    do {
+      std::string key;
+      if (!c.parseString(&key)) return false;
+      if (!c.consume(':')) return c.fail("expected ':'");
+      if (key == "traceEvents") {
+        saw_events = true;
+        if (!c.consume('[')) return c.fail("traceEvents must be an array");
+        if (!c.consume(']')) {
+          do {
+            if (!parseEvent(c, &out)) return false;
+          } while (c.consume(','));
+          if (!c.consume(']')) return c.fail("expected ']' closing traceEvents");
+        }
+      } else {
+        if (!skipValue(c)) return false;
+      }
+    } while (c.consume(','));
+    if (!c.consume('}')) return c.fail("expected '}' closing top level");
+    if (!c.atEnd()) return c.fail("trailing content");
+    return true;
+  }();
+  if (ok && !saw_events) {
+    ok = false;
+    c.fail("missing traceEvents");
+  }
+  out.ok = ok;
+  out.error = c.error();
+  return out;
+}
+
+}  // namespace rfp::telemetry

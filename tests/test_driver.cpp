@@ -741,9 +741,15 @@ TEST(DriverCache, RepeatSolvesAreServedFromTheCache) {
   const SolveResponse cold = drv.solve(p, req);
   ASSERT_EQ(cold.status, SolveStatus::kOptimal);
   EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.served_by, "engine");
+  // The engine run reports its exact effort in the metrics map.
+  ASSERT_TRUE(cold.metrics.count("nodes"));
+  EXPECT_GE(cold.metrics.at("nodes"), 1.0);
+  ASSERT_TRUE(cold.metrics.count("seconds"));
 
   const SolveResponse warm = drv.solve(p, req);
   EXPECT_TRUE(warm.cache_hit) << warm.detail;
+  EXPECT_EQ(warm.served_by, "cache");
   EXPECT_EQ(warm.status, SolveStatus::kOptimal);
   EXPECT_EQ(warm.costs.wasted_frames, cold.costs.wasted_frames);
   EXPECT_DOUBLE_EQ(warm.costs.wire_length, cold.costs.wire_length);
@@ -1122,6 +1128,14 @@ TEST(DriverBatch, ConcurrentDuplicatesSolveEachFingerprintExactlyOnce) {
     served += res[i].cache_hit ? 1 : 0;
     coalesced += res[i].coalesced ? 1 : 0;
     if (res[i].coalesced) EXPECT_TRUE(res[i].cache_hit) << i;
+    // served_by records where the answer actually came from.
+    if (res[i].coalesced) {
+      EXPECT_EQ(res[i].served_by, "flight-follower") << i;
+    } else if (res[i].cache_hit) {
+      EXPECT_EQ(res[i].served_by, "cache") << i;
+    } else {
+      EXPECT_EQ(res[i].served_by, "engine") << i;
+    }
   }
   // Exactly one engine invocation per unique fingerprint; everyone else was
   // served — either coalesced onto the in-flight leader or a plain hit.
