@@ -244,6 +244,10 @@ int cmdSolve(const std::string& device_spec, const std::string& problem_path,
                 "dual-reopt-rate=%.2f\n",
                 res.lp.primal_pivots, res.lp.dual_pivots, res.lp.bound_flips,
                 res.lp.ft_updates, res.lp.dualReoptRate());
+    std::printf("lp: kernel ftran=%ld/%ld btran=%ld/%ld (sparse/dense) "
+                "sparse-rate=%.2f dse-updates=%ld\n",
+                res.lp.ftran_sparse, res.lp.ftran_dense, res.lp.btran_sparse,
+                res.lp.btran_dense, res.lp.sparseSolveRate(), res.lp.dse_updates);
   }
   if (!res.workers.empty()) {
     std::printf("parallel: workers=%zu steals=%ld\n", res.workers.size(), res.steals);

@@ -120,6 +120,11 @@ SolveResponse runMilp(const model::FloorplanProblem& problem, const SolveRequest
     out.lp.bound_flips = res.lp_bound_flips;
     out.lp.ft_updates = res.lp_ft_updates;
     out.lp.dual_reopts = res.lp_dual_reopts;
+    out.lp.ftran_sparse = res.lp_ftran_sparse;
+    out.lp.ftran_dense = res.lp_ftran_dense;
+    out.lp.btran_sparse = res.lp_btran_sparse;
+    out.lp.btran_dense = res.lp_btran_dense;
+    out.lp.dse_updates = res.lp_dse_updates;
   }
   out.incumbent_published = res.published;
   out.incumbent_adopted = res.adopted;
@@ -262,6 +267,12 @@ void populateMetrics(SolveResponse* response) {
     m["lp.ft_updates"] = static_cast<double>(response->lp.ft_updates);
     m["lp.dual_reopts"] = static_cast<double>(response->lp.dual_reopts);
     m["lp.dual_reopt_rate"] = response->lp.dualReoptRate();
+    m["lp.ftran_sparse"] = static_cast<double>(response->lp.ftran_sparse);
+    m["lp.ftran_dense"] = static_cast<double>(response->lp.ftran_dense);
+    m["lp.btran_sparse"] = static_cast<double>(response->lp.btran_sparse);
+    m["lp.btran_dense"] = static_cast<double>(response->lp.btran_dense);
+    m["lp.dse_updates"] = static_cast<double>(response->lp.dse_updates);
+    m["lp.sparse_solve_rate"] = response->lp.sparseSolveRate();
   }
   if (response->incumbent_published > 0 || response->incumbent_adopted > 0 ||
       response->cutoff_prunes > 0) {

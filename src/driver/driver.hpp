@@ -153,7 +153,21 @@ struct LpStats {
   long bound_flips = 0;         ///< bound-to-bound moves without a basis change
   long ft_updates = 0;          ///< Forrest–Tomlin factor updates applied
   long dual_reopts = 0;         ///< node solves answered by the dual fast path
+  // Hyper-sparse kernel breakdown: which path each triangular solve took
+  // (graph-driven reachability vs dense sweep), and how many exact dual
+  // steepest-edge weight updates ran.
+  long ftran_sparse = 0;        ///< FTRANs through the graph-driven sparse path
+  long ftran_dense = 0;         ///< FTRANs through the dense sweep
+  long btran_sparse = 0;        ///< BTRANs through the graph-driven sparse path
+  long btran_dense = 0;         ///< BTRANs through the dense sweep
+  long dse_updates = 0;         ///< steepest-edge weight recurrence applications
 
+  [[nodiscard]] double sparseSolveRate() const noexcept {
+    const long total = ftran_sparse + ftran_dense + btran_sparse + btran_dense;
+    return total > 0
+               ? static_cast<double>(ftran_sparse + btran_sparse) / static_cast<double>(total)
+               : 0.0;
+  }
   [[nodiscard]] double warmStartHitRate() const noexcept {
     return solves > 0 ? static_cast<double>(warm_start_hits) / static_cast<double>(solves) : 0.0;
   }

@@ -87,6 +87,12 @@ std::string solveResponseToJson(const model::FloorplanProblem& problem,
     w.key("ft_updates").value(response.lp.ft_updates);
     w.key("dual_reopts").value(response.lp.dual_reopts);
     w.key("dual_reopt_rate").value(response.lp.dualReoptRate());
+    w.key("ftran_sparse").value(response.lp.ftran_sparse);
+    w.key("ftran_dense").value(response.lp.ftran_dense);
+    w.key("btran_sparse").value(response.lp.btran_sparse);
+    w.key("btran_dense").value(response.lp.btran_dense);
+    w.key("dse_updates").value(response.lp.dse_updates);
+    w.key("sparse_solve_rate").value(response.lp.sparseSolveRate());
     w.endObject();
   }
   if (!response.metrics.empty()) {

@@ -59,6 +59,11 @@ FpResult MilpFloorplanner::solve(const model::FloorplanProblem& problem) const {
     result.lp_bound_flips += mip.lp_bound_flips;
     result.lp_ft_updates += mip.lp_ft_updates;
     result.lp_dual_reopts += mip.lp_dual_reopts;
+    result.lp_ftran_sparse += mip.lp_ftran_sparse;
+    result.lp_ftran_dense += mip.lp_ftran_dense;
+    result.lp_btran_sparse += mip.lp_btran_sparse;
+    result.lp_btran_dense += mip.lp_btran_dense;
+    result.lp_dse_updates += mip.lp_dse_updates;
     result.steals += mip.steals;
     for (const milp::MipWorkerStats& w : mip.workers) {
       const auto i = static_cast<std::size_t>(w.id);

@@ -84,6 +84,13 @@ struct FpResult {
   long lp_bound_flips = 0;
   long lp_ft_updates = 0;
   long lp_dual_reopts = 0;  ///< node solves answered by the dual fast path
+  // Hyper-sparse kernel telemetry: triangular-solve path taken and exact
+  // steepest-edge weight recurrence applications.
+  long lp_ftran_sparse = 0;
+  long lp_ftran_dense = 0;
+  long lp_btran_sparse = 0;
+  long lp_btran_dense = 0;
+  long lp_dse_updates = 0;
   // In-solve work-stealing telemetry (milp.threads > 1): per-worker figures
   // summed by worker id across the MILP stages, plus the steal total.
   std::vector<milp::MipWorkerStats> workers;

@@ -77,6 +77,11 @@ LpResult LpSolver::solve(const Model& model, std::span<const double> lb,
     res.bound_flips += declined.bound_flips;
     res.ft_updates += declined.ft_updates;
     res.refactorizations += declined.refactorizations;
+    res.ftran_sparse += declined.ftran_sparse;
+    res.ftran_dense += declined.ftran_dense;
+    res.btran_sparse += declined.btran_sparse;
+    res.btran_dense += declined.btran_dense;
+    res.dse_updates += declined.dse_updates;
     return res;
   }
   return SimplexSolver(options_.core).solve(model, lb, ub);

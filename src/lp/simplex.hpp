@@ -62,6 +62,13 @@ struct LpResult {
   long dual_pivots = 0;     ///< basis changes made by the dual simplex
   long bound_flips = 0;     ///< bound-to-bound moves without a basis change
   long ft_updates = 0;      ///< Forrest–Tomlin factor updates applied
+  // Hyper-sparse kernel telemetry: which path each triangular solve took,
+  // and how many steepest-edge weight-update passes ran.
+  long ftran_sparse = 0;    ///< FTRANs through the graph-driven sparse path
+  long ftran_dense = 0;     ///< FTRANs through the dense sweep
+  long btran_sparse = 0;    ///< BTRANs through the graph-driven sparse path
+  long btran_dense = 0;     ///< BTRANs through the dense sweep
+  long dse_updates = 0;     ///< steepest-edge weight recurrence applications
   /// True when the dual simplex produced this result (warm reoptimization
   /// fast path); false for primal solves and dual-infeasible fallbacks.
   bool dual_reopt = false;

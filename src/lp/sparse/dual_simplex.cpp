@@ -11,6 +11,13 @@ namespace rfp::lp::sparse {
 
 namespace {
 
+/// Lower bound on steepest-edge row weights. True row norms of B^-1 are
+/// bounded well away from zero on the scaled floorplanning bases; anything
+/// at this floor is an artifact of inexact initialization, and letting it
+/// fall further turns the row's pricing score (violation^2 / weight) into
+/// an absorbing state.
+constexpr double kDseWeightFloor = 1e-4;
+
 /// One dual ratio-test candidate: nonbasic column `j` with pivot-row entry
 /// `atil` (sign-normalized) and dual step `ratio` at which its reduced cost
 /// hits zero.
@@ -28,11 +35,19 @@ class Worker {
     bs_.lu = BasisLu(opt_.lu);
     d_.assign(uz(f_.nn), 0.0);
     arow_.assign(uz(f_.nn), 0.0);
+    colmark_.assign(uz(f_.nn), 0);
     w_.assign(uz(f_.m), 1.0);
-    alpha_.resize(uz(f_.m));
-    rho_.resize(uz(f_.m));
+    alpha_.reset(f_.m);
+    rho_.reset(f_.m);
+    tau_.reset(f_.m);
+    flip_col_.reset(f_.m);
+    rowmark_.assign(uz(f_.m), 0);
     cb_.resize(uz(f_.m));
-    flip_col_.resize(uz(f_.m));
+    dualy_.resize(uz(f_.m));
+    if (opt_.core.telemetry && opt_.core.telemetry->metrics) {
+      ftran_hist_ = &opt_.core.telemetry->metrics->histogram("lp.ftran_density_permille");
+      btran_hist_ = &opt_.core.telemetry->metrics->histogram("lp.btran_density_permille");
+    }
   }
 
   void setBounds(std::span<const double> lb, std::span<const double> ub) {
@@ -63,19 +78,25 @@ class Worker {
     base_bound_flips_ = bound_flips_;
     base_ft_updates_ = ft_updates_;
     base_refactorizations_ = bs_.refactorizations;
+    base_dse_updates_ = dse_updates_;
+    base_solve_stats_ = bs_.lu.solveStats();
     if (hot) {
       out.warm_started = true;
       // Bounds changed under the live basis: re-anchor the nonbasic
-      // statuses and recompute the basics; factors and reduced costs are
-      // already current.
+      // statuses and recompute the basics; factors, reduced costs — and
+      // under steepest edge the exact row weights — are already current.
       bs_.reanchorStatuses(f_);
       bs_.computeXb(f_);
     } else {
       if (!bs_.adoptWarmBasis(f_, &warm)) return std::nullopt;
       out.warm_started = true;
-      bs_.refactorize(f_);
+      refactorizeTracked();
       bs_.computeXb(f_);
       computeDuals();
+      // The adopted basis is new geometry: restart the steepest-edge
+      // reference at ones (exact for a slack basis, a Devex-style
+      // reference otherwise; the recurrence keeps it exact from here).
+      std::fill(w_.begin(), w_.end(), 1.0);
     }
     if (!repairDualFeasibility()) return std::nullopt;
 
@@ -96,7 +117,7 @@ class Worker {
       status = iterate(iters, deadline);
       if (stalled_) return telemetry(out, iters), std::nullopt;
       if (status == LpStatus::kInfeasible && bs_.lu.updateCount() > 0) {
-        bs_.refactorize(f_);
+        refactorizeTracked();
         bs_.computeXb(f_);
         computeDuals();
         if (!repairDualFeasibility()) return telemetry(out, iters), std::nullopt;
@@ -117,7 +138,7 @@ class Worker {
                  dualViolation() <= 10.0 * opt_.core.cost_tol;
       if (!verified && bs_.lu.updateCount() > 0) {
         // Escalate the retry round to fresh factors.
-        bs_.refactorize(f_);
+        refactorizeTracked();
         bs_.computeXb(f_);
         computeDuals();
         if (!repairDualFeasibility()) return telemetry(out, iters), std::nullopt;
@@ -151,6 +172,23 @@ class Worker {
     out.dual_pivots = dual_pivots_ - base_dual_pivots_;
     out.bound_flips = bound_flips_ - base_bound_flips_;
     out.ft_updates = ft_updates_ - base_ft_updates_;
+    const BasisLu::SolveStats& ss = bs_.lu.solveStats();
+    out.ftran_sparse = ss.ftran_sparse - base_solve_stats_.ftran_sparse;
+    out.ftran_dense = ss.ftran_dense - base_solve_stats_.ftran_dense;
+    out.btran_sparse = ss.btran_sparse - base_solve_stats_.btran_sparse;
+    out.btran_dense = ss.btran_dense - base_solve_stats_.btran_dense;
+    out.dse_updates = dse_updates_ - base_dse_updates_;
+  }
+
+  /// Refactorizes and, when the singular-repair path swapped slacks in, the
+  /// basis changed outside the pivot stream — the steepest-edge recurrence
+  /// no longer describes it, so the weight reference restarts at ones.
+  void refactorizeTracked() {
+    const long repairs_before = bs_.repairs;
+    bs_.refactorize(f_);
+    if (bs_.repairs != repairs_before &&
+        opt_.pricing == DualSimplexSolver::DualPricing::kSteepestEdge)
+      std::fill(w_.begin(), w_.end(), 1.0);
   }
 
   /// Pivot budget for one warm reoptimization before giving up to the
@@ -208,12 +246,12 @@ class Worker {
   /// Reduced costs of every nonbasic variable, from scratch (basics get 0).
   void computeDuals() {
     for (int p = 0; p < f_.m; ++p) cb_[uz(p)] = f_.cost[uz(bs_.basic[uz(p)])];
-    rho_ = cb_;
-    bs_.lu.btran(rho_);
+    dualy_ = cb_;
+    bs_.lu.btran(dualy_);
     for (int j = 0; j < f_.nn; ++j)
       d_[uz(j)] = bs_.status[uz(j)] == VarStatus::kBasic
                       ? 0.0
-                      : f_.cost[uz(j)] - f_.columnDot(rho_, j);
+                      : f_.cost[uz(j)] - f_.columnDot(dualy_, j);
   }
 
   [[nodiscard]] double dualViolation() const {
@@ -268,7 +306,12 @@ class Worker {
   LpStatus iterate(long& iters, const Deadline& deadline) {
     int degenerate_streak = 0;
     int consecutive_recoveries = 0;
-    std::fill(w_.begin(), w_.end(), 1.0);  // fresh dual Devex framework
+    // Devex restarts its reference framework per round. Steepest-edge
+    // weights are exact row norms maintained by the recurrence across
+    // rounds and across hot-path reoptimizations — resetting them here is
+    // precisely the crutch this rule replaces.
+    const bool dse = opt_.pricing == DualSimplexSolver::DualPricing::kSteepestEdge;
+    if (!dse) std::fill(w_.begin(), w_.end(), 1.0);  // fresh dual Devex framework
     std::vector<Candidate> cands;
     std::vector<int> flips;
     while (true) {
@@ -313,14 +356,43 @@ class Worker {
       const int leave = bs_.basic[uz(p_row)];
 
       // ---- pivot row + dual ratio candidates ----
-      scatterUnit(p_row, rho_);
-      bs_.lu.btran(rho_);  // row p_row of B^-1
+      // Hyper-sparse BTRAN of e_p, then a CSR scatter over just the columns
+      // that intersect rho's support — every other column has a zero
+      // pivot-row entry and is neither a candidate nor touched by the dual
+      // step update below. Replaces an O(nnz(A)) columnDot pass per pivot.
+      rho_.clear();
+      rho_.set(p_row, 1.0);
+      bs_.lu.btranSparse(rho_);  // row p_row of B^-1
+      if (btran_hist_)
+        btran_hist_->record(1000.0 * static_cast<double>(rho_.idx.size()) /
+                            static_cast<double>(f_.m));
+      for (const int j : coltouch_) {
+        arow_[uz(j)] = 0.0;
+        colmark_[uz(j)] = 0;
+      }
+      coltouch_.clear();
+      for (const int i : rho_.idx) {
+        const double rv = rho_.val[uz(i)];
+        if (rv == 0.0) continue;
+        for (int k = f_.rptr[uz(i)]; k < f_.rptr[uz(i) + 1]; ++k) {
+          const int j = f_.rcol[uz(k)];
+          if (!colmark_[uz(j)]) {
+            colmark_[uz(j)] = 1;
+            coltouch_.push_back(j);
+          }
+          arow_[uz(j)] += f_.rval[uz(k)] * rv;
+        }
+        const int js = f_.n + i;  // slack column of row i is the unit e_i
+        if (!colmark_[uz(js)]) {
+          colmark_[uz(js)] = 1;
+          coltouch_.push_back(js);
+        }
+        arow_[uz(js)] += rv;
+      }
       cands.clear();
-      for (int j = 0; j < f_.nn; ++j) {
+      for (const int j : coltouch_) {
         if (bs_.status[uz(j)] == VarStatus::kBasic || isFixed(j)) continue;
-        const double arj = f_.columnDot(rho_, j);
-        arow_[uz(j)] = arj;
-        const double atil = sigma * arj;
+        const double atil = sigma * arow_[uz(j)];
         const VarStatus s = bs_.status[uz(j)];
         const bool eligible = (s == VarStatus::kAtLower && atil > opt_.core.pivot_tol) ||
                               (s == VarStatus::kAtUpper && atil < -opt_.core.pivot_tol) ||
@@ -373,12 +445,15 @@ class Worker {
 
       // ---- entering column + numerical cross-check ----
       f_.scatterColumn(e, alpha_);
-      bs_.lu.ftran(alpha_, &spike_);
-      const double pivot_col = alpha_[uz(p_row)];
+      bs_.lu.ftranSparse(alpha_, &spike_);
+      if (ftran_hist_)
+        ftran_hist_->record(1000.0 * static_cast<double>(alpha_.idx.size()) /
+                            static_cast<double>(f_.m));
+      const double pivot_col = alpha_.val[uz(p_row)];
       if (std::abs(pivot_col - arow_[uz(e)]) > 1e-7 * (1.0 + std::abs(pivot_col)) ||
           std::abs(pivot_col) <= opt_.core.pivot_tol) {
         if (consecutive_recoveries++ < 2) {
-          bs_.refactorize(f_);
+          refactorizeTracked();
           bs_.computeXb(f_);
           computeDuals();
           continue;
@@ -395,16 +470,17 @@ class Worker {
 
       // ---- apply the flips (one FTRAN for all of them) ----
       if (!flips.empty()) {
-        std::fill(flip_col_.begin(), flip_col_.end(), 0.0);
+        flip_col_.clear();
         for (const int c : flips) {
           const int j = cands[uz(c)].j;
           const double range = f_.up[uz(j)] - f_.lo[uz(j)];
           const double dirj = bs_.status[uz(j)] == VarStatus::kAtLower ? 1.0 : -1.0;
-          f_.addColumn(j, dirj * range, flip_col_);
+          addColumnSparse(j, dirj * range);
           bs_.status[uz(j)] = dirj > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
         }
-        bs_.lu.ftran(flip_col_);
-        for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= flip_col_[uz(p)];
+        for (const int i : flip_col_.idx) rowmark_[uz(i)] = 0;
+        bs_.lu.ftranSparse(flip_col_);
+        for (const int p : flip_col_.idx) bs_.xb[uz(p)] -= flip_col_.val[uz(p)];
         bound_flips_ += static_cast<long>(flips.size());
       }
 
@@ -412,7 +488,7 @@ class Worker {
       const double target = sigma > 0 ? f_.up[uz(leave)] : f_.lo[uz(leave)];
       const double t_p = (bs_.xb[uz(p_row)] - target) / pivot_col;
       const double enter_val = bs_.nonbasicValue(f_, e) + t_p;
-      for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= t_p * alpha_[uz(p)];
+      for (const int p : alpha_.idx) bs_.xb[uz(p)] -= t_p * alpha_.val[uz(p)];
       bs_.status[uz(leave)] = sigma > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
       bs_.basic[uz(p_row)] = e;
       bs_.status[uz(e)] = VarStatus::kBasic;
@@ -440,7 +516,7 @@ class Worker {
       // ---- dual step: update reduced costs from the pivot row ----
       const double theta_d = sigma * cand.ratio;
       if (theta_d != 0.0) {
-        for (int j = 0; j < f_.nn; ++j) {
+        for (const int j : coltouch_) {
           if (bs_.status[uz(j)] == VarStatus::kBasic || j == leave || isFixed(j)) continue;
           if (arow_[uz(j)] != 0.0) d_[uz(j)] -= theta_d * arow_[uz(j)];
         }
@@ -448,23 +524,51 @@ class Worker {
       d_[uz(leave)] = -theta_d;  // pivot-row entry of the leaving variable is 1
       d_[uz(e)] = 0.0;
 
-      // ---- dual Devex row-weight update from the entering column ----
+      // ---- row-weight update from the entering column ----
       const double are2 = pivot_col * pivot_col;
       const double wr = w_[uz(p_row)];
-      for (int p = 0; p < f_.m; ++p) {
-        if (p == p_row) continue;
-        const double ap = alpha_[uz(p)];
-        if (ap == 0.0) continue;
-        w_[uz(p)] = std::max(w_[uz(p)], ap * ap / are2 * wr);
+      if (dse) {
+        // Forrest–Goldfarb exact steepest-edge recurrence: with
+        // tau = B^-1 rho_r (through the *old* factors — the FT update has
+        // not been applied yet),
+        //   beta_p' = beta_p - 2 (alpha_pq / alpha_rq) tau_p
+        //                    + (alpha_pq / alpha_rq)^2 beta_r.
+        tau_.copyFrom(rho_);
+        bs_.lu.ftranSparse(tau_);
+        for (const int p : alpha_.idx) {
+          if (p == p_row) continue;
+          const double r = alpha_.val[uz(p)] / pivot_col;
+          const double upd = w_[uz(p)] - 2.0 * r * tau_.val[uz(p)] + r * r * wr;
+          // Cauchy–Schwarz safeguard: the new rows of B^-1 satisfy
+          // beta_p' beta_r' >= (b_p' . b_r')^2 with b_p' . b_r' =
+          // (tau_p - r beta_r) / alpha_rq, so beta_p' >= (tau_p - r beta_r)^2
+          // / beta_r. Exact weights satisfy the bound identically; weights
+          // carried from an inexact cold-adopt init (all ones on a non-slack
+          // basis) would otherwise be driven through zero by the true tau
+          // term, collapse to the floor, and make this row's pricing score
+          // explode — the degenerate-wandering mode the floor alone cannot
+          // prevent.
+          const double cs = tau_.val[uz(p)] - r * wr;
+          w_[uz(p)] = std::max({upd, cs * cs / wr, kDseWeightFloor});
+        }
+        w_[uz(p_row)] = std::max(wr / are2, kDseWeightFloor);
+        ++dse_updates_;
+      } else {
+        // Dual Devex reference-framework approximation.
+        for (const int p : alpha_.idx) {
+          if (p == p_row) continue;
+          const double ap = alpha_.val[uz(p)];
+          w_[uz(p)] = std::max(w_[uz(p)], ap * ap / are2 * wr);
+        }
+        w_[uz(p_row)] = std::max(wr / are2, 1.0);
+        if (w_[uz(p_row)] > 1e12) std::fill(w_.begin(), w_.end(), 1.0);
       }
-      w_[uz(p_row)] = std::max(wr / are2, 1.0);
-      if (w_[uz(p_row)] > 1e12) std::fill(w_.begin(), w_.end(), 1.0);
 
       // ---- Forrest–Tomlin update ----
       if (!bs_.lu.updateColumn(p_row, spike_)) {
         telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
                            "unstable_update");
-        bs_.refactorize(f_);
+        refactorizeTracked();
         bs_.computeXb(f_);
         computeDuals();
       } else {
@@ -474,7 +578,7 @@ class Worker {
             bs_.lu.shouldRefactorize()) {
           telemetry::instant(opt_.core.telemetry, "lp", "refactorize", nullptr, 0.0, "reason",
                              "interval");
-          bs_.refactorize(f_);
+          refactorizeTracked();
           bs_.computeXb(f_);
           computeDuals();
         }
@@ -482,9 +586,23 @@ class Worker {
     }
   }
 
-  static void scatterUnit(int p, std::vector<double>& v) {
-    std::fill(v.begin(), v.end(), 0.0);
-    v[uz(p)] = 1.0;
+  /// Accumulates `t` times structural column `j` (slack j >= n: the unit
+  /// row j - n) into flip_col_, growing its index set through rowmark_.
+  void addColumnSparse(int j, double t) {
+    const auto touch = [&](int i, double a) {
+      if (!rowmark_[uz(i)]) {
+        rowmark_[uz(i)] = 1;
+        flip_col_.idx.push_back(i);
+      }
+      flip_col_.val[uz(i)] += a * t;
+    };
+    if (j < f_.n) {
+      const CscMatrix& a = *f_.a;
+      for (int k = a.ptr[uz(j)]; k < a.ptr[uz(j) + 1]; ++k)
+        touch(a.idx[uz(k)], a.val[uz(k)]);
+    } else {
+      touch(j - f_.n, 1.0);
+    }
   }
 
   DualSimplexSolver::Options opt_;
@@ -493,19 +611,28 @@ class Worker {
   long dual_pivots_ = 0;
   long bound_flips_ = 0;
   long ft_updates_ = 0;
+  long dse_updates_ = 0;
   long base_dual_pivots_ = 0;
   long base_bound_flips_ = 0;
   long base_ft_updates_ = 0;
   long base_refactorizations_ = 0;
+  long base_dse_updates_ = 0;
+  BasisLu::SolveStats base_solve_stats_;
 
   std::vector<double> d_;     ///< reduced costs (nonbasic; basics hold 0)
   std::vector<double> pert_;  ///< applied cost perturbation per variable
   bool perturbed_ = false;
   bool stalled_ = false;  ///< degenerate cycling detected: give up to primal
-  std::vector<double> arow_;  ///< current pivot row over all columns
-  std::vector<double> w_;     ///< dual Devex reference weights (rows)
-  std::vector<double> alpha_, rho_, cb_, flip_col_;
+  std::vector<double> arow_;    ///< current pivot row over touched columns
+  std::vector<char> colmark_;   ///< arow_ occupancy (parallel to arow_)
+  std::vector<int> coltouch_;   ///< columns with a live arow_ entry
+  std::vector<char> rowmark_;   ///< flip_col_ index-set membership scratch
+  std::vector<double> w_;       ///< row pricing weights (exact DSE or Devex)
+  std::vector<double> cb_, dualy_;
+  IndexedVector alpha_, rho_, tau_, flip_col_;
   BasisLu::Spike spike_;
+  telemetry::Histogram* ftran_hist_ = nullptr;
+  telemetry::Histogram* btran_hist_ = nullptr;
 };
 
 }  // namespace

@@ -37,9 +37,19 @@ namespace rfp::lp::sparse {
 
 class DualSimplexSolver {
  public:
+  /// Leaving-row pricing rule. Steepest edge maintains the exact row norms
+  /// beta_p = ||B^-T e_p||^2 by the Forrest–Goldfarb recurrence (one extra
+  /// hyper-sparse FTRAN per pivot) and persists them across warm hot-path
+  /// reoptimizations; Devex approximates them from a reference framework
+  /// reset each solve. Steepest edge is the default: on hyper-degenerate
+  /// trees Devex's drifting weights pick near-parallel rows and the solve
+  /// wanders past its effort budget.
+  enum class DualPricing { kDevex, kSteepestEdge };
+
   struct Options {
     /// Shared tolerances and limits (see lp/simplex.hpp).
     SimplexSolver::Options core;
+    DualPricing pricing = DualPricing::kSteepestEdge;
     /// Hard cap on Forrest–Tomlin updates between refactorizations, on top
     /// of the stability and fill triggers; <= 0 disables the cap (see
     /// revised_simplex.hpp — warm reoptimizations stay far below it).

@@ -254,7 +254,44 @@ bool BasisLu::factorize(const CscMatrix& a, const std::vector<int>& basic) {
     }
   }
   base_nnz_ = static_cast<long>(l_row_.size()) + u_nnz_ + m;
+
+  // ---- hyper-sparse reachability structures --------------------------------
+  // row_to_slot_ inverts pivot_row_ (a permutation once all m steps ran);
+  // lt_start_/lt_slot_ transpose L's column pattern so btran can walk "which
+  // elimination steps consume this row" without scanning all of L.
+  row_to_slot_.assign(zu(m), -1);
+  for (int k = 0; k < m; ++k) row_to_slot_[zu(pivot_row_[zu(k)])] = k;
+  lt_start_.assign(zu(m) + 1, 0);
+  for (const int r : l_row_) ++lt_start_[zu(r) + 1];
+  for (int r = 0; r < m; ++r) lt_start_[zu(r) + 1] += lt_start_[zu(r)];
+  lt_slot_.assign(l_row_.size(), 0);
+  {
+    std::vector<int> fill(lt_start_.begin(), lt_start_.end() - 1);
+    for (int k = 0; k < m; ++k)
+      for (int t = l_start_[zu(k)]; t < l_start_[zu(k) + 1]; ++t)
+        lt_slot_[zu(fill[zu(l_row_[zu(t)])]++)] = k;
+  }
+  reach_.clear();
+  reach_.reserve(zu(m));
+  mark_.assign(zu(m), 0);
+  ywork_.assign(zu(m), 0.0);
   return true;
+}
+
+bool BasisLu::hyperEligible(std::size_t input_nnz) const noexcept {
+  return static_cast<double>(input_nnz) <=
+         std::max(2.0, opt_.hyper_input_density * static_cast<double>(m_));
+}
+
+long BasisLu::reachCap() const noexcept {
+  const long cap = static_cast<long>(opt_.hyper_reach_density * static_cast<double>(m_));
+  return cap < 8 ? 8 : cap;
+}
+
+void BasisLu::rebuildIndex(IndexedVector& v) const {
+  v.idx.clear();
+  for (int p = 0; p < m_; ++p)
+    if (v.val[zu(p)] != 0.0) v.idx.push_back(p);
 }
 
 void BasisLu::ftran(std::vector<double>& v, Spike* spike) const {
@@ -274,7 +311,11 @@ void BasisLu::ftran(std::vector<double>& v, Spike* spike) const {
   const std::size_t etas = ft_tgt_.size();
   for (std::size_t e = 0; e < etas; ++e)
     y[zu(ft_tgt_[e])] -= ft_mult_[e] * y[zu(ft_src_[e])];
-  if (spike) spike->values = y;
+  if (spike) {
+    spike->values = y;
+    spike->idx.clear();
+    spike->sparse = false;
+  }
   // U back-substitution over the elimination order (in place: every row's
   // off-diagonals reference slots later in the order, already finalized).
   for (int k = m - 1; k >= 0; --k) {
@@ -285,6 +326,7 @@ void BasisLu::ftran(std::vector<double>& v, Spike* spike) const {
   }
   // Slots to basis positions.
   for (int k = 0; k < m; ++k) v[zu(pivot_pos_[zu(k)])] = y[zu(k)];
+  ++stats_.ftran_dense;
 }
 
 void BasisLu::btran(std::vector<double>& v) const {
@@ -313,6 +355,252 @@ void BasisLu::btran(std::vector<double>& v) const {
     out[zu(pivot_row_[zu(k)])] -= s;
   }
   v = out;
+  ++stats_.btran_dense;
+}
+
+void BasisLu::ftranSparse(IndexedVector& v, Spike* spike) const {
+  const int m = m_;
+  RFP_CHECK(static_cast<int>(v.val.size()) == m);
+  const long cap = reachCap();
+  bool overflow = !hyperEligible(v.idx.size());
+  const bool attempted = !overflow && !ftran_gate_.skip();
+  overflow = overflow || !attempted;
+  reach_.clear();
+
+  // All three reachability stages run before any value moves, so an
+  // overflow can still hand the untouched vector to the dense sweep.
+  std::size_t n_l = 0, n_spike = 0;
+  if (!overflow) {
+    // Stage 1: slots reachable through L from the input rows. The result
+    // support of the L pass is exactly the pivot rows of these slots.
+    for (const int r : v.idx) {
+      const int root = row_to_slot_[zu(r)];
+      if (!mark_[zu(root)]) {
+        mark_[zu(root)] = 1;
+        reach_.push_back(root);
+      }
+    }
+    std::size_t head = 0;
+    while (head < reach_.size() && !overflow) {
+      const int k = reach_[head++];
+      for (int t = l_start_[zu(k)]; t < l_start_[zu(k) + 1]; ++t) {
+        const int s = row_to_slot_[zu(l_row_[zu(t)])];
+        if (!mark_[zu(s)]) {
+          mark_[zu(s)] = 1;
+          reach_.push_back(s);
+          if (static_cast<long>(reach_.size()) > cap) {
+            overflow = true;
+            break;
+          }
+        }
+      }
+    }
+    n_l = reach_.size();
+  }
+  if (!overflow) {
+    // Stage 2: Forrest–Tomlin fill, oldest first (structural only).
+    for (std::size_t e = 0; e < ft_tgt_.size(); ++e) {
+      if (!mark_[zu(ft_src_[e])]) continue;
+      const int t = ft_tgt_[e];
+      if (!mark_[zu(t)]) {
+        mark_[zu(t)] = 1;
+        reach_.push_back(t);
+      }
+    }
+    n_spike = reach_.size();
+    if (static_cast<long>(n_spike) > cap) overflow = true;
+  }
+  if (!overflow) {
+    // Stage 3: U back-substitution closure over the column adjacency.
+    std::size_t head = 0;
+    while (head < reach_.size() && !overflow) {
+      const int j = reach_[head++];
+      for (const UEntry& e : u_cols_[zu(j)]) {
+        if (!mark_[zu(e.slot)]) {
+          mark_[zu(e.slot)] = 1;
+          reach_.push_back(e.slot);
+          if (static_cast<long>(reach_.size()) > cap) {
+            overflow = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (overflow) {
+    if (attempted) ftran_gate_.record(false);
+    for (const int k : reach_) mark_[zu(k)] = 0;
+    ftran(v.val, spike);  // counts itself as a dense solve
+    rebuildIndex(v);
+    return;
+  }
+  ftran_gate_.record(true);
+
+  // L pass in elimination order (slot index = elimination step).
+  std::sort(reach_.begin(), reach_.begin() + static_cast<std::ptrdiff_t>(n_l));
+  for (std::size_t i = 0; i < n_l; ++i) {
+    const int k = reach_[i];
+    const double piv = v.val[zu(pivot_row_[zu(k)])];
+    if (piv == 0.0) continue;
+    for (int t = l_start_[zu(k)]; t < l_start_[zu(k) + 1]; ++t)
+      v.val[zu(l_row_[zu(t)])] -= l_val_[zu(t)] * piv;
+  }
+  // Rows to slots, restoring v to all-zero (every row the L pass touched is
+  // the pivot row of a reached slot).
+  for (const int k : reach_) {
+    const int r = pivot_row_[zu(k)];
+    ywork_[zu(k)] = v.val[zu(r)];
+    v.val[zu(r)] = 0.0;
+  }
+  v.idx.clear();
+  // Forrest–Tomlin row operations, oldest first. Applied unconditionally:
+  // sources outside the reach are exact zeros, so those are no-ops.
+  for (std::size_t e = 0; e < ft_tgt_.size(); ++e)
+    ywork_[zu(ft_tgt_[e])] -= ft_mult_[e] * ywork_[zu(ft_src_[e])];
+  if (spike) {
+    if (spike->values.size() != zu(m)) {
+      spike->values.assign(zu(m), 0.0);
+    } else if (spike->sparse) {
+      for (const int k : spike->idx) spike->values[zu(k)] = 0.0;
+    } else {
+      std::fill(spike->values.begin(), spike->values.end(), 0.0);
+    }
+    spike->sparse = true;
+    spike->idx.assign(reach_.begin(), reach_.begin() + static_cast<std::ptrdiff_t>(n_spike));
+    for (const int k : spike->idx) spike->values[zu(k)] = ywork_[zu(k)];
+  }
+  // U back-substitution, descending elimination order over the reach.
+  std::sort(reach_.begin(), reach_.end(), [this](int a, int b) {
+    return order_pos_[zu(a)] > order_pos_[zu(b)];
+  });
+  for (const int s : reach_) {
+    double acc = ywork_[zu(s)];
+    for (const UEntry& e : u_rows_[zu(s)]) acc -= e.val * ywork_[zu(e.slot)];
+    ywork_[zu(s)] = acc / diag_[zu(s)];
+  }
+  // Slots to basis positions; clear the slot workspace and marks.
+  for (const int s : reach_) {
+    mark_[zu(s)] = 0;
+    const double x = ywork_[zu(s)];
+    ywork_[zu(s)] = 0.0;
+    if (x != 0.0) v.set(pivot_pos_[zu(s)], x);
+  }
+  ++stats_.ftran_sparse;
+}
+
+void BasisLu::btranSparse(IndexedVector& v) const {
+  const int m = m_;
+  RFP_CHECK(static_cast<int>(v.val.size()) == m);
+  const long cap = reachCap();
+  bool overflow = !hyperEligible(v.idx.size());
+  const bool attempted = !overflow && !btran_gate_.skip();
+  overflow = overflow || !attempted;
+  reach_.clear();
+
+  std::size_t n_u = 0;
+  if (!overflow) {
+    // Stage 1: U^T forward-substitution closure from the input slots.
+    for (const int p : v.idx) {
+      const int s = pos_to_slot_[zu(p)];
+      if (!mark_[zu(s)]) {
+        mark_[zu(s)] = 1;
+        reach_.push_back(s);
+      }
+    }
+    std::size_t head = 0;
+    while (head < reach_.size() && !overflow) {
+      const int r = reach_[head++];
+      for (const UEntry& e : u_rows_[zu(r)]) {
+        if (!mark_[zu(e.slot)]) {
+          mark_[zu(e.slot)] = 1;
+          reach_.push_back(e.slot);
+          if (static_cast<long>(reach_.size()) > cap) {
+            overflow = true;
+            break;
+          }
+        }
+      }
+    }
+    n_u = reach_.size();
+  }
+  if (!overflow) {
+    // Stage 2: transposed Forrest–Tomlin fill, newest first (structural).
+    for (std::size_t e = ft_tgt_.size(); e-- > 0;) {
+      if (!mark_[zu(ft_tgt_[e])]) continue;
+      const int s = ft_src_[e];
+      if (!mark_[zu(s)]) {
+        mark_[zu(s)] = 1;
+        reach_.push_back(s);
+      }
+    }
+    if (static_cast<long>(reach_.size()) > cap) overflow = true;
+  }
+  if (!overflow) {
+    // Stage 3: transposed-L closure — slot s's pivot row feeds the pivot
+    // rows of the (earlier) steps whose L column contains it.
+    std::size_t head = 0;
+    while (head < reach_.size() && !overflow) {
+      const int s = reach_[head++];
+      const int r = pivot_row_[zu(s)];
+      for (int t = lt_start_[zu(r)]; t < lt_start_[zu(r) + 1]; ++t) {
+        const int k = lt_slot_[zu(t)];
+        if (!mark_[zu(k)]) {
+          mark_[zu(k)] = 1;
+          reach_.push_back(k);
+          if (static_cast<long>(reach_.size()) > cap) {
+            overflow = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (overflow) {
+    if (attempted) btran_gate_.record(false);
+    for (const int k : reach_) mark_[zu(k)] = 0;
+    btran(v.val);  // counts itself as a dense solve
+    rebuildIndex(v);
+    return;
+  }
+  btran_gate_.record(true);
+
+  // Positions to slots (+= so duplicate idx entries stay harmless).
+  for (const int p : v.idx) {
+    ywork_[zu(pos_to_slot_[zu(p)])] += v.val[zu(p)];
+    v.val[zu(p)] = 0.0;
+  }
+  v.idx.clear();
+  // U^T forward substitution, ascending elimination order over the closure.
+  std::sort(reach_.begin(), reach_.begin() + static_cast<std::ptrdiff_t>(n_u),
+            [this](int a, int b) { return order_pos_[zu(a)] < order_pos_[zu(b)]; });
+  for (std::size_t i = 0; i < n_u; ++i) {
+    const int s = reach_[i];
+    double acc = ywork_[zu(s)];
+    for (const UEntry& e : u_cols_[zu(s)]) acc -= e.val * ywork_[zu(e.slot)];
+    ywork_[zu(s)] = acc / diag_[zu(s)];
+  }
+  // Transposed Forrest–Tomlin row operations, newest first.
+  for (std::size_t e = ft_tgt_.size(); e-- > 0;)
+    ywork_[zu(ft_src_[e])] -= ft_mult_[e] * ywork_[zu(ft_tgt_[e])];
+  // Slots to rows, then the transposed L ops descending the elimination
+  // steps (a step's L rows are pivoted later, so they are already final).
+  std::sort(reach_.begin(), reach_.end(), std::greater<int>());
+  for (const int s : reach_) {
+    mark_[zu(s)] = 0;
+    v.val[zu(pivot_row_[zu(s)])] = ywork_[zu(s)];
+    ywork_[zu(s)] = 0.0;
+  }
+  for (const int s : reach_) {
+    double acc = 0.0;
+    for (int t = l_start_[zu(s)]; t < l_start_[zu(s) + 1]; ++t)
+      acc += l_val_[zu(t)] * v.val[zu(l_row_[zu(t)])];
+    v.val[zu(pivot_row_[zu(s)])] -= acc;
+  }
+  for (const int s : reach_) {
+    const int r = pivot_row_[zu(s)];
+    if (v.val[zu(r)] != 0.0) v.idx.push_back(r);
+  }
+  ++stats_.btran_sparse;
 }
 
 bool BasisLu::updateColumn(int position, const Spike& spike) {
@@ -383,22 +671,32 @@ bool BasisLu::updateColumn(int position, const Spike& spike) {
   }
 
   // Stability: the new diagonal must not be dwarfed by the spike it came
-  // from, or subsequent solves lose the corresponding digits.
+  // from, or subsequent solves lose the corresponding digits. A sparse
+  // spike's support list bounds both this scan and the scatter below.
   double wmax = 0.0;
-  for (int k = 0; k < m_; ++k) wmax = std::max(wmax, std::abs(w[zu(k)]));
+  if (spike.sparse) {
+    for (const int k : spike.idx) wmax = std::max(wmax, std::abs(w[zu(k)]));
+  } else {
+    for (int k = 0; k < m_; ++k) wmax = std::max(wmax, std::abs(w[zu(k)]));
+  }
   if (std::abs(d) < std::max(opt_.abs_pivot_tol, opt_.ft_stability_tol * wmax))
     return false;  // factorization spoiled; caller refactorizes
   diag_[zu(t)] = d;
 
   // The spike becomes the new column t (all other slots precede t once it
   // moves to the end of the order, so every entry is above the diagonal).
-  for (int j = 0; j < m_; ++j) {
-    if (j == t) continue;
+  const auto scatterSpikeEntry = [&](int j) {
+    if (j == t) return;
     const double v = w[zu(j)];
-    if (std::abs(v) <= opt_.drop_tol) continue;
+    if (std::abs(v) <= opt_.drop_tol) return;
     u_cols_[zu(t)].push_back(UEntry{j, v});
     u_rows_[zu(j)].push_back(UEntry{t, v});
     ++u_nnz_;
+  };
+  if (spike.sparse) {
+    for (const int j : spike.idx) scatterSpikeEntry(j);
+  } else {
+    for (int j = 0; j < m_; ++j) scatterSpikeEntry(j);
   }
 
   // Cyclic permutation: slot t moves to the end of the elimination order.

@@ -21,11 +21,46 @@
 // branch & bound reoptimizations) run refactorization-free.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "lp/sparse/csc.hpp"
 
 namespace rfp::lp::sparse {
+
+/// Sparse vector for the hyper-sparse solve paths: `val` is a full dense
+/// array and `idx` lists the positions that may be nonzero — everything
+/// outside `idx` is exactly 0.0. Callers iterate `idx`, never the full
+/// length, and the invariant is maintained by zeroing only listed entries.
+/// Duplicate positions in `idx` are tolerated by the solves (the values are
+/// accumulated in `val`, `idx` is only a superset of the support).
+struct IndexedVector {
+  std::vector<double> val;
+  std::vector<int> idx;
+
+  /// Resets to an all-zero vector of dimension `m` (full reallocation).
+  void reset(int m) {
+    val.assign(static_cast<std::size_t>(m), 0.0);
+    idx.clear();
+  }
+  /// Zeros the listed entries; O(nnz), preserving the invariant.
+  void clear() {
+    for (const int p : idx) val[static_cast<std::size_t>(p)] = 0.0;
+    idx.clear();
+  }
+  /// Sets entry `p` to `x` and records it. `p` must not already be listed.
+  void set(int p, double x) {
+    val[static_cast<std::size_t>(p)] = x;
+    idx.push_back(p);
+  }
+  void copyFrom(const IndexedVector& o) {
+    clear();
+    if (val.size() != o.val.size()) val.assign(o.val.size(), 0.0);
+    idx = o.idx;
+    for (const int p : idx) val[static_cast<std::size_t>(p)] = o.val[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] int nnz() const noexcept { return static_cast<int>(idx.size()); }
+};
 
 class BasisLu {
  public:
@@ -41,6 +76,13 @@ class BasisLu {
     /// Factor-growth refactorization hint: `shouldRefactorize` fires when
     /// the updated factors hold this many times the fresh factor's nonzeros.
     double ft_fill_factor = 3.0;
+    /// Hyper-sparse solves take the graph-driven path only while the input
+    /// support stays below this fraction of m (else the reachability setup
+    /// costs more than the dense sweep it avoids)...
+    double hyper_input_density = 0.10;
+    /// ...and while the predicted result support (the DFS reach) stays below
+    /// this fraction of m; past it the solve falls back to the dense sweep.
+    double hyper_reach_density = 0.30;
   };
 
   BasisLu() = default;
@@ -64,7 +106,9 @@ class BasisLu {
   /// Partially solved entering column captured during `ftran`, consumed by
   /// `updateColumn`. Opaque to callers.
   struct Spike {
-    std::vector<double> values;  ///< slot space, size rows()
+    std::vector<double> values;  ///< slot space, size rows(); zero outside idx when sparse
+    std::vector<int> idx;        ///< support when captured by a hyper-sparse ftran
+    bool sparse = false;
   };
 
   /// v := B^-1 v. Input indexed by rows, output by basis positions. When
@@ -73,6 +117,24 @@ class BasisLu {
   void ftran(std::vector<double>& v, Spike* spike = nullptr) const;
   /// v := B^-T v. Input indexed by basis positions, output by rows.
   void btran(std::vector<double>& v) const;
+
+  /// Hyper-sparse v := B^-1 v. Gilbert–Peierls reachability over the L/U
+  /// nonzero graph bounds the work by the result's support instead of m;
+  /// dense inputs or large reaches fall back to the dense sweep (the result
+  /// is identical either way, `v.idx` is rebuilt to match). Not thread-safe
+  /// across concurrent solves on one BasisLu (shared DFS scratch).
+  void ftranSparse(IndexedVector& v, Spike* spike = nullptr) const;
+  /// Hyper-sparse v := B^-T v; same contract as `ftranSparse`.
+  void btranSparse(IndexedVector& v) const;
+
+  /// Which path each solve actually took, cumulative since construction.
+  struct SolveStats {
+    long ftran_sparse = 0;
+    long ftran_dense = 0;
+    long btran_sparse = 0;
+    long btran_dense = 0;
+  };
+  [[nodiscard]] const SolveStats& solveStats() const noexcept { return stats_; }
 
   /// Forrest–Tomlin update: the basis column at `position` is replaced by
   /// the entering column whose FTRAN produced `spike`. Returns false when
@@ -134,9 +196,45 @@ class BasisLu {
 
   std::vector<int> deficient_pos_, unpivoted_rows_;
 
+  // Hyper-sparse reachability structures, static between refactorizations.
+  std::vector<int> row_to_slot_;         ///< matrix row -> slot pivoting it
+  std::vector<int> lt_start_, lt_slot_;  ///< row -> slots whose L column hits it
+
   mutable std::vector<double> work_, work2_;  ///< solve scratch (size m)
   std::vector<double> upd_val_;               ///< update scratch (size m)
   std::vector<char> upd_mark_;
+
+  // Hyper-sparse solve scratch: `reach_` collects the slots the DFS proves
+  // reachable, `mark_` their membership, `ywork_` slot-space values (zero
+  // outside the current reach). Mutable like `work_`: solves are logically
+  // const but share scratch, so one BasisLu serves one thread at a time.
+  mutable std::vector<int> reach_;
+  mutable std::vector<char> mark_;
+  mutable std::vector<double> ywork_;
+  mutable SolveStats stats_;
+
+  /// Learned gate on the hyper-sparse attempt. On bases whose B^-1 is
+  /// effectively dense, every sparse-eligible input pays the structural BFS
+  /// only to overflow the reach cap and re-solve densely — pure overhead on
+  /// every solve. The gate tracks an EMA of attempt success per direction
+  /// and, while success is rare, sends eligible inputs straight to the dense
+  /// sweep, probing every 16th call so a basis drifting back toward
+  /// sparsity reopens the fast path.
+  struct HyperGate {
+    double success_ema = 1.0;  ///< optimistic: attempt until proven dense
+    unsigned tick = 0;
+    [[nodiscard]] bool skip() noexcept {
+      return success_ema < 0.25 && (tick++ % 16) != 0;
+    }
+    void record(bool success) noexcept {
+      success_ema = 0.9 * success_ema + (success ? 0.1 : 0.0);
+    }
+  };
+  mutable HyperGate ftran_gate_, btran_gate_;
+
+  [[nodiscard]] bool hyperEligible(std::size_t input_nnz) const noexcept;
+  [[nodiscard]] long reachCap() const noexcept;
+  void rebuildIndex(IndexedVector& v) const;
 };
 
 }  // namespace rfp::lp::sparse

@@ -20,10 +20,17 @@ class Worker {
       : opt_(opt), f_(model, lb, ub, csc) {
     bs_.lu = BasisLu(opt_.lu);
     weights_.assign(uz(f_.nn), 1.0);
-    alpha_.resize(uz(f_.m));
-    rho_.resize(uz(f_.m));
-    tau_.resize(uz(f_.m));
+    alpha_.reset(f_.m);
+    rho_.reset(f_.m);
+    tau_.reset(f_.m);
     cb_.resize(uz(f_.m));
+    dual_.resize(uz(f_.m));
+    arow_.assign(uz(f_.nn), 0.0);
+    colmark_.assign(uz(f_.nn), 0);
+    if (opt_.core.telemetry && opt_.core.telemetry->metrics) {
+      ftran_hist_ = &opt_.core.telemetry->metrics->histogram("lp.ftran_density_permille");
+      btran_hist_ = &opt_.core.telemetry->metrics->histogram("lp.btran_density_permille");
+    }
   }
 
   LpStatus run(const Basis* warm, LpResult& out, const Deadline& deadline) {
@@ -64,6 +71,12 @@ class Worker {
     out.primal_pivots = primal_pivots_;
     out.bound_flips = bound_flips_;
     out.ft_updates = ft_updates_;
+    const BasisLu::SolveStats& ss = bs_.lu.solveStats();
+    out.ftran_sparse = ss.ftran_sparse;
+    out.ftran_dense = ss.ftran_dense;
+    out.btran_sparse = ss.btran_sparse;
+    out.btran_dense = ss.btran_dense;
+    out.dse_updates = dse_updates_;
     if (status != LpStatus::kOptimal) return status;
 
     // Extract the primal point (structural variables only).
@@ -125,9 +138,10 @@ class Worker {
         for (int p = 0; p < f_.m; ++p) cb_[uz(p)] = f_.cost[uz(bs_.basic[uz(p)])];
       }
 
-      // Duals and pricing.
-      rho_ = cb_;
-      bs_.lu.btran(rho_);  // rho_ now holds y (row space)
+      // Duals and pricing. The dual vector is structurally dense (the basic
+      // cost row rarely has small support), so it keeps the dense sweep.
+      dual_ = cb_;
+      bs_.lu.btran(dual_);  // dual_ now holds y (row space)
       const bool bland = degenerate_streak > opt_.core.bland_after_degenerate;
       int enter = -1;
       double enter_d = 0.0;
@@ -136,7 +150,7 @@ class Worker {
         if (bs_.status[uz(j)] == VarStatus::kBasic) continue;
         if (f_.lo[uz(j)] == f_.up[uz(j)]) continue;  // fixed
         const double cj = phase1 ? 0.0 : f_.cost[uz(j)];
-        const double d = cj - f_.columnDot(rho_, j);
+        const double d = cj - f_.columnDot(dual_, j);
         const VarStatus s = bs_.status[uz(j)];
         const bool eligible = (s == VarStatus::kAtLower && d < -opt_.core.cost_tol) ||
                               (s == VarStatus::kAtUpper && d > opt_.core.cost_tol) ||
@@ -162,51 +176,88 @@ class Worker {
               ? -1.0
               : (bs_.status[uz(enter)] == VarStatus::kFree && enter_d > 0 ? -1.0 : 1.0);
       f_.scatterColumn(enter, alpha_);
-      bs_.lu.ftran(alpha_, &spike_);
+      bs_.lu.ftranSparse(alpha_, &spike_);
+      if (ftran_hist_) ftran_hist_->record(densityPermille(alpha_));
 
-      // ---- bounded ratio test (phase-aware) ----
-      const double lo_e = f_.lo[uz(enter)];
-      const double up_e = f_.up[uz(enter)];
-      double t_best = (finiteLo(lo_e) && finiteUp(up_e)) ? up_e - lo_e : kInfinity;
-      int block = -1;
-      bool leave_upper = false;
-      double best_mag = 0.0;
-      for (int p = 0; p < f_.m; ++p) {
-        const double apv = alpha_[uz(p)];
-        if (std::abs(apv) <= opt_.core.pivot_tol) continue;
+      // ---- ratio test (phase-aware, over alpha's support only) ----
+      // `relax` loosens the blocking bound: 0 gives the exact ratio, a
+      // positive value the Harris pass-1 relaxed one. Returns false when the
+      // row cannot block.
+      const auto rowRatio = [&](int p, double relax, double& t, bool& at_upper) -> bool {
+        const double apv = alpha_.val[uz(p)];
+        if (std::abs(apv) <= opt_.core.pivot_tol) return false;
         const double delta = -dir * apv;  // d xB_p / dt
         const int b = bs_.basic[uz(p)];
         const double v = bs_.xb[uz(p)];
-        double t;
-        bool at_upper;
         const Feas fe = phase1 ? classify(p) : Feas::kOk;
         if (fe == Feas::kBelow) {
           // Infeasible basics block only where they regain feasibility.
-          if (delta <= 0) continue;
-          t = (f_.lo[uz(b)] - v) / delta;
+          if (delta <= 0) return false;
+          t = (f_.lo[uz(b)] - v + relax) / delta;
           at_upper = false;
         } else if (fe == Feas::kAbove) {
-          if (delta >= 0) continue;
-          t = (v - f_.up[uz(b)]) / (-delta);
+          if (delta >= 0) return false;
+          t = (v - f_.up[uz(b)] + relax) / (-delta);
           at_upper = true;
         } else if (delta > 0) {
-          if (!finiteUp(f_.up[uz(b)])) continue;
-          t = (f_.up[uz(b)] - v) / delta;
+          if (!finiteUp(f_.up[uz(b)])) return false;
+          t = (f_.up[uz(b)] - v + relax) / delta;
           at_upper = true;
         } else {
-          if (!finiteLo(f_.lo[uz(b)])) continue;
-          t = (v - f_.lo[uz(b)]) / (-delta);
+          if (!finiteLo(f_.lo[uz(b)])) return false;
+          t = (v - f_.lo[uz(b)] + relax) / (-delta);
           at_upper = false;
         }
-        t = std::max(0.0, t);
-        const bool tie = t < t_best + 1e-12 && block >= 0;
-        const bool better = bland ? (t < t_best - 1e-12 || (tie && b < bs_.basic[uz(block)]))
-                                  : (t < t_best - 1e-12 || (tie && std::abs(apv) > best_mag));
-        if (better) {
-          t_best = t;
-          block = p;
-          leave_upper = at_upper;
-          best_mag = std::abs(apv);
+        return true;
+      };
+
+      const double lo_e = f_.lo[uz(enter)];
+      const double up_e = f_.up[uz(enter)];
+      const double t_flip = (finiteLo(lo_e) && finiteUp(up_e)) ? up_e - lo_e : kInfinity;
+      double t_best = t_flip;
+      int block = -1;
+      bool leave_upper = false;
+      if (bland) {
+        // Bland keeps the classic single pass: its anti-cycling argument
+        // needs the minimum-ratio / lowest-index choice.
+        for (const int p : alpha_.idx) {
+          double t;
+          bool at_upper;
+          if (!rowRatio(p, 0.0, t, at_upper)) continue;
+          t = std::max(0.0, t);
+          const bool tie = t < t_best + 1e-12 && block >= 0;
+          if (t < t_best - 1e-12 || (tie && bs_.basic[uz(p)] < bs_.basic[uz(block)])) {
+            t_best = t;
+            block = p;
+            leave_upper = at_upper;
+          }
+        }
+      } else {
+        // Harris two-pass: pass 1 bounds the step with feas_tol-relaxed
+        // ratios, pass 2 takes the largest pivot whose exact ratio fits —
+        // trading a feas_tol-bounded overshoot for numerical stability on
+        // the degenerate ties the floorplanning models are full of.
+        double theta_max = t_flip;
+        for (const int p : alpha_.idx) {
+          double t;
+          bool at_upper;
+          if (!rowRatio(p, opt_.core.feas_tol, t, at_upper)) continue;
+          theta_max = std::min(theta_max, std::max(0.0, t));
+        }
+        double best_mag = 0.0;
+        for (const int p : alpha_.idx) {
+          double t;
+          bool at_upper;
+          if (!rowRatio(p, 0.0, t, at_upper)) continue;
+          t = std::max(0.0, t);
+          if (t > theta_max) continue;
+          const double mag = std::abs(alpha_.val[uz(p)]);
+          if (block < 0 || mag > best_mag) {
+            t_best = t;
+            block = p;
+            leave_upper = at_upper;
+            best_mag = mag;
+          }
         }
       }
 
@@ -223,7 +274,7 @@ class Worker {
           return LpStatus::kInfeasible;
         }
         // Bound flip: the entering variable crosses to its other bound.
-        for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= dir * t_best * alpha_[uz(p)];
+        for (const int p : alpha_.idx) bs_.xb[uz(p)] -= dir * t_best * alpha_.val[uz(p)];
         bs_.status[uz(enter)] = bs_.status[uz(enter)] == VarStatus::kAtUpper
                                     ? VarStatus::kAtLower
                                     : VarStatus::kAtUpper;
@@ -236,10 +287,12 @@ class Worker {
       // Numerical cross-check: the pivot element via the row (BTRAN) and the
       // column (FTRAN) computations must agree; disagreement means the
       // factors have degraded — refactorize and redo this iteration.
-      scatterUnit(block, rho_);
-      bs_.lu.btran(rho_);  // rho_ now holds the pivot row multipliers
-      const double pivot_col = alpha_[uz(block)];
-      const double pivot_row = f_.columnDot(rho_, enter);
+      rho_.clear();
+      rho_.set(block, 1.0);
+      bs_.lu.btranSparse(rho_);  // rho_ now holds the pivot row multipliers
+      if (btran_hist_) btran_hist_->record(densityPermille(rho_));
+      const double pivot_col = alpha_.val[uz(block)];
+      const double pivot_row = f_.columnDot(rho_.val, enter);
       if (std::abs(pivot_row - pivot_col) > 1e-7 * (1.0 + std::abs(pivot_col))) {
         if (consecutive_recoveries++ < 2) {
           bs_.refactorize(f_);
@@ -255,14 +308,14 @@ class Worker {
       // Steepest edge needs tau = B^-T (B^-1 a_q) through the old factors.
       const bool pse = !bland && opt_.pricing == Pricing::kSteepestEdge;
       if (pse) {
-        tau_ = alpha_;
-        bs_.lu.btran(tau_);
+        tau_.copyFrom(alpha_);
+        bs_.lu.btranSparse(tau_);
       }
 
       // ---- apply the pivot ----
       const int leaving = bs_.basic[uz(block)];
       const double enter_val = bs_.nonbasicValue(f_, enter) + dir * t_best;
-      for (int p = 0; p < f_.m; ++p) bs_.xb[uz(p)] -= dir * t_best * alpha_[uz(p)];
+      for (const int p : alpha_.idx) bs_.xb[uz(p)] -= dir * t_best * alpha_.val[uz(p)];
       bs_.status[uz(leaving)] = leave_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
       bs_.basic[uz(block)] = enter;
       bs_.status[uz(enter)] = VarStatus::kBasic;
@@ -272,30 +325,53 @@ class Worker {
         opt_.core.telemetry->trace->instant("lp", "pivot", "phase", phase1 ? 1.0 : 2.0, "kind",
                                             "primal");
 
-      // Reference-weight update from the pivot row (already in rho_).
+      // Reference-weight update from the pivot row (already in rho_). The
+      // CSR mirror confines the pass to columns intersecting rho's support
+      // — every other column has a zero alpha-row entry and keeps its
+      // weight, exactly as the old full columnDot sweep concluded at O(nnz).
       if (!bland) {
         const double arq = pivot_col;
         const double arq2 = arq * arq;
         const double wq = weights_[uz(enter)];
-        for (int j = 0; j < f_.nn; ++j) {
-          if (bs_.status[uz(j)] == VarStatus::kBasic) continue;
-          if (j == leaving) {
-            weights_[uz(j)] = std::max(wq / arq2, 1.0);
-            continue;
+        coltouch_.clear();
+        for (const int i : rho_.idx) {
+          const double rv = rho_.val[uz(i)];
+          if (rv == 0.0) continue;
+          for (int k = f_.rptr[uz(i)]; k < f_.rptr[uz(i) + 1]; ++k) {
+            const int j = f_.rcol[uz(k)];
+            if (!colmark_[uz(j)]) {
+              colmark_[uz(j)] = 1;
+              arow_[uz(j)] = 0.0;
+              coltouch_.push_back(j);
+            }
+            arow_[uz(j)] += f_.rval[uz(k)] * rv;
           }
-          const double ar = f_.columnDot(rho_, j);
+          const int js = f_.n + i;  // slack column of row i is the unit e_i
+          if (!colmark_[uz(js)]) {
+            colmark_[uz(js)] = 1;
+            arow_[uz(js)] = 0.0;
+            coltouch_.push_back(js);
+          }
+          arow_[uz(js)] += rv;
+        }
+        for (const int j : coltouch_) {
+          colmark_[uz(j)] = 0;
+          if (j == leaving || bs_.status[uz(j)] == VarStatus::kBasic) continue;
+          const double ar = arow_[uz(j)];
           if (ar == 0.0) continue;
           const double r = ar / arq;
           if (pse) {
             // Forrest–Goldfarb: gamma_j' = gamma_j - 2 r (a_j . tau) + r^2
             // gamma_q, floored at the exact lower bound 1 + r^2.
             const double g =
-                weights_[uz(j)] - 2.0 * r * f_.columnDot(tau_, j) + r * r * wq;
+                weights_[uz(j)] - 2.0 * r * f_.columnDot(tau_.val, j) + r * r * wq;
             weights_[uz(j)] = std::max(g, 1.0 + r * r);
           } else {
             weights_[uz(j)] = std::max(weights_[uz(j)], r * r * wq);
           }
         }
+        weights_[uz(leaving)] = std::max(wq / arq2, 1.0);
+        ++dse_updates_;
         if (weights_[uz(leaving)] > 1e12) std::fill(weights_.begin(), weights_.end(), 1.0);
       }
 
@@ -319,9 +395,8 @@ class Worker {
     }
   }
 
-  static void scatterUnit(int p, std::vector<double>& v) {
-    std::fill(v.begin(), v.end(), 0.0);
-    v[uz(p)] = 1.0;
+  [[nodiscard]] double densityPermille(const IndexedVector& v) const {
+    return 1000.0 * static_cast<double>(v.idx.size()) / static_cast<double>(f_.m);
   }
 
   RevisedSimplexSolver::Options opt_;
@@ -330,9 +405,16 @@ class Worker {
   long primal_pivots_ = 0;
   long bound_flips_ = 0;
   long ft_updates_ = 0;
+  long dse_updates_ = 0;
 
   std::vector<double> weights_;  ///< pricing reference weights (Devex or PSE)
-  std::vector<double> alpha_, rho_, tau_, cb_;
+  IndexedVector alpha_, rho_, tau_;  ///< hyper-sparse solve vectors
+  std::vector<double> cb_, dual_;    ///< basic cost row and dual sweep (dense)
+  std::vector<double> arow_;         ///< pivot-row scatter over columns (size nn)
+  std::vector<char> colmark_;
+  std::vector<int> coltouch_;
+  telemetry::Histogram* ftran_hist_ = nullptr;
+  telemetry::Histogram* btran_hist_ = nullptr;
   BasisLu::Spike spike_;
 };
 

@@ -39,6 +39,13 @@ struct StandardForm {
   std::vector<double> rhs;
   std::vector<double> cost;  ///< phase-2 costs, minimization sense (slacks zero)
 
+  // Row-wise mirror of `a` (CSR), built once per solve/tree. The engines use
+  // it to scatter a hyper-sparse pivot row rho into column space touching
+  // only the columns that intersect rho's support, instead of an
+  // O(nnz(A)) columnDot pass over every column.
+  std::vector<int> rptr, rcol;
+  std::vector<double> rval;
+
   /// `cached`, when non-null, must be the CSC form of `model`'s constraint
   /// matrix (callers reuse one across a branch & bound tree's node solves);
   /// otherwise the matrix is built here.
@@ -78,6 +85,17 @@ struct StandardForm {
       v[uz(a->idx[uz(k)])] = a->val[uz(k)];
   }
 
+  /// Sparse scatter of column j into an indexed vector (cleared first).
+  void scatterColumn(int j, IndexedVector& v) const {
+    v.clear();
+    if (j >= n) {
+      v.set(j - n, 1.0);
+      return;
+    }
+    for (int k = a->ptr[uz(j)]; k < a->ptr[uz(j) + 1]; ++k)
+      v.set(a->idx[uz(k)], a->val[uz(k)]);
+  }
+
   /// v += t * (column j).
   void addColumn(int j, double t, std::vector<double>& v) const {
     if (t == 0.0) return;
@@ -98,6 +116,7 @@ struct BasisState {
   std::vector<double> xb;          ///< basic values per row position
   BasisLu lu;
   long refactorizations = 0;
+  long repairs = 0;  ///< singular-basis slack swaps (changes B outside a pivot)
   bool warm_started = false;
 
   [[nodiscard]] VarStatus defaultStatus(const StandardForm& f, int j) const {

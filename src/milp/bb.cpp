@@ -198,6 +198,11 @@ class Search {
     res.lp_bound_flips = lp_bound_flips_;
     res.lp_ft_updates = lp_ft_updates_;
     res.lp_dual_reopts = lp_dual_reopts_;
+    res.lp_ftran_sparse = lp_ftran_sparse_;
+    res.lp_ftran_dense = lp_ftran_dense_;
+    res.lp_btran_sparse = lp_btran_sparse_;
+    res.lp_btran_dense = lp_btran_dense_;
+    res.lp_dse_updates = lp_dse_updates_;
     return res;
   }
 
@@ -292,6 +297,11 @@ class Search {
         lp_bound_flips_ += declined.bound_flips;
         lp_ft_updates_ += declined.ft_updates;
         lp_refactorizations_ += declined.refactorizations;
+        lp_ftran_sparse_ += declined.ftran_sparse;
+        lp_ftran_dense_ += declined.ftran_dense;
+        lp_btran_sparse_ += declined.btran_sparse;
+        lp_btran_dense_ += declined.btran_dense;
+        lp_dse_updates_ += declined.dse_updates;
       }
     }
     if (!solved) {
@@ -308,6 +318,11 @@ class Search {
     lp_bound_flips_ += rel.bound_flips;
     lp_ft_updates_ += rel.ft_updates;
     lp_dual_reopts_ += rel.dual_reopt ? 1 : 0;
+    lp_ftran_sparse_ += rel.ftran_sparse;
+    lp_ftran_dense_ += rel.ftran_dense;
+    lp_btran_sparse_ += rel.btran_sparse;
+    lp_btran_dense_ += rel.btran_dense;
+    lp_dse_updates_ += rel.dse_updates;
     ++lp_solves_;
     if (lp_solves_ctr_ != nullptr) {
       lp_solves_ctr_->increment();
@@ -431,6 +446,11 @@ class Search {
   long lp_bound_flips_ = 0;
   long lp_ft_updates_ = 0;
   long lp_dual_reopts_ = 0;
+  long lp_ftran_sparse_ = 0;
+  long lp_ftran_dense_ = 0;
+  long lp_btran_sparse_ = 0;
+  long lp_btran_dense_ = 0;
+  long lp_dse_updates_ = 0;
   /// Structural CSC matrix shared by every node solve of this tree (sparse
   /// engine only; null on the dense path).
   std::shared_ptr<const lp::sparse::CscMatrix> csc_;
@@ -476,6 +496,11 @@ MipResult MilpSolver::solve(const lp::Model& model,
     res.lp_dual_pivots = rel.dual_pivots;
     res.lp_bound_flips = rel.bound_flips;
     res.lp_ft_updates = rel.ft_updates;
+    res.lp_ftran_sparse = rel.ftran_sparse;
+    res.lp_ftran_dense = rel.ftran_dense;
+    res.lp_btran_sparse = rel.btran_sparse;
+    res.lp_btran_dense = rel.btran_dense;
+    res.lp_dse_updates = rel.dse_updates;
     res.seconds = rel.seconds;
     switch (rel.status) {
       case lp::LpStatus::kOptimal:
@@ -522,6 +547,7 @@ MipResult MilpSolver::solve(const lp::Model& model,
 
   long cut_solves = 0, cut_iters = 0, cut_refacs = 0;
   long cut_primal = 0, cut_flips = 0, cut_fts = 0;
+  long cut_ftran_sp = 0, cut_ftran_dn = 0, cut_btran_sp = 0, cut_btran_dn = 0;
   if (options_.enable_cover_cuts) {
     telemetry::Span cuts_span(options_.telemetry, "milp", "cover_cuts");
     for (int round = 0; round < options_.cut_rounds; ++round) {
@@ -536,6 +562,10 @@ MipResult MilpSolver::solve(const lp::Model& model,
       cut_primal += rel.primal_pivots;
       cut_flips += rel.bound_flips;
       cut_fts += rel.ft_updates;
+      cut_ftran_sp += rel.ftran_sparse;
+      cut_ftran_dn += rel.ftran_dense;
+      cut_btran_sp += rel.btran_sparse;
+      cut_btran_dn += rel.btran_dense;
       if (rel.status != lp::LpStatus::kOptimal) break;
       const std::vector<CoverCut> cuts = separateCoverCuts(work, rel.x);
       if (cuts.empty()) break;
@@ -566,6 +596,10 @@ MipResult MilpSolver::solve(const lp::Model& model,
   res.lp_primal_pivots += cut_primal;
   res.lp_bound_flips += cut_flips;
   res.lp_ft_updates += cut_fts;
+  res.lp_ftran_sparse += cut_ftran_sp;
+  res.lp_ftran_dense += cut_ftran_dn;
+  res.lp_btran_sparse += cut_btran_sp;
+  res.lp_btran_dense += cut_btran_dn;
   return res;
 }
 

@@ -76,6 +76,13 @@ struct MipResult {
   long lp_bound_flips = 0;      ///< bound-to-bound moves without a basis change
   long lp_ft_updates = 0;       ///< Forrest–Tomlin factor updates applied
   long lp_dual_reopts = 0;      ///< node solves answered by the dual fast path
+  // Hyper-sparse kernel telemetry: which path the triangular solves took,
+  // and how many exact steepest-edge weight updates ran.
+  long lp_ftran_sparse = 0;     ///< FTRANs through the graph-driven sparse path
+  long lp_ftran_dense = 0;      ///< FTRANs through the dense sweep
+  long lp_btran_sparse = 0;     ///< BTRANs through the graph-driven sparse path
+  long lp_btran_dense = 0;      ///< BTRANs through the dense sweep
+  long lp_dse_updates = 0;      ///< steepest-edge weight recurrence applications
   // Incumbent-exchange telemetry (zero without the callbacks below).
   long external_adoptions = 0;  ///< external incumbents adopted as the cutoff
   long cutoff_prunes = 0;       ///< nodes pruned against an external cutoff

@@ -332,6 +332,11 @@ class PWorker {
   long lp_bound_flips = 0;
   long lp_ft_updates = 0;
   long lp_dual_reopts = 0;
+  long lp_ftran_sparse = 0;
+  long lp_ftran_dense = 0;
+  long lp_btran_sparse = 0;
+  long lp_btran_dense = 0;
+  long lp_dse_updates = 0;
 
  private:
   NodeDeque& deque() { return *shared_.deques[static_cast<std::size_t>(id_)]; }
@@ -436,6 +441,11 @@ class PWorker {
         lp_bound_flips += declined.bound_flips;
         lp_ft_updates += declined.ft_updates;
         lp_refactorizations += declined.refactorizations;
+        lp_ftran_sparse += declined.ftran_sparse;
+        lp_ftran_dense += declined.ftran_dense;
+        lp_btran_sparse += declined.btran_sparse;
+        lp_btran_dense += declined.btran_dense;
+        lp_dse_updates += declined.dse_updates;
       }
     }
     if (!solved) {
@@ -454,6 +464,11 @@ class PWorker {
     lp_bound_flips += rel.bound_flips;
     lp_ft_updates += rel.ft_updates;
     lp_dual_reopts += rel.dual_reopt ? 1 : 0;
+    lp_ftran_sparse += rel.ftran_sparse;
+    lp_ftran_dense += rel.ftran_dense;
+    lp_btran_sparse += rel.btran_sparse;
+    lp_btran_dense += rel.btran_dense;
+    lp_dse_updates += rel.dse_updates;
     ++stats_.lp_solves;
     if (lp_solves_ctr_ != nullptr) {
       lp_solves_ctr_->increment();
@@ -664,6 +679,11 @@ MipResult runParallelSearch(const lp::Model& model, const MilpSolver::Options& o
     res.lp_bound_flips += w->lp_bound_flips;
     res.lp_ft_updates += w->lp_ft_updates;
     res.lp_dual_reopts += w->lp_dual_reopts;
+    res.lp_ftran_sparse += w->lp_ftran_sparse;
+    res.lp_ftran_dense += w->lp_ftran_dense;
+    res.lp_btran_sparse += w->lp_btran_sparse;
+    res.lp_btran_dense += w->lp_btran_dense;
+    res.lp_dse_updates += w->lp_dse_updates;
   }
   res.external_adoptions = shared.external_adoptions.load(std::memory_order_relaxed);
   res.cutoff_prunes = shared.cutoff_prunes.load(std::memory_order_relaxed);

@@ -218,6 +218,183 @@ TEST(SparseLu, ForrestTomlinSurvivesFiftyUpdates) {
   EXPECT_EQ(lu.updateCount(), updates);
 }
 
+TEST(SparseLu, HyperSparseSolvesMatchDenseAcrossFtUpdates) {
+  // The graph-driven FTRAN/BTRAN must agree with the dense sweeps on the
+  // same factors — including after a long Forrest–Tomlin chain, where the
+  // eta file participates in the structural reachability pass — and must
+  // uphold the IndexedVector contract (values exactly zero off the index).
+  Rng rng(5150);
+  const int n = 60;
+  const int rows = 70;
+  const Model m = randomSparseModel(rng, n, rows);
+  const CscMatrix a = CscMatrix::fromModel(m);
+  std::vector<int> basic(static_cast<std::size_t>(rows));
+  for (int p = 0; p < rows; ++p) basic[static_cast<std::size_t>(p)] = n + p;  // slack basis
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basic));
+
+  const auto checkAgainstDense = [&](int updates) {
+    for (int rep = 0; rep < 6; ++rep) {
+      // 1-2 structural nonzeros: within the hyper-sparse input gate.
+      sparse::IndexedVector v;
+      v.reset(rows);
+      v.set(static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(rows))), 2.0);
+      const int extra = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(rows)));
+      if (v.val[static_cast<std::size_t>(extra)] == 0.0) v.set(extra, -3.0);
+      std::vector<double> dense_in = v.val;
+
+      sparse::IndexedVector fs = v;
+      lu.ftranSparse(fs);
+      std::vector<double> fd = dense_in;
+      lu.ftran(fd);
+      std::vector<char> listed(static_cast<std::size_t>(rows), 0);
+      for (const int p : fs.idx) listed[static_cast<std::size_t>(p)] = 1;
+      for (int p = 0; p < rows; ++p) {
+        EXPECT_NEAR(fs.val[static_cast<std::size_t>(p)], fd[static_cast<std::size_t>(p)], 1e-7)
+            << "ftran after " << updates << " updates, pos " << p;
+        if (!listed[static_cast<std::size_t>(p)])
+          EXPECT_EQ(fs.val[static_cast<std::size_t>(p)], 0.0)
+              << "unlisted entry must be exactly zero, pos " << p;
+      }
+
+      sparse::IndexedVector bs = v;
+      lu.btranSparse(bs);
+      std::vector<double> bd = dense_in;
+      lu.btran(bd);
+      std::fill(listed.begin(), listed.end(), 0);
+      for (const int p : bs.idx) listed[static_cast<std::size_t>(p)] = 1;
+      for (int p = 0; p < rows; ++p) {
+        EXPECT_NEAR(bs.val[static_cast<std::size_t>(p)], bd[static_cast<std::size_t>(p)], 1e-7)
+            << "btran after " << updates << " updates, pos " << p;
+        if (!listed[static_cast<std::size_t>(p)])
+          EXPECT_EQ(bs.val[static_cast<std::size_t>(p)], 0.0)
+              << "unlisted entry must be exactly zero, pos " << p;
+      }
+    }
+  };
+
+  checkAgainstDense(0);
+  std::vector<char> in_basis(static_cast<std::size_t>(n), 0);
+  int updates = 0;
+  for (int attempt = 0; attempt < 400 && updates < 50; ++attempt) {
+    const int c = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    if (in_basis[static_cast<std::size_t>(c)]) continue;
+    std::vector<double> alpha(static_cast<std::size_t>(rows), 0.0);
+    for (int k = a.ptr[static_cast<std::size_t>(c)]; k < a.ptr[static_cast<std::size_t>(c) + 1]; ++k)
+      alpha[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] =
+          a.val[static_cast<std::size_t>(k)];
+    BasisLu::Spike spike;
+    lu.ftran(alpha, &spike);
+    int p_best = 0;
+    for (int p = 1; p < rows; ++p)
+      if (std::abs(alpha[static_cast<std::size_t>(p)]) >
+          std::abs(alpha[static_cast<std::size_t>(p_best)]))
+        p_best = p;
+    if (std::abs(alpha[static_cast<std::size_t>(p_best)]) < 1e-6) continue;
+    ASSERT_TRUE(lu.updateColumn(p_best, spike)) << "update " << updates;
+    const int displaced = basic[static_cast<std::size_t>(p_best)];
+    if (displaced < n) in_basis[static_cast<std::size_t>(displaced)] = 0;
+    basic[static_cast<std::size_t>(p_best)] = c;
+    in_basis[static_cast<std::size_t>(c)] = 1;
+    ++updates;
+    if (updates % 10 == 0 || updates >= 50) checkAgainstDense(updates);
+  }
+  EXPECT_GE(updates, 50);
+  // Near-unit inputs on a slack-heavy basis must actually take the sparse
+  // path — a silent everything-falls-dense regression defeats the kernel.
+  const BasisLu::SolveStats& ss = lu.solveStats();
+  EXPECT_GT(ss.ftran_sparse, 0);
+  EXPECT_GT(ss.btran_sparse, 0);
+}
+
+TEST(SparseLu, SteepestEdgeRecurrenceMatchesFromScratchRowNorms) {
+  // The Forrest–Goldfarb recurrence the dual engine maintains —
+  //   beta_p' = beta_p - 2 (alpha_p / alpha_r) tau_p + (alpha_p / alpha_r)^2 beta_r,
+  //   beta_r' = beta_r / alpha_r^2,  with tau = B^-1 rho_r through the OLD
+  // factors — must track the exact row norms beta_p = ||B^-T e_p||^2 across
+  // a chain of basis changes. This is the weight-exactness contract that
+  // lets DualReoptimizer persist weights across warm reoptimizations.
+  Rng rng(90210);
+  const int n = 40;
+  const int rows = 45;
+  const Model m = randomSparseModel(rng, n, rows);
+  const CscMatrix a = CscMatrix::fromModel(m);
+  std::vector<int> basic(static_cast<std::size_t>(rows));
+  for (int p = 0; p < rows; ++p) basic[static_cast<std::size_t>(p)] = n + p;
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basic));
+
+  const auto exactBetas = [&]() {
+    std::vector<double> beta(static_cast<std::size_t>(rows));
+    sparse::IndexedVector rho;
+    rho.reset(rows);
+    for (int p = 0; p < rows; ++p) {
+      rho.clear();
+      rho.set(p, 1.0);
+      lu.btranSparse(rho);
+      double s = 0.0;
+      for (const int i : rho.idx)
+        s += rho.val[static_cast<std::size_t>(i)] * rho.val[static_cast<std::size_t>(i)];
+      beta[static_cast<std::size_t>(p)] = s;
+    }
+    return beta;
+  };
+
+  std::vector<double> beta = exactBetas();  // exact at the starting basis
+  std::vector<char> in_basis(static_cast<std::size_t>(n), 0);
+  sparse::IndexedVector alpha, rho, tau;
+  alpha.reset(rows);
+  rho.reset(rows);
+  tau.reset(rows);
+  int pivots = 0;
+  for (int attempt = 0; attempt < 200 && pivots < 12; ++attempt) {
+    const int c = static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    if (in_basis[static_cast<std::size_t>(c)]) continue;
+    alpha.clear();
+    for (int k = a.ptr[static_cast<std::size_t>(c)]; k < a.ptr[static_cast<std::size_t>(c) + 1]; ++k)
+      alpha.set(a.idx[static_cast<std::size_t>(k)], a.val[static_cast<std::size_t>(k)]);
+    BasisLu::Spike spike;
+    lu.ftranSparse(alpha, &spike);
+    int r = 0;
+    for (int p = 1; p < rows; ++p)
+      if (std::abs(alpha.val[static_cast<std::size_t>(p)]) >
+          std::abs(alpha.val[static_cast<std::size_t>(r)]))
+        r = p;
+    const double ar = alpha.val[static_cast<std::size_t>(r)];
+    if (std::abs(ar) < 1e-4) continue;
+
+    // Recurrence inputs through the factors *before* the update.
+    rho.clear();
+    rho.set(r, 1.0);
+    lu.btranSparse(rho);
+    tau.copyFrom(rho);
+    lu.ftranSparse(tau);
+    const double beta_r = beta[static_cast<std::size_t>(r)];
+    for (int p = 0; p < rows; ++p) {
+      if (p == r) continue;
+      const double q = alpha.val[static_cast<std::size_t>(p)] / ar;
+      if (q == 0.0) continue;
+      beta[static_cast<std::size_t>(p)] +=
+          -2.0 * q * tau.val[static_cast<std::size_t>(p)] + q * q * beta_r;
+    }
+    beta[static_cast<std::size_t>(r)] = beta_r / (ar * ar);
+
+    ASSERT_TRUE(lu.updateColumn(r, spike)) << "pivot " << pivots;
+    const int displaced = basic[static_cast<std::size_t>(r)];
+    if (displaced < n) in_basis[static_cast<std::size_t>(displaced)] = 0;
+    basic[static_cast<std::size_t>(r)] = c;
+    in_basis[static_cast<std::size_t>(c)] = 1;
+    ++pivots;
+
+    const std::vector<double> fresh = exactBetas();
+    for (int p = 0; p < rows; ++p)
+      EXPECT_NEAR(beta[static_cast<std::size_t>(p)], fresh[static_cast<std::size_t>(p)],
+                  1e-5 * (1.0 + std::abs(fresh[static_cast<std::size_t>(p)])))
+          << "pivot " << pivots << " row " << p;
+  }
+  EXPECT_GE(pivots, 10);
+}
+
 // ---- revised simplex unit cases (mirroring the dense suite) ----------------
 
 TEST(SparseSimplex, TextbookMaximization) {
@@ -905,6 +1082,79 @@ TEST(SparseFormulation, RootRelaxationAgreesWithDenseOnGeneratedInstances) {
     ++exercised;
   }
   EXPECT_GE(exercised, 1) << "generator produced no solvable instance";
+}
+
+TEST(SparseFormulation, DegenerateDiveStaysOnDualPathUnderSteepestEdge) {
+  // Regression for the SDR3 failure mode: floorplanning formulations are
+  // hyper-degenerate, and dual Devex row pricing used to wander past the
+  // effort budget on their node reoptimizations — tripping the give-up
+  // circuit breaker and dumping the dive onto the primal fallback. With
+  // exact steepest-edge pricing (the default) a branch & bound style dive
+  // must stay on the dual fast path: every node answered, no declines.
+  Rng rng(64);
+  const device::Device dev = device::virtex5FX70T();
+  model::GeneratorOptions gopt;
+  gopt.num_regions = 3;
+  gopt.num_nets = 2;
+  std::optional<model::FloorplanProblem> problem;
+  for (gopt.seed = 1; gopt.seed <= 16 && !problem; ++gopt.seed)
+    problem = model::generateProblem(dev, gopt);
+  ASSERT_TRUE(problem.has_value());
+  const auto part = partition::columnarPartition(dev);
+  ASSERT_TRUE(part.has_value());
+  fp::MilpFormulation formulation(*problem, *part, {});
+  const lp::Model& m = formulation.model();
+
+  const auto csc =
+      std::make_shared<const lp::sparse::CscMatrix>(lp::sparse::CscMatrix::fromModel(m));
+  lp::LpSolver::Options opt;
+  opt.engine = lp::LpEngine::kSparse;
+  const lp::LpResult root = lp::LpSolver(opt).solve(m);
+  ASSERT_EQ(root.status, lp::LpStatus::kOptimal);
+  ASSERT_NE(root.basis, nullptr);
+
+  lp::sparse::DualReoptimizer reopt(m, csc, {});
+  std::vector<double> lb(static_cast<std::size_t>(m.numVars()));
+  std::vector<double> ub(static_cast<std::size_t>(m.numVars()));
+  for (int j = 0; j < m.numVars(); ++j) {
+    lb[static_cast<std::size_t>(j)] = m.var(j).lb;
+    ub[static_cast<std::size_t>(j)] = m.var(j).ub;
+  }
+  std::shared_ptr<const lp::sparse::Basis> basis = root.basis;
+  std::vector<double> x = root.x;
+  int nodes = 0;
+  long dse_updates = 0;
+  long dual_pivots = 0;
+  while (nodes < 10) {
+    int frac_var = -1;
+    for (int j = 0; j < m.numVars() && frac_var < 0; ++j) {
+      if (m.var(j).type == lp::VarType::kContinuous) continue;
+      const double f =
+          x[static_cast<std::size_t>(j)] - std::floor(x[static_cast<std::size_t>(j)]);
+      if (f > 1e-6 && f < 1.0 - 1e-6) frac_var = j;
+    }
+    if (frac_var < 0) break;  // dive reached an integral point
+    const double v = x[static_cast<std::size_t>(frac_var)];
+    if (v - std::floor(v) <= 0.5)
+      ub[static_cast<std::size_t>(frac_var)] = std::floor(v);
+    else
+      lb[static_cast<std::size_t>(frac_var)] = std::floor(v) + 1.0;
+    const std::optional<lp::LpResult> r = reopt.reoptimize(lb, ub, basis, 30);
+    ASSERT_TRUE(r.has_value()) << "node " << nodes
+                               << ": dual fast path declined a parent-optimal warm start";
+    ++nodes;
+    dse_updates += r->dse_updates;
+    dual_pivots += r->dual_pivots;
+    if (r->status != lp::LpStatus::kOptimal) break;  // infeasible leaf ends the dive
+    EXPECT_TRUE(r->dual_reopt);
+    basis = r->basis;
+    x = r->x;
+  }
+  EXPECT_GE(nodes, 3) << "instance did not branch enough to exercise the dive";
+  // Steepest-edge pricing must actually be running its recurrence: every
+  // dual pivot applies one weight update.
+  EXPECT_EQ(dse_updates, dual_pivots);
+  EXPECT_GT(dual_pivots, 0);
 }
 
 }  // namespace
