@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ (config: .clang-tidy at the repo root).
+#
+# Usage:
+#   scripts/run_tidy.sh [--changed [BASE]] [--build-dir DIR] [--jobs N]
+#
+#   (default)        lint every .cpp under src/
+#   --changed        lint only files that differ from BASE (default: the
+#                    merge-base with origin/main, falling back to HEAD~1) —
+#                    the fast pre-push loop; CI runs the full sweep
+#   --build-dir DIR  compilation database location (default: build;
+#                    configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+#   --jobs N         parallel clang-tidy processes (default: nproc)
+#
+# Exits non-zero on any finding (WarningsAsErrors: '*' in .clang-tidy), on a
+# missing compile_commands.json, or on a missing clang-tidy binary — the
+# gate must fail loudly, not skip silently, in CI. Set RFP_TIDY_ALLOW_MISSING=1
+# to turn a missing binary into a warning for local machines without LLVM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+mode=full
+base=""
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --changed)
+      mode=changed
+      if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
+        base="$2"
+        shift
+      fi
+      ;;
+    --build-dir)
+      build_dir="$2"
+      shift
+      ;;
+    --jobs)
+      jobs="$2"
+      shift
+      ;;
+    *)
+      echo "run_tidy.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" > /dev/null 2>&1; then
+  if [[ "${RFP_TIDY_ALLOW_MISSING:-0}" == "1" ]]; then
+    echo "run_tidy.sh: $tidy not found; skipping (RFP_TIDY_ALLOW_MISSING=1)" >&2
+    exit 0
+  fi
+  echo "run_tidy.sh: $tidy not found (install clang-tidy, or set CLANG_TIDY)" >&2
+  exit 1
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "run_tidy.sh: $db not found." >&2
+  echo "  configure first: cmake -B $build_dir -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+declare -a files
+if [[ "$mode" == "changed" ]]; then
+  if [[ -z "$base" ]]; then
+    base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD~1)"
+  fi
+  # Changed headers pull in their including .cpp files via HeaderFilterRegex,
+  # so linting changed translation units (plus TUs that include a changed
+  # header) covers header edits too.
+  mapfile -t changed < <(git diff --name-only "$base" -- 'src/**/*.cpp' 'src/**/*.hpp' 'src/*.cpp' 'src/*.hpp')
+  declare -A tu_set=()
+  for f in "${changed[@]}"; do
+    [[ -f "$f" ]] || continue  # deleted files
+    if [[ "$f" == *.cpp ]]; then
+      tu_set["$f"]=1
+    else
+      hdr="$(basename "$f")"
+      while IFS= read -r tu; do
+        tu_set["$tu"]=1
+      done < <(grep -rl --include='*.cpp' -F "$hdr" src/ || true)
+    fi
+  done
+  files=("${!tu_set[@]}")
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_tidy.sh: no changed sources vs $base"
+    exit 0
+  fi
+else
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+fi
+
+echo "run_tidy.sh: linting ${#files[@]} file(s) with $tidy (-p $build_dir, -j $jobs)"
+# -warnings-as-errors comes from .clang-tidy; --quiet suppresses the
+# "N warnings generated" noise from system headers.
+printf '%s\n' "${files[@]}" |
+  xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet
+echo "run_tidy.sh: clean"

@@ -9,6 +9,7 @@
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::baseline {
@@ -63,6 +64,7 @@ double costOf(const model::FloorplanProblem& problem, const model::Floorplan& fp
 
 std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& problem,
                                             const AnnealerOptions& options) {
+  telemetry::Span run_span(options.telemetry, "annealer", "anneal");
   Deadline deadline(options.time_limit_seconds);
   fp::HeuristicOptions hopt;
   hopt.seed = options.seed;
@@ -90,7 +92,10 @@ std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& probl
     if (!options.incumbent || best_cost >= published_cost) return;
     published_cost = best_cost;
     ++result.published;
-    options.incumbent->publish(best, model::evaluate(problem, best), "annealer");
+    const model::FloorplanCosts costs = model::evaluate(problem, best);
+    options.incumbent->publish(best, costs, "annealer");
+    telemetry::instant(options.telemetry, "incumbent", "publish", "waste",
+                       static_cast<double>(costs.wasted_frames), "engine", "annealer");
   };
   publishBest();  // the greedy start is already a feasible incumbent
 
@@ -136,6 +141,12 @@ std::optional<AnnealResult> annealFloorplan(const model::FloorplanProblem& probl
   publishBest();  // flush a best found after the last poll point
   result.plan = std::move(best);
   result.costs = model::evaluate(problem, result.plan);
+  if (run_span.active()) {
+    run_span.arg("iterations", static_cast<double>(result.iterations));
+    run_span.arg("accepted", static_cast<double>(result.accepted_moves));
+  }
+  if (options.telemetry != nullptr && options.telemetry->metrics != nullptr)
+    options.telemetry->metrics->counter("annealer.iterations").add(result.iterations);
   return result;
 }
 

@@ -14,6 +14,9 @@
 namespace rfp::driver {
 class SharedIncumbent;  // driver/incumbent.hpp
 }
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
 
 namespace rfp::baseline {
 
@@ -34,6 +37,9 @@ struct AnnealerOptions {
   /// or subsequent prover can use them as a cutoff long before the annealer
   /// finishes. The pointee must outlive the call.
   driver::SharedIncumbent* incumbent = nullptr;
+  /// Solve-scoped observability (spans + counters); null = no telemetry.
+  /// The pointee must outlive the call.
+  const telemetry::Context* telemetry = nullptr;
 };
 
 struct AnnealResult {

@@ -155,6 +155,7 @@ SolveResponse runHeuristic(const model::FloorplanProblem& problem, const SolveRe
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
   if (channel) opt.incumbent = channel;
+  if (!opt.telemetry) opt.telemetry = request.telemetry;
   const std::optional<model::Floorplan> plan = fp::constructiveFloorplan(problem, opt);
   SolveResponse out;
   if (plan) {
@@ -177,6 +178,7 @@ SolveResponse runAnnealer(const model::FloorplanProblem& problem, const SolveReq
   opt.time_limit_seconds = cappedLimit(opt.time_limit_seconds, request.deadline_seconds);
   if (external_stop) opt.stop = external_stop;
   if (channel) opt.incumbent = channel;
+  if (!opt.telemetry) opt.telemetry = request.telemetry;
   const std::optional<baseline::AnnealResult> res = baseline::annealFloorplan(problem, opt);
   SolveResponse out;
   if (res) {
@@ -219,12 +221,12 @@ ProgressTicker::ProgressTicker(const telemetry::Context* ctx, double interval_se
   if (ctx == nullptr || ctx->metrics == nullptr || interval_seconds <= 0) return;
   telemetry::MetricsRegistry* reg = ctx->metrics;
   thread_ = std::thread([this, reg, interval_seconds] {
-    Stopwatch since_tick;
-    while (!stop_.load(std::memory_order_relaxed)) {
-      // Short naps keep destruction prompt; the interval gates the output.
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      if (since_tick.seconds() < interval_seconds) continue;
-      since_tick.reset();
+    const auto interval = std::chrono::duration<double>(interval_seconds);
+    sync::UniqueLock lock(mu_);
+    // Timed wait instead of a sleep-poll: a full interval elapsing emits a
+    // tick, while the destructor's notify ends the thread immediately
+    // rather than after a nap (a 1 ms solve used to pay a 20 ms ticker).
+    while (!cv_.wait_for(lock, interval, [this]() RFP_REQUIRES(mu_) { return stop_; })) {
       // Live reads race the workers' relaxed bumps on purpose: a progress
       // line may run a beat behind, never wrong by more than in-flight adds.
       const long nodes =
@@ -242,7 +244,11 @@ ProgressTicker::ProgressTicker(const telemetry::Context* ctx, double interval_se
 
 ProgressTicker::~ProgressTicker() {
   if (thread_.joinable()) {
-    stop_.store(true, std::memory_order_relaxed);
+    {
+      const sync::MutexLock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
     thread_.join();
   }
 }

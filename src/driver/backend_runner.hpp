@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "driver/driver.hpp"
+#include "support/sync.hpp"
 
 namespace rfp::driver {
 class SharedIncumbent;  // driver/incumbent.hpp
@@ -75,8 +76,9 @@ void capInSolveThreads(SolveRequest* request, int budget) noexcept;
 /// alive, logs an info-level line every interval with the live engine
 /// counters from the telemetry registry (search/milp nodes, LP solves,
 /// steals, incumbent adoptions). Inert — and thread-free — when the context
-/// has no registry or the interval is not positive. The destructor joins
-/// the ticker thread, so scope it around the dispatch it narrates.
+/// has no registry or the interval is not positive. The destructor wakes
+/// and joins the ticker thread immediately (condition variable, not a
+/// sleep-poll), so scope it around the dispatch it narrates.
 class ProgressTicker {
  public:
   ProgressTicker(const telemetry::Context* ctx, double interval_seconds);
@@ -85,7 +87,9 @@ class ProgressTicker {
   ~ProgressTicker();
 
  private:
-  std::atomic<bool> stop_{false};
+  sync::Mutex mu_;
+  sync::CondVar cv_;
+  bool stop_ RFP_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

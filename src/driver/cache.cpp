@@ -348,7 +348,7 @@ void ResultCache::touch(EntryList::iterator it) {
 
 CacheLookup ResultCache::lookup(const Fingerprint& fp, const model::FloorplanProblem& problem) {
   CacheLookup out;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   // Full-key comparison: the hash only narrows the candidate set, equality
   // is decided on the stored structural/budget strings. A forged or
   // accidental hash collision therefore falls through to a miss.
@@ -429,7 +429,7 @@ bool ResultCache::insert(const Fingerprint& fp, const model::FloorplanProblem& p
     // Only a proof may be cached as infeasibility; anything else could be a
     // truncation artifact.
     if (!isExhaustive(response.backend)) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       ++stats_.rejected;
       return false;
     }
@@ -438,19 +438,19 @@ bool ResultCache::insert(const Fingerprint& fp, const model::FloorplanProblem& p
     model::Floorplan canonical;
     if (!model::check(problem, response.plan).empty() ||
         !toCanonicalPlan(fp, problem, response.plan, &canonical)) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const sync::MutexLock lock(mutex_);
       ++stats_.rejected;
       return false;
     }
     entry.canonical.plan = std::move(canonical);
   } else {
     // kNoSolution carries nothing worth remembering (and is budget-bound).
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     ++stats_.rejected;
     return false;
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   // Replace an existing entry under the same full key (latest answer wins;
   // typically it is the same or strictly fresher).
   auto range = index_.equal_range(fp.hash);
@@ -481,12 +481,17 @@ bool ResultCache::insert(const Fingerprint& fp, const model::FloorplanProblem& p
 
 ResultCache::FlightJoin ResultCache::joinFlight(const Fingerprint& fp, std::atomic<bool>* stop) {
   const std::string key = flightKey(fp);
-  std::unique_lock<std::mutex> lock(flight_mu_);
+  sync::UniqueLock lock(flight_mu_);
   for (;;) {
     if (flights_.insert(key).second) return FlightJoin::kLeader;
-    // An identical solve is in flight: wait for it to land. The wait wakes
-    // on the leader's finishFlight() broadcast; the timeout only bounds how
-    // stale a raised stop flag can go unnoticed.
+    // An identical solve is in flight. Check the stop flag *before* waiting:
+    // a follower arriving with cancellation already raised must unwind
+    // immediately, not sleep out a timeout first (its engines would only be
+    // cancelled again anyway).
+    if (stop && stop->load(std::memory_order_relaxed)) return FlightJoin::kCancelled;
+    // Wait for the leader to land. The wait wakes on the leader's
+    // finishFlight() broadcast; the timeout only bounds how stale a raised
+    // stop flag can go unnoticed.
     flight_cv_.wait_for(lock, std::chrono::milliseconds(10));
     if (flights_.count(key) == 0) return FlightJoin::kLanded;
     if (stop && stop->load(std::memory_order_relaxed)) return FlightJoin::kCancelled;
@@ -495,24 +500,24 @@ ResultCache::FlightJoin ResultCache::joinFlight(const Fingerprint& fp, std::atom
 
 void ResultCache::finishFlight(const Fingerprint& fp) {
   {
-    const std::lock_guard<std::mutex> lock(flight_mu_);
+    const sync::MutexLock lock(flight_mu_);
     flights_.erase(flightKey(fp));
   }
   flight_cv_.notify_all();
 }
 
 void ResultCache::noteCoalesced() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   ++stats_.coalesced;
 }
 
 CacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t ResultCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return lru_.size();
 }
 

@@ -37,10 +37,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -49,6 +47,7 @@
 #include "driver/driver.hpp"
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
+#include "support/sync.hpp"
 
 namespace rfp::driver {
 
@@ -158,19 +157,21 @@ class ResultCache {
   };
   using EntryList = std::list<Entry>;
 
-  void touch(EntryList::iterator it);  // requires mutex_ held
+  void touch(EntryList::iterator it) RFP_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  EntryList lru_;  ///< front = most recently used
-  std::unordered_multimap<std::uint64_t, EntryList::iterator> index_;
-  CacheStats stats_;
+  mutable sync::Mutex mutex_;
+  EntryList lru_ RFP_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_multimap<std::uint64_t, EntryList::iterator> index_ RFP_GUARDED_BY(mutex_);
+  CacheStats stats_ RFP_GUARDED_BY(mutex_);
   // Flight table (joinFlight/finishFlight). Guarded by its own mutex so
   // followers waiting on a leader never hold up store lookups; the two
-  // locks are never nested.
-  std::mutex flight_mu_;
-  std::condition_variable flight_cv_;
-  std::unordered_set<std::string> flights_;  ///< full keys currently solving
+  // locks are never nested (and must stay that way — `flight` sits above
+  // `cache` in the lock-ordering hierarchy, see CONTRIBUTING.md).
+  sync::Mutex flight_mu_;
+  sync::CondVar flight_cv_;
+  /// Full keys currently solving.
+  std::unordered_set<std::string> flights_ RFP_GUARDED_BY(flight_mu_);
 };
 
 }  // namespace rfp::driver

@@ -9,7 +9,7 @@ bool SharedIncumbent::publish(const model::Floorplan& plan, const model::Floorpl
   // publisher must not block the provers' cheap snapshot polls.
   if (!model::check(*problem_, plan).empty()) return false;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (has_best_ && !model::strictlyBetter(*problem_, costs, best_costs_)) return false;
   best_plan_ = plan;
   best_costs_ = costs;
@@ -26,7 +26,7 @@ bool SharedIncumbent::snapshotNewer(std::uint64_t* last_seen, model::Floorplan* 
                                     model::FloorplanCosts* costs) const {
   const std::uint64_t v = version();
   if (v == 0 || v == *last_seen) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (!has_best_) return false;
   // Re-read under the lock: the best may have advanced past `v`, and the
   // copied plan must never be older than the version we report.
@@ -37,7 +37,7 @@ bool SharedIncumbent::snapshotNewer(std::uint64_t* last_seen, model::Floorplan* 
 }
 
 bool SharedIncumbent::best(model::Floorplan* plan, model::FloorplanCosts* costs) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (!has_best_) return false;
   if (plan) *plan = best_plan_;
   if (costs) *costs = best_costs_;
@@ -45,7 +45,7 @@ bool SharedIncumbent::best(model::Floorplan* plan, model::FloorplanCosts* costs)
 }
 
 std::string SharedIncumbent::source() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return source_;
 }
 

@@ -24,11 +24,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "model/floorplan.hpp"
 #include "model/problem.hpp"
+#include "support/sync.hpp"
 
 namespace rfp::driver {
 
@@ -84,11 +84,15 @@ class SharedIncumbent {
   const model::FloorplanProblem* problem_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<long> publishes_{0};
-  mutable std::mutex mutex_;
-  model::Floorplan best_plan_;
-  model::FloorplanCosts best_costs_;
-  std::string source_ = "-";
-  bool has_best_ = false;
+  // Bottom of the lock-ordering hierarchy (incumbent < cache < flight <
+  // telemetry, see CONTRIBUTING.md): publish() is called from engine
+  // callbacks that may already hold higher locks, so nothing may be
+  // acquired while this is held.
+  mutable sync::Mutex mutex_;
+  model::Floorplan best_plan_ RFP_GUARDED_BY(mutex_);
+  model::FloorplanCosts best_costs_ RFP_GUARDED_BY(mutex_);
+  std::string source_ RFP_GUARDED_BY(mutex_) = "-";
+  bool has_best_ RFP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rfp::driver

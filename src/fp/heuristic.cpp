@@ -7,6 +7,7 @@
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace rfp::fp {
@@ -90,6 +91,7 @@ std::optional<model::Floorplan> attempt(const model::FloorplanProblem& problem,
 
 std::optional<model::Floorplan> constructiveFloorplan(const model::FloorplanProblem& problem,
                                                       const HeuristicOptions& options) {
+  telemetry::Span run_span(options.telemetry, "heuristic", "construct");
   std::vector<search::RegionCandidates> cands;
   cands.reserve(static_cast<std::size_t>(problem.numRegions()));
   for (int n = 0; n < problem.numRegions(); ++n)
@@ -123,8 +125,13 @@ std::optional<model::Floorplan> constructiveFloorplan(const model::FloorplanProb
     }
     auto fp = attempt(problem, order, cands, options.place_fc_areas, shape_skip);
     if (fp && model::check(problem, *fp).empty()) {
-      if (options.incumbent)
-        options.incumbent->publish(*fp, model::evaluate(problem, *fp), "heuristic");
+      const model::FloorplanCosts costs = model::evaluate(problem, *fp);
+      if (options.incumbent) options.incumbent->publish(*fp, costs, "heuristic");
+      telemetry::instant(options.telemetry, "incumbent", "publish", "waste",
+                         static_cast<double>(costs.wasted_frames), "engine", "heuristic");
+      if (run_span.active()) run_span.arg("restarts", static_cast<double>(attempt_index));
+      if (options.telemetry != nullptr && options.telemetry->metrics != nullptr)
+        options.telemetry->metrics->counter("heuristic.restarts").add(attempt_index + 1);
       return fp;
     }
   }

@@ -17,6 +17,9 @@
 namespace rfp::driver {
 class SharedIncumbent;  // driver/incumbent.hpp
 }
+namespace rfp::telemetry {
+struct Context;  // support/telemetry/trace.hpp
+}
 
 namespace rfp::fp {
 
@@ -35,6 +38,9 @@ struct HeuristicOptions {
   /// even when the caller discards or post-processes the result. The pointee
   /// must outlive the call.
   driver::SharedIncumbent* incumbent = nullptr;
+  /// Solve-scoped observability (spans + counters); null = no telemetry.
+  /// The pointee must outlive the call.
+  const telemetry::Context* telemetry = nullptr;
 };
 
 /// Returns a fully feasible floorplan (model::check passes) or std::nullopt

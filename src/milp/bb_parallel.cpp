@@ -41,13 +41,13 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "milp/bb_detail.hpp"
 #include "support/log.hpp"
+#include "support/sync.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
@@ -91,12 +91,12 @@ struct ReplayHash {
 class NodeDeque {
  public:
   void pushBack(PNode n) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     q_.push_back(std::move(n));
   }
 
   bool popBack(PNode& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     if (q_.empty()) return false;
     out = std::move(q_.back());
     q_.pop_back();
@@ -105,7 +105,7 @@ class NodeDeque {
 
   /// Steal-half policy: moves the front ceil(size/2) nodes into `out`.
   int stealHalf(std::vector<PNode>& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     const int take = static_cast<int>((q_.size() + 1) / 2);
     for (int i = 0; i < take; ++i) {
       out.push_back(std::move(q_.front()));
@@ -117,20 +117,20 @@ class NodeDeque {
   /// Weakest dual bound among the leftover nodes (+inf when empty) — the
   /// truncated-run bound, mirroring the sequential engine's heap top.
   double minBound() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     double b = lp::kInfinity;
     for (const PNode& n : q_) b = std::min(b, n.lp_bound);
     return b;
   }
 
   bool empty() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     return q_.empty();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<PNode> q_;
+  mutable sync::Mutex mu_;
+  std::deque<PNode> q_ RFP_GUARDED_BY(mu_);
 };
 
 class PWorker;
@@ -159,17 +159,20 @@ struct SharedTree {
 
   // The incumbent. `cutoff`/`has_incumbent` are the hot read path (every
   // node prunes against them); the vectors change under `inc_mu`.
-  std::mutex inc_mu;
-  std::vector<double> incumbent;
-  double incumbent_obj = lp::kInfinity;
+  sync::Mutex inc_mu;
+  std::vector<double> incumbent RFP_GUARDED_BY(inc_mu);
+  double incumbent_obj RFP_GUARDED_BY(inc_mu) = lp::kInfinity;
   std::atomic<double> cutoff{lp::kInfinity};
   std::atomic<bool> has_incumbent{false};
   std::atomic<bool> incumbent_external{false};
 
   /// Serializes the incumbent_poll/incumbent_publish callbacks: the fp
   /// layer's wrappers carry unsynchronized mutable state (version cursors,
-  /// telemetry counters), so concurrent invocation would race.
-  std::mutex callback_mu;
+  /// telemetry counters), so concurrent invocation would race. Ordering:
+  /// offerIncumbent releases inc_mu before taking callback_mu, so inc_mu is
+  /// never held under it (callback_mu forwards into SharedIncumbent, which
+  /// sits below in the repo-wide hierarchy — see CONTRIBUTING.md).
+  sync::Mutex callback_mu;
   std::atomic<long> external_adoptions{0};
   std::atomic<long> cutoff_prunes{0};
 
@@ -204,7 +207,7 @@ struct SharedTree {
   /// be slow, and nesting inc_mu under callback_mu elsewhere would
   /// deadlock).
   bool offerIncumbent(std::vector<double> x, double obj, bool external) {
-    std::unique_lock<std::mutex> lock(inc_mu);
+    sync::UniqueLock lock(inc_mu);
     if (has_incumbent.load(std::memory_order_relaxed) && obj >= incumbent_obj - 1e-12)
       return false;
     incumbent = std::move(x);
@@ -216,7 +219,7 @@ struct SharedTree {
     if (!external && opt.incumbent_publish) snapshot = incumbent;
     lock.unlock();
     if (!snapshot.empty()) {
-      const std::lock_guard<std::mutex> cb(callback_mu);
+      const sync::MutexLock cb(callback_mu);
       opt.incumbent_publish(snapshot);
     }
     telemetry::instant(opt.telemetry, "incumbent", external ? "adopt" : "publish",
@@ -229,10 +232,10 @@ struct SharedTree {
   /// worker skips — the channel is shared, one reader per version suffices.
   void pollExternal() {
     if (!opt.incumbent_poll) return;
+    if (!callback_mu.try_lock()) return;
     std::optional<std::vector<double>> x;
     {
-      std::unique_lock<std::mutex> cb(callback_mu, std::try_to_lock);
-      if (!cb.owns_lock()) return;
+      const sync::AdoptLock cb(callback_mu, std::adopt_lock);
       x = opt.incumbent_poll();
     }
     if (!x || !model.isFeasible(*x, opt.int_tol)) return;
@@ -693,7 +696,18 @@ MipResult runParallelSearch(const lp::Model& model, const MilpSolver::Options& o
     return res;
   }
 
+  // Snapshot the incumbent under its lock. The workers have all been
+  // joined, but pollExternal/offerIncumbent wrote these fields from their
+  // threads — taking inc_mu here keeps the access pattern uniform (and the
+  // annotation checkable) instead of relying on the join's happens-before.
   const bool has_inc = shared.has_incumbent.load(std::memory_order_acquire);
+  std::vector<double> inc_x;
+  double inc_obj = lp::kInfinity;
+  if (has_inc) {
+    const sync::MutexLock lock(shared.inc_mu);
+    inc_x = shared.incumbent;
+    inc_obj = shared.incumbent_obj;
+  }
   double bound;
   if (truncated) {
     if (shared.dropped.load(std::memory_order_relaxed)) {
@@ -706,18 +720,17 @@ MipResult runParallelSearch(const lp::Model& model, const MilpSolver::Options& o
       bound = lp::kInfinity;
       for (const std::unique_ptr<NodeDeque>& d : shared.deques)
         bound = std::min(bound, d->minBound());
-      if (bound == lp::kInfinity) bound = has_inc ? shared.incumbent_obj : -lp::kInfinity;
+      if (bound == lp::kInfinity) bound = has_inc ? inc_obj : -lp::kInfinity;
     }
   } else {
-    bound = has_inc ? shared.incumbent_obj : lp::kInfinity;
+    bound = has_inc ? inc_obj : lp::kInfinity;
   }
 
   if (has_inc) {
-    res.x = shared.incumbent;
-    res.objective = shared.userObj(shared.incumbent_obj);
+    res.x = std::move(inc_x);
+    res.objective = shared.userObj(inc_obj);
     res.best_bound = shared.userObj(bound);
-    res.gap =
-        std::abs(shared.incumbent_obj - bound) / std::max(1.0, std::abs(shared.incumbent_obj));
+    res.gap = std::abs(inc_obj - bound) / std::max(1.0, std::abs(inc_obj));
     res.status =
         (!truncated || res.gap <= opt.gap_tol) ? MipStatus::kOptimal : MipStatus::kFeasible;
   } else {

@@ -8,7 +8,6 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -17,6 +16,7 @@
 #include "search/occupancy.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/sync.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
@@ -77,8 +77,15 @@ struct Shared {
   std::atomic<std::uint64_t> best_key{kKeyInf};
   std::atomic<bool> stop{false};
   std::atomic<long> nodes{0};
-  std::mutex mutex;
-  model::Floorplan best_plan;
+  sync::Mutex mutex;
+  model::Floorplan best_plan RFP_GUARDED_BY(mutex);
+  /// Cost key of the plan actually sitting in `best_plan` (kKeyInf while
+  /// empty). `best_key` can run ahead of it: a worker lowers `best_key` by
+  /// CAS *before* taking the mutex to install its plan. Install decisions
+  /// must therefore compare against this key, not `best_key` — comparing
+  /// against the atomic let a worker that lost the CAS race install (and
+  /// publish) a strictly worse plan through the `!has_plan` window.
+  std::uint64_t best_plan_key RFP_GUARDED_BY(mutex) = kKeyInf;
   // Written under `mutex`; atomic because workers pre-check it outside the
   // lock to skip the mutex on the (common) not-an-improvement path.
   std::atomic<bool> has_plan{false};
@@ -107,12 +114,12 @@ struct Task {
 class TaskDeque {
  public:
   void pushBack(Task t) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     q_.push_back(std::move(t));
   }
 
   bool popBack(Task& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     if (q_.empty()) return false;
     out = std::move(q_.back());
     q_.pop_back();
@@ -121,7 +128,7 @@ class TaskDeque {
 
   /// Steal-half policy: moves the front ceil(size/2) tasks into `out`.
   int stealHalf(std::vector<Task>& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     const int take = static_cast<int>((q_.size() + 1) / 2);
     for (int i = 0; i < take; ++i) {
       out.push_back(std::move(q_.front()));
@@ -131,8 +138,8 @@ class TaskDeque {
   }
 
  private:
-  std::mutex mu_;
-  std::deque<Task> q_;
+  sync::Mutex mu_;
+  std::deque<Task> q_ RFP_GUARDED_BY(mu_);
 };
 
 /// Work-stealing scheduler state shared by all workers of one solve.
@@ -189,9 +196,12 @@ void adoptExternalIncumbent(const Instance& inst, Shared& shared, std::uint64_t*
   if (!lowered) return;  // ties keep the resident plan — equal keys rank equal
   bool took = false;
   {
-    std::lock_guard<std::mutex> lock(shared.mutex);
-    if (key <= shared.best_key.load() || !shared.has_plan) {
+    const sync::MutexLock lock(shared.mutex);
+    // Strict improvement over the *installed* plan: a concurrent installer
+    // may have landed a better one between the CAS above and this lock.
+    if (key < shared.best_plan_key) {
       shared.best_plan = std::move(plan);
+      shared.best_plan_key = key;
       shared.has_plan = true;
       shared.best_is_external.store(true, std::memory_order_relaxed);
       shared.adopted.fetch_add(1, std::memory_order_relaxed);
@@ -625,9 +635,14 @@ class Worker {
     while (key < cur && !shared_.best_key.compare_exchange_weak(cur, key)) {
     }
     if (key <= cur || !shared_.has_plan) {
-      std::lock_guard<std::mutex> lock(shared_.mutex);
-      if (key <= shared_.best_key.load() || !shared_.has_plan) {
+      const sync::MutexLock lock(shared_.mutex);
+      // Compare against the installed plan's own key, not the atomic
+      // `best_key`: between a peer's CAS and its install there is a window
+      // where `has_plan` is stale, and the old `!has_plan` fallback let
+      // this worker install — and publish — a strictly worse plan over it.
+      if (key < shared_.best_plan_key) {
         shared_.best_plan = plan;  // keep `plan` for the publish below
+        shared_.best_plan_key = key;
         shared_.has_plan = true;
         shared_.best_is_external.store(false, std::memory_order_relaxed);
         adopted_own = true;
@@ -904,7 +919,12 @@ SearchResult ColumnarSearchSolver::solve(const model::FloorplanProblem& problem)
       (shared.stop.load() || externally_cancelled) &&
       !(options_.feasibility_only && shared.has_plan);  // feasibility stop ≠ limit
   if (shared.has_plan) {
-    result.plan = shared.best_plan;
+    {
+      // Workers are joined, but best_plan is mutex-guarded state written
+      // from their threads — read it the same way it was written.
+      const sync::MutexLock lock(shared.mutex);
+      result.plan = shared.best_plan;
+    }
     result.costs = model::evaluate(problem, result.plan);
     result.status = truncated && !options_.feasibility_only ? SearchStatus::kFeasible
                                                             : SearchStatus::kOptimal;

@@ -5,12 +5,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "support/sync.hpp"
 
 namespace rfp::log {
 namespace {
 
 int initialLevel() noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once during static init of
+  // g_level, before any engine thread exists; nothing calls setenv.
   const char* env = std::getenv("RFP_LOG_LEVEL");
   const Level fallback = Level::kWarn;
   if (env == nullptr) return static_cast<int>(fallback);
@@ -18,8 +21,8 @@ int initialLevel() noexcept {
 }
 
 std::atomic<int> g_level{initialLevel()};
-std::mutex g_emit_mutex;
-FILE* g_sink = nullptr;  // nullptr = stderr; guarded by g_emit_mutex
+sync::Mutex g_emit_mutex;
+FILE* g_sink RFP_GUARDED_BY(g_emit_mutex) = nullptr;  // nullptr = stderr
 
 const char* levelName(Level level) {
   switch (level) {
@@ -53,7 +56,7 @@ Level levelFromString(const std::string& name, Level fallback) noexcept {
 }
 
 bool setLogFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const sync::MutexLock lock(g_emit_mutex);
   if (path.empty()) {
     if (g_sink != nullptr) std::fclose(g_sink);
     g_sink = nullptr;
@@ -70,7 +73,7 @@ void emit(Level level, const std::string& message) {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double t = std::chrono::duration<double>(Clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const sync::MutexLock lock(g_emit_mutex);
   FILE* out = g_sink != nullptr ? g_sink : stderr;
   std::fprintf(out, "[%9.3f] %s %s\n", t, levelName(level), message.c_str());
   if (g_sink != nullptr) std::fflush(g_sink);

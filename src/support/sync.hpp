@@ -1,0 +1,204 @@
+// Annotated synchronization layer: the repo's only sanctioned spelling of a
+// mutex, lock guard, or condition variable.
+//
+// Five concurrency machines (work-stealing B&B deques, the SharedIncumbent
+// exchange, the ResultCache flight table, the batch pool, the telemetry
+// registry) each carry a locking discipline that used to live only in
+// comments and TSan runs. This header moves those contracts into the type
+// system: every primitive is wrapped in a Clang thread-safety-annotated
+// type, shared state declares its guard with RFP_GUARDED_BY, and functions
+// declare lock requirements with RFP_REQUIRES / RFP_ACQUIRE / RFP_RELEASE.
+// Clang then checks every access on every PR (`-Wthread-safety`, -Werror in
+// CI); on GCC the annotations expand to nothing and the wrappers compile to
+// exactly the std primitives they hold.
+//
+// Repo contract (enforced by scripts/lint_contracts.py): no raw
+// `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+// `std::condition_variable` anywhere in src/ outside this header. New
+// shared state must be declared RFP_GUARDED_BY its mutex; new lock-taking
+// helpers must be annotated. The lock-ordering hierarchy lives in
+// CONTRIBUTING.md ("Concurrency contracts"): incumbent < cache < flight <
+// telemetry — never take a lower lock while holding a higher one.
+//
+// The negative-compile tests under tests/negative_compile/ prove the gate
+// fires: an unguarded RFP_GUARDED_BY access and an unreleased lock must
+// fail to compile under clang -Wthread-safety -Werror (and must compile
+// cleanly under GCC, where the macros are no-ops).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- Clang capability-annotation macros ------------------------------------
+//
+// The RFP_ prefix keeps these greppable and collision-free. On non-Clang
+// compilers (and under SWIG-style tooling without attribute support) every
+// macro expands to nothing.
+#if defined(__clang__) && defined(__has_attribute)
+#define RFP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define RFP_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define RFP_CAPABILITY(x) RFP_THREAD_ANNOTATION__(capability(x))
+/// Declares a RAII type whose lifetime holds a capability.
+#define RFP_SCOPED_CAPABILITY RFP_THREAD_ANNOTATION__(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define RFP_GUARDED_BY(x) RFP_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define RFP_PT_GUARDED_BY(x) RFP_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Function precondition: the listed capabilities are held by the caller.
+#define RFP_REQUIRES(...) RFP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define RFP_ACQUIRE(...) RFP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities (not held on return).
+#define RFP_RELEASE(...) RFP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `ret`.
+#define RFP_TRY_ACQUIRE(ret, ...) \
+  RFP_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+/// Function must be called *without* the listed capabilities held
+/// (deadlock guard for self-locking entry points).
+#define RFP_EXCLUDES(...) RFP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Documents (and checks, where both are annotated) lock-order edges.
+#define RFP_ACQUIRED_BEFORE(...) RFP_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define RFP_ACQUIRED_AFTER(...) RFP_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// Escape hatch. Every use must carry a comment explaining why the analysis
+/// cannot see the synchronization (e.g. happens-before via thread join).
+#define RFP_NO_THREAD_SAFETY_ANALYSIS RFP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+/// Asserts at runtime-checked boundaries that the capability is held.
+#define RFP_ASSERT_CAPABILITY(x) RFP_THREAD_ANNOTATION__(assert_capability(x))
+
+namespace rfp::sync {
+
+/// `std::mutex` as a Clang capability. Same size, same semantics; the
+/// wrapper exists so GUARDED_BY declarations have something to name and so
+/// lock()/unlock() carry acquire/release annotations.
+class RFP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RFP_ACQUIRE() { mu_.lock(); }
+  void unlock() RFP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() RFP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped primitive — for CondVar's adopt/release dance only; code
+  /// outside this header has no reason to touch it.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// `std::lock_guard` over a Mutex: scope-held, no unlock.
+class RFP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RFP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RFP_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Adopts a mutex the caller already holds (e.g. via a successful
+/// Mutex::try_lock) and releases it on scope exit. The REQUIRES-annotated
+/// constructor transfers the held capability into the scope — the
+/// documented adopt_lock idiom for scoped capabilities.
+class RFP_SCOPED_CAPABILITY AdoptLock {
+ public:
+  AdoptLock(Mutex& mu, std::adopt_lock_t) RFP_REQUIRES(mu) : mu_(mu) {}
+  ~AdoptLock() RFP_RELEASE() { mu_.unlock(); }
+  AdoptLock(const AdoptLock&) = delete;
+  AdoptLock& operator=(const AdoptLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// `std::unique_lock` over a Mutex: scope-held with manual unlock/relock
+/// (the shape CondVar::wait and publish-outside-the-lock flows need).
+class RFP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) RFP_ACQUIRE(mu) : mu_(&mu), owned_(true) { mu_->lock(); }
+  ~UniqueLock() RFP_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() RFP_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() RFP_RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return owned_; }
+  [[nodiscard]] Mutex* mutex() const noexcept { return mu_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool owned_;
+};
+
+/// `std::condition_variable` over UniqueLock. The waits atomically release
+/// the lock and reacquire it before returning, so from the caller's (and
+/// the analysis') point of view the lock is held continuously across a
+/// wait — which is exactly the guarantee the guarded predicate needs.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // The implementations adopt the already-held native mutex into a
+  // transient std::unique_lock for the std wait call, then release it back
+  // unlocked-side-effect-free. The analysis cannot follow that dance, and
+  // must not: callers keep "lock held" state across the call, matching the
+  // condition-variable contract.
+  void wait(UniqueLock& lock) RFP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <class Predicate>
+  void wait(UniqueLock& lock, Predicate pred) RFP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& dur)
+      RFP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(native, dur);
+    native.release();
+    return st;
+  }
+
+  template <class Rep, class Period, class Predicate>
+  bool wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& dur, Predicate pred)
+      RFP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    const bool satisfied = cv_.wait_for(native, dur, std::move(pred));
+    native.release();
+    return satisfied;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rfp::sync

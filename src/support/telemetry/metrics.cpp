@@ -66,28 +66,28 @@ Histogram::Snapshot Histogram::snapshot() const noexcept {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::map<std::string, MetricValue> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   std::map<std::string, MetricValue> out;
   for (const auto& [name, c] : counters_) {
     MetricValue v;

@@ -25,9 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace rfp::telemetry {
 
@@ -138,10 +139,14 @@ class MetricsRegistry {
   [[nodiscard]] std::map<std::string, double> flatten() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Guards name lookup only — the instruments themselves are lock-free
+  // shards, and the unique_ptrs are never reassigned once created (handle
+  // stability). Top of the lock-ordering hierarchy (CONTRIBUTING.md):
+  // nothing else may be acquired while this is held.
+  mutable sync::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ RFP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ RFP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ RFP_GUARDED_BY(mu_);
 };
 
 }  // namespace rfp::telemetry

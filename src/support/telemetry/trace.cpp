@@ -38,7 +38,7 @@ double TraceRecorder::nowUs() const noexcept {
 
 TraceRecorder::Lane& TraceRecorder::lane() {
   if (t_lane.recorder_id == id_) return *static_cast<Lane*>(t_lane.lane);
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   lanes_.push_back(std::make_unique<Lane>());
   Lane& l = *lanes_.back();
   l.tid = static_cast<int>(lanes_.size());
@@ -81,7 +81,7 @@ void TraceRecorder::nameThread(const char* name) {
 }
 
 long TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   long n = 0;
   for (const auto& l : lanes_)
     if (l->written > l->ring.size()) n += static_cast<long>(l->written - l->ring.size());
@@ -89,7 +89,7 @@ long TraceRecorder::dropped() const {
 }
 
 long TraceRecorder::retained() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  const sync::MutexLock lk(mu_);
   long n = 0;
   for (const auto& l : lanes_) n += static_cast<long>(l->ring.size());
   return n;
@@ -175,7 +175,7 @@ std::string TraceRecorder::toChromeJson() const {
   std::vector<Indexed> all;
   std::string out;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const sync::MutexLock lk(mu_);
     for (const auto& l : lanes_)
       for (const TraceEvent& ev : l->ring) all.push_back({&ev, l->tid});
     std::stable_sort(all.begin(), all.end(),

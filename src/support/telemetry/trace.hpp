@@ -21,11 +21,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "support/sync.hpp"
 #include "support/telemetry/metrics.hpp"
 
 namespace rfp::telemetry {
@@ -89,8 +89,12 @@ class TraceRecorder {
   std::uint64_t id_ = 0;
   std::size_t capacity_;
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  // Guards lane *registration* (the lanes_ vector) only. A Lane's contents
+  // are single-owner: written lock-free by the thread the lane belongs to,
+  // read by the exporters after writers have quiesced (the class contract).
+  // Top tier of the lock-ordering hierarchy, like the metrics registry.
+  mutable sync::Mutex mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_ RFP_GUARDED_BY(mu_);
 };
 
 /// The solve-scoped observability context threaded through engine option

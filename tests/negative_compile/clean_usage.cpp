@@ -1,0 +1,24 @@
+// Positive control for the negative compile tests: idiomatic use of the
+// annotated sync layer. Must compile under every compiler, including Clang
+// with -Wthread-safety -Werror — if this fails, the gate is broken, not the
+// code under test. Wired up by the try_compile block in CMakeLists.txt.
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter {
+  rfp::sync::Mutex mu;
+  int value RFP_GUARDED_BY(mu) = 0;
+
+  int bump() {
+    const rfp::sync::MutexLock lock(mu);
+    return ++value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.bump() == 1 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+// Negative compile test: writing a RFP_GUARDED_BY member without holding
+// its mutex. Under Clang with -Wthread-safety -Werror this must NOT compile;
+// under other compilers the annotations expand to nothing and it must.
+// Wired up by the try_compile block in the top-level CMakeLists.txt.
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter {
+  rfp::sync::Mutex mu;
+  int value RFP_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // unguarded write: requires holding c.mu
+  return c.value;
+}

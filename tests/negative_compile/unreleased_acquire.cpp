@@ -1,0 +1,19 @@
+// Negative compile test: a lock() with no matching unlock() on any path.
+// Under Clang with -Wthread-safety -Werror this must NOT compile ("mutex is
+// still held at the end of function"); under other compilers it must.
+// Wired up by the try_compile block in the top-level CMakeLists.txt.
+#include "support/sync.hpp"
+
+namespace {
+
+rfp::sync::Mutex g_mu;
+int g_value RFP_GUARDED_BY(g_mu) = 0;
+
+int bumpAndLeak() {
+  g_mu.lock();
+  return ++g_value;  // g_mu is never released
+}
+
+}  // namespace
+
+int main() { return bumpAndLeak() == 1 ? 0 : 1; }

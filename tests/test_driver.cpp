@@ -1087,6 +1087,29 @@ TEST(ResultCacheStore, FlightTableBlocksFollowersUntilTheLeaderLands) {
   cache.finishFlight(fp);
 }
 
+TEST(ResultCacheStore, PreRaisedStopCancelsJoinWithoutWaitingATick) {
+  // Regression: joinFlight used to sleep one 10 ms poll tick before noticing
+  // a stop flag that was already raised on entry, so a cancelled batch
+  // draining queued duplicates paid a tick per key. The stop check must run
+  // before the first wait: 50 cancelled joins finish in microseconds now,
+  // versus a guaranteed >= 500 ms with the old ordering.
+  const device::Device dev = device::columnarFromPattern("t", "CCBCCDCC", 4);
+  const model::FloorplanProblem p = twoRegionProblem(dev);
+  SolveRequest req;
+  const Fingerprint fp = fingerprintProblem(p, req, Backend::kSearch);
+  ResultCache cache(8);
+  ASSERT_EQ(cache.joinFlight(fp, nullptr), ResultCache::FlightJoin::kLeader);
+
+  std::atomic<bool> stop{true};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i)
+    ASSERT_EQ(cache.joinFlight(fp, &stop), ResultCache::FlightJoin::kCancelled) << i;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 250) << "cancelled joins waited on the poll tick";
+  cache.finishFlight(fp);
+}
+
 TEST(DriverBatch, ConcurrentDuplicatesSolveEachFingerprintExactlyOnce) {
   // The PR 5 gap: duplicates dispatched *concurrently* both missed the
   // still-empty cache and re-solved. With in-flight coalescing the batch
@@ -1127,7 +1150,9 @@ TEST(DriverBatch, ConcurrentDuplicatesSolveEachFingerprintExactlyOnce) {
     engine_runs += res[i].cache_hit ? 0 : 1;
     served += res[i].cache_hit ? 1 : 0;
     coalesced += res[i].coalesced ? 1 : 0;
-    if (res[i].coalesced) EXPECT_TRUE(res[i].cache_hit) << i;
+    if (res[i].coalesced) {
+      EXPECT_TRUE(res[i].cache_hit) << i;
+    }
     // served_by records where the answer actually came from.
     if (res[i].coalesced) {
       EXPECT_EQ(res[i].served_by, "flight-follower") << i;

@@ -252,9 +252,10 @@ TEST(SparseLu, HyperSparseSolvesMatchDenseAcrossFtUpdates) {
       for (int p = 0; p < rows; ++p) {
         EXPECT_NEAR(fs.val[static_cast<std::size_t>(p)], fd[static_cast<std::size_t>(p)], 1e-7)
             << "ftran after " << updates << " updates, pos " << p;
-        if (!listed[static_cast<std::size_t>(p)])
+        if (!listed[static_cast<std::size_t>(p)]) {
           EXPECT_EQ(fs.val[static_cast<std::size_t>(p)], 0.0)
               << "unlisted entry must be exactly zero, pos " << p;
+        }
       }
 
       sparse::IndexedVector bs = v;
@@ -266,9 +267,10 @@ TEST(SparseLu, HyperSparseSolvesMatchDenseAcrossFtUpdates) {
       for (int p = 0; p < rows; ++p) {
         EXPECT_NEAR(bs.val[static_cast<std::size_t>(p)], bd[static_cast<std::size_t>(p)], 1e-7)
             << "btran after " << updates << " updates, pos " << p;
-        if (!listed[static_cast<std::size_t>(p)])
+        if (!listed[static_cast<std::size_t>(p)]) {
           EXPECT_EQ(bs.val[static_cast<std::size_t>(p)], 0.0)
               << "unlisted entry must be exactly zero, pos " << p;
+        }
       }
     }
   };

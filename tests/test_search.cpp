@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "device/builders.hpp"
+#include "driver/incumbent.hpp"
 #include "model/floorplan.hpp"
 #include "search/candidates.hpp"
 #include "search/occupancy.hpp"
@@ -231,6 +232,37 @@ TEST(Solver, WasteBudgetMakesProblemInfeasible) {
   opt.waste_budget = 10;  // below the 90-frame optimum
   const SearchResult res = ColumnarSearchSolver(opt).solve(sdr);
   EXPECT_EQ(res.status, SearchStatus::kInfeasible);
+}
+
+TEST(Solver, NeverReturnsAPlanWorseThanAPublishedIncumbent) {
+  // Regression for the parallel install race: recordSolution used to gate
+  // the plan install on `key <= best_key || !has_plan`, and between a peer's
+  // best_key CAS and its install both halves of that test could pass for a
+  // strictly worse plan — which was then returned (and published) as "best".
+  // The install is now keyed on the mutex-guarded best_plan_key, so a search
+  // seeded with the known optimum can never end worse than its seed.
+  const device::Device dev = device::virtex5FX70T();
+  model::FloorplanProblem p = model::makeSdrProblem(dev);
+  model::addSdrRelocations(p, 2);
+  SearchOptions serial;
+  serial.num_threads = 1;
+  const SearchResult opt = ColumnarSearchSolver(serial).solve(p);
+  ASSERT_EQ(opt.status, SearchStatus::kOptimal);
+
+  for (int round = 0; round < 5; ++round) {
+    driver::SharedIncumbent channel(p);
+    ASSERT_TRUE(channel.publish(opt.plan, opt.costs, "seed"));
+    SearchOptions par;
+    par.num_threads = 8;
+    par.incumbent = &channel;
+    const SearchResult res = ColumnarSearchSolver(par).solve(p);
+    ASSERT_TRUE(res.hasSolution()) << "round " << round;
+    const model::FloorplanCosts got = model::evaluate(p, res.plan);
+    EXPECT_LE(got.wasted_frames, opt.costs.wasted_frames) << "round " << round;
+    if (got.wasted_frames == opt.costs.wasted_frames) {
+      EXPECT_LE(got.wire_length, opt.costs.wire_length + 1e-9) << "round " << round;
+    }
+  }
 }
 
 TEST(Solver, SolutionsAlwaysPassTheIndependentChecker) {

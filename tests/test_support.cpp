@@ -1,11 +1,17 @@
-// Unit tests for the support layer (strings, rng, timer, check macros).
+// Unit tests for the support layer (strings, rng, timer, check macros, and
+// the annotated sync primitives).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/sync.hpp"
 #include "support/timer.hpp"
 
 namespace rfp {
@@ -118,6 +124,112 @@ TEST(Check, ThrowsCheckErrorWithMessage) {
 }
 
 TEST(Check, PassesSilently) { RFP_CHECK(1 + 1 == 2); }
+
+// ---- annotated sync layer (support/sync.hpp) -------------------------------
+
+struct GuardedCounter {
+  sync::Mutex mu;
+  int value RFP_GUARDED_BY(mu) = 0;
+
+  void bump() {
+    const sync::MutexLock lock(mu);
+    ++value;
+  }
+  int get() {
+    const sync::MutexLock lock(mu);
+    return value;
+  }
+};
+
+TEST(Sync, MutexLockExcludesConcurrentWriters) {
+  GuardedCounter c;
+  constexpr int kIters = 20000;
+  std::thread a([&c] {
+    for (int i = 0; i < kIters; ++i) c.bump();
+  });
+  std::thread b([&c] {
+    for (int i = 0; i < kIters; ++i) c.bump();
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(c.get(), 2 * kIters);
+}
+
+TEST(Sync, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  sync::Mutex mu;
+  {
+    const sync::MutexLock lock(mu);
+    // try_lock from another thread must fail while the lock is held; the
+    // result crosses threads via the atomic.
+    std::atomic<bool> acquired{true};
+    std::thread prober([&mu, &acquired] {
+      if (mu.try_lock()) {
+        mu.unlock();
+      } else {
+        acquired.store(false);
+      }
+    });
+    prober.join();
+    EXPECT_FALSE(acquired.load());
+  }
+  if (mu.try_lock()) {
+    mu.unlock();
+  } else {
+    ADD_FAILURE() << "try_lock should succeed once the MutexLock is gone";
+  }
+}
+
+TEST(Sync, AdoptLockReleasesOnScopeExit) {
+  sync::Mutex mu;
+  if (!mu.try_lock()) {
+    FAIL() << "uncontended try_lock should succeed";
+  }
+  { const sync::AdoptLock adopted(mu, std::adopt_lock); }
+  if (mu.try_lock()) {  // AdoptLock's destructor must have released it
+    mu.unlock();
+  } else {
+    ADD_FAILURE() << "AdoptLock did not release the mutex on scope exit";
+  }
+}
+
+TEST(Sync, UniqueLockTracksOwnership) {
+  sync::Mutex mu;
+  sync::UniqueLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(Sync, CondVarPredicateWaitWakesOnNotify) {
+  sync::Mutex mu;
+  sync::CondVar cv;
+  bool ready = false;  // guarded by mu (locals cannot carry RFP_GUARDED_BY)
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    sync::UniqueLock lock(mu);
+    cv.wait(lock, [&ready] { return ready; });
+    woke.store(true);
+  });
+  {
+    const sync::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Sync, CondVarWaitForTimesOutWhenPredicateStaysFalse) {
+  sync::Mutex mu;
+  sync::CondVar cv;
+  sync::UniqueLock lock(mu);
+  const bool satisfied =
+      cv.wait_for(lock, std::chrono::milliseconds(5), [] { return false; });
+  EXPECT_FALSE(satisfied);
+  EXPECT_TRUE(lock.owns_lock());  // the wait must reacquire before returning
+}
 
 }  // namespace
 }  // namespace rfp
